@@ -1,0 +1,164 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace gpudpf {
+namespace bench {
+namespace {
+
+// FNV-1a over the mask bits: sweep points with identical retrieval masks
+// (e.g. the same config evaluated under different PRFs) reuse the measured
+// quality instead of re-running the model.
+std::uint64_t MaskSignature(const std::vector<std::vector<bool>>& masks) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    for (const auto& m : masks) {
+        mix(m.size());
+        std::uint64_t word = 0;
+        int bit = 0;
+        for (const bool b : m) {
+            word |= static_cast<std::uint64_t>(b) << bit;
+            if (++bit == 64) {
+                mix(word);
+                word = 0;
+                bit = 0;
+            }
+        }
+        mix(word);
+    }
+    return h;
+}
+
+}  // namespace
+
+CodesignEvaluator::QualityFn RecApp::MakeQualityFn() const {
+    auto cache = std::make_shared<std::unordered_map<std::uint64_t, double>>();
+    const auto* samples = &eval_samples;
+    const auto* model_ptr = model.get();
+    const auto* emb_ptr = emb.get();
+    return [cache, samples, model_ptr,
+            emb_ptr](const std::vector<std::vector<bool>>& masks) {
+        const std::uint64_t sig = MaskSignature(masks);
+        const auto it = cache->find(sig);
+        if (it != cache->end()) return it->second;
+        const double q = model_ptr->EvaluateAuc(*samples, *emb_ptr, &masks);
+        (*cache)[sig] = q;
+        return q;
+    };
+}
+
+CodesignEvaluator::QualityFn LmApp::MakeQualityFn() const {
+    auto cache = std::make_shared<std::unordered_map<std::uint64_t, double>>();
+    const auto* samples = &eval_samples;
+    const auto* model_ptr = model.get();
+    const auto* emb_ptr = emb.get();
+    return [cache, samples, model_ptr,
+            emb_ptr](const std::vector<std::vector<bool>>& masks) {
+        const std::uint64_t sig = MaskSignature(masks);
+        const auto it = cache->find(sig);
+        if (it != cache->end()) return it->second;
+        const double q =
+            model_ptr->EvaluatePerplexity(*samples, *emb_ptr, &masks);
+        (*cache)[sig] = q;
+        return q;
+    };
+}
+
+RecApp BuildRecApp(const RecWorkloadSpec& spec, std::size_t eval_subsample,
+                   int epochs, float lr) {
+    RecApp app;
+    app.name = spec.name;
+    std::fprintf(stderr, "[bench] generating %s...\n", spec.name.c_str());
+    app.dataset = GenerateRecDataset(spec);
+    app.stats = ComputeRecStats(app.dataset, 8);
+    app.emb = std::make_unique<EmbeddingTable>(spec.vocab, spec.dim);
+    Rng rng(spec.seed + 1);
+    app.emb->InitRandom(rng, 0.1f);
+    app.model = std::make_unique<MlpRanker>(spec.dim, 32, spec.seed + 2);
+    std::fprintf(stderr, "[bench] training %s ranker...\n", spec.name.c_str());
+    app.model->Train(app.dataset.train, app.emb.get(), epochs, lr);
+
+    const std::size_t n = std::min(eval_subsample, app.dataset.test.size());
+    app.eval_samples.assign(app.dataset.test.begin(),
+                            app.dataset.test.begin() + n);
+    for (const auto& s : app.eval_samples) app.eval_wanted.push_back(s.history);
+    app.clean_quality =
+        app.model->EvaluateAuc(app.eval_samples, *app.emb, nullptr);
+    std::fprintf(stderr, "[bench] %s baseline AUC=%.4f\n", spec.name.c_str(),
+                 app.clean_quality);
+    return app;
+}
+
+LmApp BuildLmApp(const LmWorkloadSpec& spec, std::size_t eval_subsample,
+                 int epochs, float lr) {
+    LmApp app;
+    app.name = spec.name;
+    std::fprintf(stderr, "[bench] generating %s...\n", spec.name.c_str());
+    app.dataset = GenerateLmDataset(spec);
+    app.stats = ComputeLmStats(app.dataset, 8);
+    app.emb = std::make_unique<EmbeddingTable>(spec.vocab, spec.dim);
+    Rng rng(spec.seed + 1);
+    app.emb->InitRandom(rng, 0.1f);
+    app.model =
+        std::make_unique<FeedforwardLm>(spec.vocab, spec.dim, 32, spec.seed + 2);
+    std::fprintf(stderr, "[bench] training %s LM...\n", spec.name.c_str());
+    app.model->Train(app.dataset.train, app.emb.get(), epochs, lr);
+
+    const std::size_t n = std::min(eval_subsample, app.dataset.test.size());
+    app.eval_samples.assign(app.dataset.test.begin(),
+                            app.dataset.test.begin() + n);
+    for (const auto& s : app.eval_samples) app.eval_wanted.push_back(s.context);
+    app.clean_quality =
+        app.model->EvaluatePerplexity(app.eval_samples, *app.emb, nullptr);
+    std::fprintf(stderr, "[bench] %s baseline ppl=%.1f\n", spec.name.c_str(),
+                 app.clean_quality);
+    return app;
+}
+
+RecApp BuildMovieLensApp() {
+    // Dataset vocabulary matches MovieLens-20M exactly: no cost scaling.
+    return BuildRecApp(MovieLensLikeSpec(), /*eval_subsample=*/1200);
+}
+
+RecApp BuildTaobaoApp() {
+    RecApp app = BuildRecApp(TaobaoLikeSpec(), /*eval_subsample=*/1500);
+    // 262144 x 4 ~= the paper's ~900K-entry Taobao table.
+    app.cost_scale = 4;
+    return app;
+}
+
+LmApp BuildWikiTextApp() {
+    LmApp app = BuildLmApp(WikiText2LikeSpec(), /*eval_subsample=*/1000);
+    // 2048 x 64 = 131072 = the paper's WikiText2 vocabulary.
+    app.cost_scale = 64;
+    return app;
+}
+
+const SweepPoint* BestPoint(const std::vector<SweepPoint>& frontier,
+                            const QualityTargets& targets, bool relaxed,
+                            const BudgetFilter& filter) {
+    const SweepPoint* best = nullptr;
+    for (const auto& p : frontier) {
+        const bool quality_ok = relaxed ? targets.MeetsRelaxed(p.quality)
+                                        : targets.MeetsEco(p.quality);
+        if (!quality_ok) continue;
+        if (p.comm_bytes > filter.max_comm_bytes) continue;
+        const double qps = filter.use_cpu_qps ? p.cpu_qps : p.gpu_qps;
+        const double latency =
+            filter.use_cpu_qps ? 0.0 : p.gpu_latency_sec;
+        if (latency > filter.max_latency_sec) continue;
+        const double best_qps =
+            best == nullptr
+                ? -1.0
+                : (filter.use_cpu_qps ? best->cpu_qps : best->gpu_qps);
+        if (qps > best_qps) best = &p;
+    }
+    return best;
+}
+
+}  // namespace bench
+}  // namespace gpudpf

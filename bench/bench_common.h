@@ -1,0 +1,99 @@
+// Shared setup for the figure/table benches: builds the three evaluation
+// applications (trained model + embedding table + access stats + held-out
+// inference lists) and exposes memoized quality functions for the co-design
+// sweeps.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/codesign/sweep.h"
+#include "src/ml/models.h"
+#include "src/workloads/dataset.h"
+
+namespace gpudpf {
+namespace bench {
+
+// Quality targets from Section 5.2: Acc-eco preserves the full-precision
+// quality; Acc-relaxed tolerates <0.5% AUC (rec) / <5% perplexity (LM).
+struct QualityTargets {
+    double eco;
+    double relaxed;
+    bool higher_is_better;  // AUC: true; perplexity: false
+
+    bool MeetsEco(double q) const {
+        return higher_is_better ? q >= eco : q <= eco;
+    }
+    bool MeetsRelaxed(double q) const {
+        return higher_is_better ? q >= relaxed : q <= relaxed;
+    }
+};
+
+struct RecApp {
+    std::string name;
+    RecDataset dataset;
+    AccessStats stats;
+    std::unique_ptr<EmbeddingTable> emb;
+    std::unique_ptr<MlpRanker> model;
+    double clean_quality = 0.0;  // AUC with every lookup served
+    // Cost accounting scale restoring the paper's true table size when the
+    // dataset vocabulary was scaled down (CodesignEvaluator cost_scale).
+    std::uint64_t cost_scale = 1;
+    // Held-out inferences replayed through the planner (subsampled).
+    std::vector<RecSample> eval_samples;
+    std::vector<std::vector<std::uint64_t>> eval_wanted;
+
+    std::size_t entry_bytes() const {
+        return static_cast<std::size_t>(emb->dim()) * sizeof(float);
+    }
+    CodesignEvaluator::QualityFn MakeQualityFn() const;
+    QualityTargets Targets() const {
+        return {clean_quality - 0.0005, clean_quality - 0.005, true};
+    }
+};
+
+struct LmApp {
+    std::string name;
+    LmDataset dataset;
+    AccessStats stats;
+    std::unique_ptr<EmbeddingTable> emb;
+    std::unique_ptr<FeedforwardLm> model;
+    double clean_quality = 0.0;  // perplexity with every lookup served
+    std::uint64_t cost_scale = 1;  // see RecApp::cost_scale
+    std::vector<LmSample> eval_samples;
+    std::vector<std::vector<std::uint64_t>> eval_wanted;
+
+    std::size_t entry_bytes() const {
+        return static_cast<std::size_t>(emb->dim()) * sizeof(float);
+    }
+    CodesignEvaluator::QualityFn MakeQualityFn() const;
+    QualityTargets Targets() const {
+        return {clean_quality * 1.005, clean_quality * 1.05, false};
+    }
+};
+
+// Builders train the models once; `eval_subsample` caps the number of
+// held-out inferences replayed per sweep point.
+RecApp BuildRecApp(const RecWorkloadSpec& spec, std::size_t eval_subsample,
+                   int epochs = 3, float lr = 0.05f);
+LmApp BuildLmApp(const LmWorkloadSpec& spec, std::size_t eval_subsample,
+                 int epochs = 2, float lr = 0.1f);
+
+// The paper's three applications at bench scale.
+RecApp BuildMovieLensApp();
+RecApp BuildTaobaoApp();
+LmApp BuildWikiTextApp();
+
+// Best point of a frontier under budgets; returns nullptr if none qualify.
+struct BudgetFilter {
+    double max_comm_bytes = 300e3;       // paper: <300 KB
+    double max_latency_sec = 0.3;        // paper: <300 ms
+    bool use_cpu_qps = false;            // rank by cpu_qps instead of gpu
+};
+const SweepPoint* BestPoint(const std::vector<SweepPoint>& frontier,
+                            const QualityTargets& targets, bool relaxed,
+                            const BudgetFilter& filter);
+
+}  // namespace bench
+}  // namespace gpudpf

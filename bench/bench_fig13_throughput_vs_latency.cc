@@ -1,0 +1,68 @@
+// Figure 13 — throughput vs latency Pareto frontier for every GPU
+// optimization stage: branch-parallel, level-by-level, memory-bounded tree
+// traversal + fusion, and batch/table-size-aware scheduling with
+// cooperative groups. Left: 1M-entry table; right: 16M-entry table.
+#include <cstdio>
+
+#include "src/common/table_printer.h"
+#include "src/gpusim/cost_model.h"
+#include "src/kernels/strategy.h"
+
+using namespace gpudpf;
+
+namespace {
+
+void Sweep(const GpuCostModel& model, int n) {
+    std::printf("--- table with 2^%d entries ---\n", n);
+    TablePrinter table({"strategy", "batch", "latency (ms)", "QPS",
+                        "fits memory"});
+    struct Case {
+        StrategyKind kind;
+        bool fuse;
+    };
+    const Case cases[] = {{StrategyKind::kBranchParallel, false},
+                          {StrategyKind::kLevelByLevel, false},
+                          {StrategyKind::kMemBoundTree, true},
+                          {StrategyKind::kCoopGroups, true}};
+    for (const auto& c : cases) {
+        for (std::uint32_t b = 1; b <= 2048; b *= 8) {
+            if (c.kind == StrategyKind::kCoopGroups && b > 1) continue;
+            StrategyConfig config;
+            config.kind = c.kind;
+            config.log_domain = n;
+            config.num_entries = std::uint64_t{1} << n;
+            config.entry_bytes = 256;
+            config.prf = PrfKind::kAes128;
+            config.batch = b;
+            config.chunk_k = 128;
+            config.block_dim =
+                c.kind == StrategyKind::kCoopGroups ? 256 : 128;
+            config.fuse = c.fuse;
+            const auto report = MakeStrategy(config)->Analyze();
+            const auto est = model.Estimate(report);
+            table.AddRow({StrategyKindName(c.kind), std::to_string(b),
+                          TablePrinter::Num(est.latency_sec * 1e3, 2),
+                          TablePrinter::Num(est.throughput_qps, 1),
+                          est.fits_in_memory ? "yes" : "NO"});
+        }
+    }
+    table.Print();
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Figure 13: throughput vs latency per GPU optimization ===\n");
+    std::printf("entry 2048 bits, AES-128 PRF\n\n");
+    const GpuCostModel model;
+    Sweep(model, 20);
+    Sweep(model, 24);
+    std::printf(
+        "Shape check vs paper: branch-parallel cannot reach high QPS "
+        "(redundant work); level-by-level runs out of memory at large "
+        "batches (rows marked NO); membound+fusion pushes the frontier "
+        "with batching; on the very large table coop-groups achieves far "
+        "better latency at comparable throughput.\n");
+    return 0;
+}

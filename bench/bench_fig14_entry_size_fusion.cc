@@ -1,0 +1,46 @@
+// Figure 14 — impact of the table entry size on PIR latency/throughput,
+// with and without DPF (x) mat-mul operator fusion (1M-entry table).
+#include <cstdio>
+
+#include "src/common/table_printer.h"
+#include "src/gpusim/cost_model.h"
+#include "src/kernels/strategy.h"
+
+using namespace gpudpf;
+
+int main() {
+    std::printf("=== Figure 14: entry size x operator fusion (L=1M, batch 512) ===\n\n");
+    const GpuCostModel model;
+    TablePrinter table({"entry (B)", "fused lat (ms)", "unfused lat (ms)",
+                        "fused QPS", "unfused QPS", "fusion speedup"});
+    for (std::size_t entry = 64; entry <= 4096; entry *= 2) {
+        StrategyConfig config;
+        config.kind = StrategyKind::kMemBoundTree;
+        config.log_domain = 20;
+        config.num_entries = 1 << 20;
+        config.entry_bytes = entry;
+        config.prf = PrfKind::kAes128;
+        config.batch = 512;
+        config.chunk_k = 128;
+        config.fuse = true;
+        const auto fused = model.Estimate(MakeStrategy(config)->Analyze());
+        config.fuse = false;
+        const auto unfused = model.Estimate(MakeStrategy(config)->Analyze());
+        table.AddRow({std::to_string(entry),
+                      TablePrinter::Num(fused.latency_sec * 1e3, 1),
+                      TablePrinter::Num(unfused.latency_sec * 1e3, 1),
+                      TablePrinter::Num(fused.throughput_qps, 0),
+                      TablePrinter::Num(unfused.throughput_qps, 0),
+                      TablePrinter::Num(unfused.latency_sec /
+                                            fused.latency_sec,
+                                        2) + "x"});
+    }
+    table.Print();
+    std::printf(
+        "\nShape check vs paper: entries below ~512 B barely degrade "
+        "performance with fusion (memory traffic hides behind PRF "
+        "compute); fusion yields >1.5x once entries grow; the sublinear "
+        "degradation with entry size is what makes co-location "
+        "profitable (Section 4.2).\n");
+    return 0;
+}

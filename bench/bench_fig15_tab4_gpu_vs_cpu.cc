@@ -1,0 +1,127 @@
+// Figure 15 + Table 4 — GPU DPF acceleration vs the optimized CPU baseline
+// (single-threaded and 32-threaded), AES-128 PRF, 2048-bit entries.
+// Also prints the paper's "Bytes" column (serialized DPF key size) and the
+// Section 3.2.7 multi-GPU scaling appendix.
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/common/table_printer.h"
+#include "src/dpf/dpf.h"
+#include "src/gpusim/cost_model.h"
+#include "src/kernels/scheduler.h"
+#include "src/kernels/strategy.h"
+
+using namespace gpudpf;
+
+int main() {
+    std::printf("=== Table 4 / Figure 15: GPU vs CPU DPF-PIR ===\n");
+    std::printf("entry 2048 bits, AES-128 (CPU baseline uses AES-NI-class rates)\n\n");
+    const GpuCostModel gpu_model;
+    const CpuCostModel cpu_model;
+    const KernelScheduler scheduler(gpu_model);
+    Rng rng(1);
+
+    TablePrinter table({"entries", "key bytes", "strategy", "QPS",
+                        "latency (ms)", "speedup vs CPU-32"});
+    for (const int n : {14, 20, 22}) {
+        const std::uint64_t L = std::uint64_t{1} << n;
+        // Key size: serialize a real key.
+        const Dpf dpf(DpfParams{n, PrfKind::kAes128, 1});
+        auto [k0, k1] = dpf.GenIndicator(1, rng);
+        const std::size_t key_bytes = k0.SerializedSize();
+
+        // GPU: scheduler-chosen configuration (all optimizations).
+        const auto decision =
+            scheduler.Plan(n, L, 256, PrfKind::kAes128, 0.5);
+        const auto gpu = decision.estimate;
+
+        // CPU baseline: one full-domain evaluation per query.
+        StrategyConfig cpu_config;
+        cpu_config.kind = StrategyKind::kCpuSequential;
+        cpu_config.log_domain = n;
+        cpu_config.num_entries = L;
+        cpu_config.entry_bytes = 256;
+        cpu_config.prf = PrfKind::kAes128;
+        const auto cpu_report = MakeStrategy(cpu_config)->Analyze();
+        const auto cpu1 = cpu_model.Estimate(
+            PrfKind::kAes128, cpu_report.metrics.prf_expansions,
+            cpu_report.metrics.mac128_ops, 1, 1);
+        const auto cpu32 = cpu_model.Estimate(
+            PrfKind::kAes128, cpu_report.metrics.prf_expansions,
+            cpu_report.metrics.mac128_ops, 1, 32);
+
+        const std::string size_label =
+            n == 14 ? "16K" : (n == 20 ? "1M" : "4M");
+        table.AddRow({size_label, std::to_string(key_bytes),
+                      std::string("GPU (") +
+                          StrategyKindName(decision.config.kind) + ", b=" +
+                          std::to_string(decision.config.batch) + ")",
+                      TablePrinter::Num(gpu.throughput_qps, 0),
+                      TablePrinter::Num(gpu.latency_sec * 1e3, 2),
+                      TablePrinter::Num(gpu.throughput_qps /
+                                            cpu32.throughput_qps,
+                                        1) + "x"});
+        table.AddRow({size_label, std::to_string(key_bytes), "CPU 1-thread",
+                      TablePrinter::Num(cpu1.throughput_qps, 2),
+                      TablePrinter::Num(cpu1.latency_sec * 1e3, 1), "-"});
+        table.AddRow({size_label, std::to_string(key_bytes), "CPU 32-thread",
+                      TablePrinter::Num(cpu32.throughput_qps, 1),
+                      TablePrinter::Num(cpu32.latency_sec * 1e3, 2), "1.0x"});
+    }
+    table.Print();
+
+    std::printf("\n=== Figure 15: GPU throughput across table sizes ===\n\n");
+    TablePrinter fig15({"entries", "GPU kq/s", "CPU-32 kq/s", "CPU-1 kq/s",
+                        "GPU/CPU-32"});
+    for (int n = 12; n <= 24; n += 2) {
+        const std::uint64_t L = std::uint64_t{1} << n;
+        const auto decision =
+            scheduler.Plan(n, L, 256, PrfKind::kAes128, 1.0);
+        StrategyConfig cpu_config;
+        cpu_config.kind = StrategyKind::kCpuSequential;
+        cpu_config.log_domain = n;
+        cpu_config.num_entries = L;
+        cpu_config.entry_bytes = 256;
+        cpu_config.prf = PrfKind::kAes128;
+        const auto cpu_report = MakeStrategy(cpu_config)->Analyze();
+        const auto cpu1 = cpu_model.Estimate(
+            PrfKind::kAes128, cpu_report.metrics.prf_expansions,
+            cpu_report.metrics.mac128_ops, 1, 1);
+        const auto cpu32 = cpu_model.Estimate(
+            PrfKind::kAes128, cpu_report.metrics.prf_expansions,
+            cpu_report.metrics.mac128_ops, 1, 32);
+        fig15.AddRow(
+            {"2^" + std::to_string(n),
+             TablePrinter::Num(decision.estimate.throughput_qps / 1e3, 2),
+             TablePrinter::Num(cpu32.throughput_qps / 1e3, 3),
+             TablePrinter::Num(cpu1.throughput_qps / 1e3, 4),
+             TablePrinter::Num(decision.estimate.throughput_qps /
+                                   cpu32.throughput_qps,
+                               1) + "x"});
+    }
+    fig15.Print();
+
+    std::printf("\n=== Section 3.2.7 appendix: multi-GPU scaling (L=2^24) ===\n\n");
+    StrategyConfig config;
+    config.kind = StrategyKind::kMemBoundTree;
+    config.log_domain = 24;
+    config.num_entries = 1ull << 24;
+    config.entry_bytes = 256;
+    config.prf = PrfKind::kAes128;
+    config.batch = 512;
+    const auto report = MakeStrategy(config)->Analyze();
+    TablePrinter multi({"GPUs", "QPS", "scaling"});
+    const double base = gpu_model.Estimate(report).throughput_qps;
+    for (int g : {1, 2, 4, 8}) {
+        const auto est = gpu_model.EstimateMultiGpu(report, g);
+        multi.AddRow({std::to_string(g),
+                      TablePrinter::Num(est.throughput_qps, 0),
+                      TablePrinter::Num(est.throughput_qps / base, 2) + "x"});
+    }
+    multi.Print();
+    std::printf(
+        "\nShape check vs paper (Table 4): GPU sustains >17x the "
+        "32-thread CPU at every size; key bytes grow logarithmically; "
+        "multi-GPU scales linearly (embarrassingly parallel reduction).\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 20 — system throughput vs model quality (AUC) for the Taobao-like
+// recommendation model, batch-PIR vs co-design, two budgets. The paper's
+// takeaway: Taobao's sparse features are a small fraction of its inputs
+// (2.68 lookups/inference), so co-design's quality gains are modest.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+
+using namespace gpudpf;
+using namespace gpudpf::bench;
+
+namespace {
+
+void PrintBudget(const std::vector<SweepPoint>& base,
+                 const std::vector<SweepPoint>& co, double comm_budget,
+                 double lat_budget) {
+    std::printf("--- budget: comm=%.0fKB, lat=%.0fms ---\n",
+                comm_budget / 1e3, lat_budget * 1e3);
+    TablePrinter table({"scheme", "QPS (x1000)", "quality (AUC)",
+                        "retrieval rate"});
+    auto emit = [&](const char* name, const std::vector<SweepPoint>& pts) {
+        for (const auto& p : pts) {
+            if (p.comm_bytes > comm_budget) continue;
+            if (p.gpu_latency_sec > lat_budget) continue;
+            table.AddRow({name, TablePrinter::Num(p.gpu_qps / 1e3, 2),
+                          TablePrinter::Num(p.quality, 5),
+                          TablePrinter::Num(p.retrieved_fraction * 100, 1) +
+                              "%"});
+        }
+    };
+    emit("batch-pir", base);
+    emit("batch-pir w/ co-design", co);
+    table.Print();
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Figure 20: Taobao throughput vs AUC ===\n\n");
+    const RecApp app = BuildTaobaoApp();
+    std::printf("clean AUC: %.4f\n\n", app.clean_quality);
+    const auto quality_fn = app.MakeQualityFn();
+    CodesignEvaluator evaluator(app.emb->vocab(), app.entry_bytes(),
+                                &app.stats, app.eval_wanted, quality_fn,
+                                PrfKind::kChacha20, 256, app.cost_scale);
+    const std::vector<std::uint64_t> q_grid{1, 2, 4};
+    const auto base = evaluator.BaselineFrontier(q_grid);
+    const auto co = evaluator.CodesignFrontier(q_grid);
+
+    PrintBudget(base, co, 100e3, 0.05);
+    PrintBudget(base, co, 300e3, 0.20);
+    std::printf(
+        "Shape check vs paper: AUC differences between schemes are in the "
+        "4th decimal (few lookups per inference, weak sparse-feature "
+        "signal), and absolute QPS is far higher than the other "
+        "applications.\n");
+    return 0;
+}

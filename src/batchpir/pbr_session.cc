@@ -1,0 +1,81 @@
+#include "src/batchpir/pbr_session.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gpudpf {
+
+PbrSession::PbrSession(const Pbr* pbr, PrfKind prf, std::uint64_t client_seed)
+    : pbr_(pbr),
+      bin_dpf_(DpfParams{pbr->bin_log_domain(), prf, 1}),
+      rng_(client_seed) {}
+
+std::size_t PbrSession::Request::UploadBytesPerServer() const {
+    std::size_t total = 0;
+    for (const auto& k : keys_for_server0) total += k.size();
+    return total;
+}
+
+PbrSession::Request PbrSession::BuildRequest(const Pbr::Plan& plan) {
+    if (plan.queries.size() != pbr_->num_bins()) {
+        throw std::invalid_argument("PbrSession: plan/bin count mismatch");
+    }
+    Request req;
+    req.keys_for_server0.reserve(plan.queries.size());
+    req.keys_for_server1.reserve(plan.queries.size());
+    for (const auto& q : plan.queries) {
+        auto [k0, k1] = bin_dpf_.GenIndicator(q.local_index, rng_);
+        req.keys_for_server0.push_back(k0.Serialize());
+        req.keys_for_server1.push_back(k1.Serialize());
+    }
+    return req;
+}
+
+std::vector<PirResponse> PbrSession::Answer(
+    const PirTable& table,
+    const std::vector<std::vector<std::uint8_t>>& keys) const {
+    if (keys.size() != pbr_->num_bins()) {
+        throw std::invalid_argument("PbrSession::Answer: key count mismatch");
+    }
+    const std::size_t w = table.words_per_entry();
+    std::vector<PirResponse> out(keys.size());
+    for (std::uint64_t b = 0; b < keys.size(); ++b) {
+        const DpfKey key = DpfKey::Deserialize(keys[b].data(), keys[b].size());
+        if (key.params.log_domain != pbr_->bin_log_domain()) {
+            throw std::invalid_argument("PbrSession::Answer: bad key domain");
+        }
+        std::vector<u128> shares;
+        bin_dpf_.EvalFullDomain(key, &shares);
+        PirResponse resp(w, 0);
+        const std::uint64_t base = b * pbr_->bin_size();
+        const std::uint64_t entries = pbr_->BinEntries(b);
+        for (std::uint64_t j = 0; j < entries; ++j) {
+            const u128 v = shares[j];
+            const u128* row = table.Entry(base + j);
+            for (std::size_t k = 0; k < w; ++k) resp[k] += v * row[k];
+        }
+        out[b] = std::move(resp);
+    }
+    return out;
+}
+
+std::vector<std::vector<std::uint8_t>> PbrSession::Reconstruct(
+    const std::vector<PirResponse>& r0, const std::vector<PirResponse>& r1,
+    std::size_t entry_bytes) const {
+    if (r0.size() != r1.size()) {
+        throw std::invalid_argument("PbrSession::Reconstruct: size mismatch");
+    }
+    std::vector<std::vector<std::uint8_t>> out(r0.size());
+    for (std::size_t b = 0; b < r0.size(); ++b) {
+        std::vector<u128> sum(r0[b].size());
+        for (std::size_t k = 0; k < sum.size(); ++k) {
+            sum[k] = r0[b][k] + r1[b][k];
+        }
+        out[b].resize(entry_bytes);
+        std::memcpy(out[b].data(), sum.data(),
+                    std::min(entry_bytes, sum.size() * 16));
+    }
+    return out;
+}
+
+}  // namespace gpudpf

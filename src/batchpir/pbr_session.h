@@ -1,0 +1,52 @@
+// Executable two-server PBR session: builds per-bin DPF keys on the client,
+// answers them against bin-sliced views of the table on the servers, and
+// reconstructs the retrieved entries. This is the reference (correctness)
+// path; throughput projections use the kernel strategies + cost model over
+// the Pbr accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/batchpir/pbr.h"
+#include "src/common/rng.h"
+#include "src/dpf/dpf.h"
+#include "src/pir/protocol.h"
+#include "src/pir/table.h"
+
+namespace gpudpf {
+
+class PbrSession {
+  public:
+    PbrSession(const Pbr* pbr, PrfKind prf, std::uint64_t client_seed = 1);
+
+    // One serialized DPF key per bin, per server.
+    struct Request {
+        std::vector<std::vector<std::uint8_t>> keys_for_server0;
+        std::vector<std::vector<std::uint8_t>> keys_for_server1;
+
+        std::size_t UploadBytesPerServer() const;
+    };
+
+    // Client: keys for every bin query in the plan (real and dummy alike).
+    Request BuildRequest(const Pbr::Plan& plan);
+
+    // Server: evaluates each bin key against the bin's slice of `table`;
+    // returns one entry share per bin.
+    std::vector<PirResponse> Answer(
+        const PirTable& table,
+        const std::vector<std::vector<std::uint8_t>>& keys) const;
+
+    // Client: combines both servers' per-bin shares into entry bytes
+    // (index-aligned with the plan's queries).
+    std::vector<std::vector<std::uint8_t>> Reconstruct(
+        const std::vector<PirResponse>& r0, const std::vector<PirResponse>& r1,
+        std::size_t entry_bytes) const;
+
+  private:
+    const Pbr* pbr_;
+    Dpf bin_dpf_;
+    Rng rng_;
+};
+
+}  // namespace gpudpf

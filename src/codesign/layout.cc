@@ -1,0 +1,59 @@
+#include "src/codesign/layout.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gpudpf {
+
+EmbeddingLayout::EmbeddingLayout(std::uint64_t vocab, const AccessStats& stats,
+                                 const CodesignConfig& config)
+    : vocab_(vocab), config_(config) {
+    if (stats.freq.size() != vocab) {
+        throw std::invalid_argument("EmbeddingLayout: stats/vocab mismatch");
+    }
+    if (config_.hot_size > vocab) {
+        throw std::invalid_argument("EmbeddingLayout: hot table too large");
+    }
+
+    if (config_.hot_size > 0) {
+        std::vector<std::uint64_t> order(vocab);
+        std::iota(order.begin(), order.end(), 0);
+        std::partial_sort(order.begin(), order.begin() + config_.hot_size,
+                          order.end(),
+                          [&](std::uint64_t a, std::uint64_t b) {
+                              return stats.freq[a] > stats.freq[b];
+                          });
+        hot_contents_.assign(order.begin(), order.begin() + config_.hot_size);
+        hot_slot_.reserve(hot_contents_.size());
+        for (std::uint64_t s = 0; s < hot_contents_.size(); ++s) {
+            hot_slot_[hot_contents_[s]] = s;
+        }
+    }
+
+    if (config_.colocate_c > 0) {
+        partners_.resize(vocab);
+        for (std::uint64_t i = 0; i < vocab; ++i) {
+            const auto& p = stats.partners.size() > i ? stats.partners[i]
+                                                      : empty_;
+            const std::size_t keep = std::min<std::size_t>(
+                p.size(), static_cast<std::size_t>(config_.colocate_c));
+            partners_[i].assign(p.begin(), p.begin() + keep);
+        }
+    }
+}
+
+bool EmbeddingLayout::HotSlot(std::uint64_t index, std::uint64_t* slot) const {
+    const auto it = hot_slot_.find(index);
+    if (it == hot_slot_.end()) return false;
+    *slot = it->second;
+    return true;
+}
+
+const std::vector<std::uint32_t>& EmbeddingLayout::Partners(
+    std::uint64_t index) const {
+    if (partners_.empty()) return empty_;
+    return partners_[index];
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,85 @@
+// PIR+ML co-design table layout (paper Section 4.2, Figure 10b/10c):
+//
+//   * Frequency-based hot-table split: the top-H most-accessed indices get
+//     a second, small table; queries hitting it pay the small-table PIR
+//     cost. A client-side map provides the hot slot for an index.
+//   * Access-pattern-aware co-location: each row additionally carries the
+//     C embeddings most frequently co-accessed with its owner, so one
+//     retrieval can cover up to C+1 wanted lookups.
+//
+// Both structures are built offline from training-split access statistics,
+// matching the paper's preprocessing phase.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/workloads/dataset.h"
+
+namespace gpudpf {
+
+struct CodesignConfig {
+    // Entries in the hot table; 0 disables the split.
+    std::uint64_t hot_size = 0;
+    // Co-located partners per row; 0 disables co-location.
+    int colocate_c = 0;
+    // Fixed per-inference query budgets (= PBR bin counts). Issuing exactly
+    // this many queries per inference — real or dummy — is what removes the
+    // query-count side channel (Section 4.2).
+    std::uint64_t q_hot = 0;
+    std::uint64_t q_full = 1;
+    // Batch-code replication of the full table (paper reference [51]):
+    // each index is reachable through `full_replicas` independent bin
+    // assignments (replica 0 contiguous, others hashed), multiplying the
+    // full-table computation and communication by r while sharply cutting
+    // bin-collision drops. Plain batch-PIR uses r >= 1 to buy quality with
+    // compute; the co-design typically stays at r = 1 because the hot
+    // table absorbs collisions more cheaply.
+    int full_replicas = 1;
+    // Per-query mode: q_full independent full-domain DPF queries instead of
+    // PBR bins ("simple DPF-PIR only retrieves one entry at a time",
+    // Section 4). No bin collisions — every served lookup costs a whole
+    // table scan. This is the expensive end of the baseline's
+    // quality-compute tradeoff.
+    bool per_query = false;
+};
+
+class EmbeddingLayout {
+  public:
+    EmbeddingLayout(std::uint64_t vocab, const AccessStats& stats,
+                    const CodesignConfig& config);
+
+    std::uint64_t vocab() const { return vocab_; }
+    const CodesignConfig& config() const { return config_; }
+
+    bool has_hot_table() const { return !hot_contents_.empty(); }
+    std::uint64_t hot_size() const { return hot_contents_.size(); }
+    // Hot-slot lookup: returns true and sets *slot if `index` is hot.
+    bool HotSlot(std::uint64_t index, std::uint64_t* slot) const;
+    // Hot slot -> global index.
+    std::uint64_t HotContent(std::uint64_t slot) const {
+        return hot_contents_[slot];
+    }
+
+    // Global indices co-located in `index`'s row (at most colocate_c).
+    const std::vector<std::uint32_t>& Partners(std::uint64_t index) const;
+
+    // Width multiplier of each physical row: 1 + colocate_c.
+    int RowSlots() const { return 1 + config_.colocate_c; }
+
+    // Bytes per physical row for a given base entry size.
+    std::size_t RowBytes(std::size_t base_entry_bytes) const {
+        return base_entry_bytes * static_cast<std::size_t>(RowSlots());
+    }
+
+  private:
+    std::uint64_t vocab_;
+    CodesignConfig config_;
+    std::vector<std::uint64_t> hot_contents_;           // slot -> index
+    std::unordered_map<std::uint64_t, std::uint64_t> hot_slot_;  // index->slot
+    std::vector<std::vector<std::uint32_t>> partners_;  // index -> partners
+    std::vector<std::uint32_t> empty_;
+};
+
+}  // namespace gpudpf

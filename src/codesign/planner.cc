@@ -1,0 +1,124 @@
+#include "src/codesign/planner.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/crypto/siphash.h"
+
+namespace gpudpf {
+
+QueryPlanner::QueryPlanner(const EmbeddingLayout* layout, const Pbr* hot_pbr,
+                           const Pbr* full_pbr, int full_replicas)
+    : layout_(layout),
+      hot_pbr_(hot_pbr),
+      full_pbr_(full_pbr),
+      full_replicas_(full_replicas < 1 ? 1 : full_replicas) {
+    if (layout_->has_hot_table() != (hot_pbr_ != nullptr)) {
+        throw std::invalid_argument("QueryPlanner: hot PBR/layout mismatch");
+    }
+    if (hot_pbr_ != nullptr &&
+        hot_pbr_->num_entries() != layout_->hot_size()) {
+        throw std::invalid_argument("QueryPlanner: hot PBR size mismatch");
+    }
+    if (full_pbr_->num_entries() != layout_->vocab()) {
+        throw std::invalid_argument("QueryPlanner: full PBR size mismatch");
+    }
+}
+
+std::uint64_t QueryPlanner::ReplicaBin(int r, std::uint64_t index) const {
+    if (r == 0) return full_pbr_->BinOf(index);
+    // Salted keyed hash spreads each index independently per replica.
+    const u128 h = SipHashPrf(MakeU128(0x7265706cu, static_cast<std::uint64_t>(r)),
+                              static_cast<u128>(index));
+    return Lo64(h) % full_pbr_->num_bins();
+}
+
+InferencePlan QueryPlanner::Plan(const std::vector<std::uint64_t>& wanted,
+                                 Rng& rng) const {
+    InferencePlan plan;
+    plan.retrieved.assign(wanted.size(), false);
+
+    // Positions of each wanted index, for partner-coverage marking.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> positions;
+    for (std::size_t i = 0; i < wanted.size(); ++i) {
+        positions[wanted[i]].push_back(i);
+    }
+
+    std::vector<bool> hot_bin_used(
+        hot_pbr_ != nullptr ? hot_pbr_->num_bins() : 0, false);
+    // One bin-occupancy vector per full-table replica.
+    std::vector<std::vector<bool>> full_bin_used(
+        full_replicas_, std::vector<bool>(full_pbr_->num_bins(), false));
+    std::vector<std::uint64_t> hot_fetch;   // local (slot) indices
+    std::vector<std::uint64_t> full_fetch;  // global indices (replica 0)
+
+    auto cover = [&](std::uint64_t index) {
+        const auto it = positions.find(index);
+        if (it == positions.end()) return;
+        for (const std::size_t pos : it->second) plan.retrieved[pos] = true;
+    };
+    auto cover_row = [&](std::uint64_t index) {
+        cover(index);
+        for (const std::uint32_t p : layout_->Partners(index)) cover(p);
+    };
+
+    for (std::size_t i = 0; i < wanted.size(); ++i) {
+        if (plan.retrieved[i]) continue;  // already covered (dup or partner)
+        const std::uint64_t idx = wanted[i];
+        if (idx >= layout_->vocab()) {
+            throw std::invalid_argument("QueryPlanner: index out of range");
+        }
+        // Preferred placement: hot table if the index is hot.
+        std::uint64_t slot = 0;
+        if (hot_pbr_ != nullptr && layout_->HotSlot(idx, &slot)) {
+            const std::uint64_t bin = hot_pbr_->BinOf(slot);
+            if (!hot_bin_used[bin]) {
+                hot_bin_used[bin] = true;
+                hot_fetch.push_back(slot);
+                cover_row(idx);
+                continue;
+            }
+        }
+        // Fall back to the full table (every index lives there too); try
+        // each batch-code replica's bin in turn.
+        bool served = false;
+        for (int r = 0; r < full_replicas_ && !served; ++r) {
+            const std::uint64_t bin = ReplicaBin(r, idx);
+            if (full_bin_used[r][bin]) continue;
+            full_bin_used[r][bin] = true;
+            if (r == 0) full_fetch.push_back(idx);
+            cover_row(idx);
+            served = true;
+        }
+        if (!served) ++plan.num_dropped;
+    }
+
+    // Materialize the fixed-shape PBR plans (dummies pad unused bins).
+    if (hot_pbr_ != nullptr) {
+        plan.hot_plan = hot_pbr_->PlanBatch(hot_fetch, rng);
+    }
+    plan.full_plan = full_pbr_->PlanBatch(full_fetch, rng);
+    return plan;
+}
+
+std::size_t QueryPlanner::UploadBytesPerServer() const {
+    std::size_t total =
+        full_pbr_->UploadBytesPerServer() * full_replicas_;
+    if (hot_pbr_ != nullptr) total += hot_pbr_->UploadBytesPerServer();
+    return total;
+}
+
+std::size_t QueryPlanner::DownloadBytes(std::size_t base_entry_bytes) const {
+    const std::size_t row = layout_->RowBytes(base_entry_bytes);
+    std::size_t total = full_pbr_->DownloadBytes(row) * full_replicas_;
+    if (hot_pbr_ != nullptr) total += hot_pbr_->DownloadBytes(row);
+    return total;
+}
+
+std::uint64_t QueryPlanner::PrfExpansionsPerInference() const {
+    std::uint64_t total = full_pbr_->PrfExpansions() * full_replicas_;
+    if (hot_pbr_ != nullptr) total += hot_pbr_->PrfExpansions();
+    return total;
+}
+
+}  // namespace gpudpf

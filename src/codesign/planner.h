@@ -1,0 +1,66 @@
+// Oblivious per-inference query planner (paper Section 4.2).
+//
+// For one inference's wanted lookups, decides which physical rows to fetch
+// from the hot and full tables through their PBR instances, under the fixed
+// (Q_hot, Q_full) budgets. The number of queries issued to each table is
+// ALWAYS exactly the budget (dummies fill unused bins), so the server
+// observes a data-independent request shape. Wanted lookups that lose a bin
+// collision or exceed the budget are dropped; co-located partners of a
+// fetched row are covered for free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/batchpir/pbr.h"
+#include "src/codesign/layout.h"
+#include "src/common/rng.h"
+
+namespace gpudpf {
+
+struct InferencePlan {
+    // Aligned with the wanted vector: whether each lookup is served.
+    std::vector<bool> retrieved;
+    // PBR plans actually issued (hot plan is empty if no hot table; the
+    // materialized full plan covers replica 0 — hashed replicas are
+    // accounted in the cost functions and the retrieved flags).
+    Pbr::Plan hot_plan;
+    Pbr::Plan full_plan;
+    std::size_t num_dropped = 0;
+
+    double RetrievedFraction() const {
+        if (retrieved.empty()) return 1.0;
+        std::size_t n = 0;
+        for (const bool r : retrieved) n += r ? 1 : 0;
+        return static_cast<double>(n) / static_cast<double>(retrieved.size());
+    }
+};
+
+class QueryPlanner {
+  public:
+    // `hot_pbr` may be null when the layout has no hot table.
+    // `full_replicas` >= 1 enables batch-code replication of the full
+    // table (see CodesignConfig::full_replicas).
+    QueryPlanner(const EmbeddingLayout* layout, const Pbr* hot_pbr,
+                 const Pbr* full_pbr, int full_replicas = 1);
+
+    InferencePlan Plan(const std::vector<std::uint64_t>& wanted,
+                       Rng& rng) const;
+
+    // Fixed per-inference costs (independent of the wanted set — that is
+    // the point of the oblivious design).
+    std::size_t UploadBytesPerServer() const;
+    std::size_t DownloadBytes(std::size_t base_entry_bytes) const;
+    std::uint64_t PrfExpansionsPerInference() const;
+
+  private:
+    // Bin of `index` in replica `r` (0 = contiguous, >0 = salted hash).
+    std::uint64_t ReplicaBin(int r, std::uint64_t index) const;
+
+    const EmbeddingLayout* layout_;
+    const Pbr* hot_pbr_;
+    const Pbr* full_pbr_;
+    int full_replicas_;
+};
+
+}  // namespace gpudpf

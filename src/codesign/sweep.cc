@@ -1,0 +1,259 @@
+#include "src/codesign/sweep.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/kernels/strategy.h"
+
+namespace gpudpf {
+
+CodesignEvaluator::CodesignEvaluator(
+    std::uint64_t vocab, std::size_t base_entry_bytes,
+    const AccessStats* stats,
+    std::vector<std::vector<std::uint64_t>> wanted_lists, QualityFn quality_fn,
+    PrfKind prf, std::uint64_t inference_batch, std::uint64_t cost_scale)
+    : vocab_(vocab),
+      base_entry_bytes_(base_entry_bytes),
+      stats_(stats),
+      wanted_lists_(std::move(wanted_lists)),
+      quality_fn_(std::move(quality_fn)),
+      prf_(prf),
+      inference_batch_(inference_batch),
+      cost_scale_(cost_scale == 0 ? 1 : cost_scale) {}
+
+namespace {
+
+// Modeled GPU time for serving `batch` PBR bin-queries against one table.
+double TableGpuLatency(const GpuCostModel& model, const Pbr& pbr,
+                       std::size_t row_bytes, PrfKind prf,
+                       std::uint64_t inference_batch) {
+    StrategyConfig config;
+    config.kind = StrategyKind::kMemBoundTree;
+    config.log_domain = pbr.bin_log_domain();
+    config.num_entries = std::max<std::uint64_t>(1, pbr.bin_size());
+    config.entry_bytes = row_bytes;
+    config.prf = prf;
+    config.batch = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(inference_batch * pbr.num_bins(), 1u << 20));
+    config.chunk_k = std::min<std::uint64_t>(128, config.num_entries);
+    config.fuse = true;
+    const PerfEstimate est = model.Estimate(MakeStrategy(config)->Analyze());
+    // Scale back if the batch was clamped.
+    const double scale =
+        static_cast<double>(inference_batch) * pbr.num_bins() / config.batch;
+    return (est.latency_sec - est.overhead_sec) * scale + est.overhead_sec;
+}
+
+}  // namespace
+
+SweepPoint CodesignEvaluator::Evaluate(const CodesignConfig& config) const {
+    if (config.per_query) return EvaluatePerQuery(config);
+    SweepPoint point;
+    point.config = config;
+
+    const EmbeddingLayout layout(vocab_, *stats_, config);
+    std::unique_ptr<Pbr> hot_pbr;
+    if (config.hot_size > 0) {
+        const std::uint64_t bin =
+            (config.hot_size + config.q_hot - 1) / std::max<std::uint64_t>(
+                                                        1, config.q_hot);
+        hot_pbr = std::make_unique<Pbr>(config.hot_size,
+                                        std::max<std::uint64_t>(1, bin));
+    }
+    const std::uint64_t full_bin =
+        (vocab_ + config.q_full - 1) / std::max<std::uint64_t>(1,
+                                                               config.q_full);
+    const Pbr full_pbr(vocab_, std::max<std::uint64_t>(1, full_bin));
+    const QueryPlanner planner(&layout, hot_pbr.get(), &full_pbr,
+                               config.full_replicas);
+
+    // Replay the planner over the held-out inferences.
+    Rng rng(97);
+    std::vector<std::vector<bool>> masks;
+    masks.reserve(wanted_lists_.size());
+    double retrieved = 0;
+    double total = 0;
+    for (const auto& wanted : wanted_lists_) {
+        InferencePlan plan = planner.Plan(wanted, rng);
+        for (const bool r : plan.retrieved) {
+            retrieved += r ? 1 : 0;
+            total += 1;
+        }
+        masks.push_back(std::move(plan.retrieved));
+    }
+    point.retrieved_fraction = total > 0 ? retrieved / total : 1.0;
+    point.quality = quality_fn_(masks);
+
+    // Cost accounting at paper scale: same bin counts, cost_scale x the
+    // entries per bin (see the cost_scale comment in sweep.h).
+    const Pbr cost_full_pbr(vocab_ * cost_scale_,
+                            full_pbr.bin_size() * cost_scale_);
+    std::unique_ptr<Pbr> cost_hot_pbr;
+    if (hot_pbr != nullptr) {
+        cost_hot_pbr = std::make_unique<Pbr>(
+            config.hot_size * cost_scale_, hot_pbr->bin_size() * cost_scale_);
+    }
+
+    // Exact per-inference costs (replicas multiply the full-table share).
+    const int replicas = std::max(1, config.full_replicas);
+    point.prf_per_inference = static_cast<double>(
+        cost_full_pbr.PrfExpansions() * replicas +
+        (cost_hot_pbr ? cost_hot_pbr->PrfExpansions() : 0));
+    const std::size_t row_bytes = layout.RowBytes(base_entry_bytes_);
+    point.upload_bytes = static_cast<double>(
+        cost_full_pbr.UploadBytesPerServer() * replicas +
+        (cost_hot_pbr ? cost_hot_pbr->UploadBytesPerServer() : 0));
+    point.download_bytes = static_cast<double>(
+        cost_full_pbr.DownloadBytes(row_bytes) * replicas +
+        (cost_hot_pbr ? cost_hot_pbr->DownloadBytes(row_bytes) : 0));
+    point.comm_bytes = point.upload_bytes + point.download_bytes;
+
+    // Modeled server performance.
+    double latency = replicas * TableGpuLatency(gpu_model_, cost_full_pbr,
+                                                row_bytes, prf_,
+                                                inference_batch_);
+    if (cost_hot_pbr != nullptr) {
+        latency += TableGpuLatency(gpu_model_, *cost_hot_pbr, row_bytes,
+                                   prf_, inference_batch_);
+    }
+    point.gpu_latency_sec = latency;
+    point.gpu_qps =
+        latency > 0 ? static_cast<double>(inference_batch_) / latency : 0;
+
+    const std::uint64_t row_words = (row_bytes + 15) / 16;
+    const std::uint64_t macs =
+        (vocab_ * replicas +
+         (hot_pbr != nullptr ? config.hot_size : 0)) *
+        cost_scale_ * row_words;
+    const PerfEstimate cpu = cpu_model_.Estimate(
+        prf_,
+        static_cast<std::uint64_t>(point.prf_per_inference) *
+            inference_batch_,
+        macs * inference_batch_, inference_batch_, 32);
+    point.cpu_qps = cpu.throughput_qps;
+    return point;
+}
+
+SweepPoint CodesignEvaluator::EvaluatePerQuery(
+    const CodesignConfig& config) const {
+    SweepPoint point;
+    point.config = config;
+
+    // Serve the first Q_full distinct lookups of each inference, each with
+    // its own full-domain DPF; everything beyond the budget is dropped.
+    std::vector<std::vector<bool>> masks;
+    masks.reserve(wanted_lists_.size());
+    double retrieved = 0;
+    double total = 0;
+    for (const auto& wanted : wanted_lists_) {
+        std::vector<bool> mask(wanted.size(), false);
+        std::unordered_map<std::uint64_t, bool> served;
+        std::uint64_t used = 0;
+        for (std::size_t i = 0; i < wanted.size(); ++i) {
+            const auto it = served.find(wanted[i]);
+            if (it != served.end()) {
+                mask[i] = it->second;
+                continue;
+            }
+            const bool ok = used < config.q_full;
+            if (ok) ++used;
+            served[wanted[i]] = ok;
+            mask[i] = ok;
+        }
+        for (const bool b : mask) {
+            retrieved += b ? 1 : 0;
+            total += 1;
+        }
+        masks.push_back(std::move(mask));
+    }
+    point.retrieved_fraction = total > 0 ? retrieved / total : 1.0;
+    point.quality = quality_fn_(masks);
+
+    // Costs: Q_full full-table scans per inference at paper scale.
+    const std::uint64_t cost_vocab = vocab_ * cost_scale_;
+    int log_domain = 1;
+    while ((std::uint64_t{1} << log_domain) < cost_vocab) ++log_domain;
+    const Pbr whole(cost_vocab, cost_vocab);  // one bin = the whole table
+    point.prf_per_inference =
+        static_cast<double>(config.q_full * whole.PrfExpansions());
+    const std::size_t row_bytes = base_entry_bytes_;
+    point.upload_bytes =
+        static_cast<double>(config.q_full * whole.UploadBytesPerServer());
+    point.download_bytes =
+        static_cast<double>(config.q_full * whole.DownloadBytes(row_bytes));
+    point.comm_bytes = point.upload_bytes + point.download_bytes;
+
+    const double latency =
+        config.q_full *
+        TableGpuLatency(gpu_model_, whole, row_bytes, prf_, inference_batch_);
+    point.gpu_latency_sec = latency;
+    point.gpu_qps =
+        latency > 0 ? static_cast<double>(inference_batch_) / latency : 0;
+
+    const std::uint64_t row_words = (row_bytes + 15) / 16;
+    const PerfEstimate cpu = cpu_model_.Estimate(
+        prf_,
+        static_cast<std::uint64_t>(point.prf_per_inference) *
+            inference_batch_,
+        config.q_full * cost_vocab * row_words * inference_batch_,
+        inference_batch_, 32);
+    point.cpu_qps = cpu.throughput_qps;
+    return point;
+}
+
+std::vector<SweepPoint> CodesignEvaluator::BaselineFrontier(
+    const std::vector<std::uint64_t>& q_full_grid) const {
+    std::vector<SweepPoint> points;
+    // Plain batch-PIR buys retrieval quality with batch-code replication
+    // (r full-table scans per inference) and/or more bins.
+    for (const int replicas : {1, 2, 4}) {
+        for (const std::uint64_t q : q_full_grid) {
+            CodesignConfig config;
+            config.hot_size = 0;
+            config.colocate_c = 0;
+            config.q_hot = 0;
+            config.q_full = q;
+            config.full_replicas = replicas;
+            points.push_back(Evaluate(config));
+        }
+    }
+    // The expensive end: one full-domain DPF per lookup (no drops until
+    // the query budget runs out).
+    for (const std::uint64_t q : q_full_grid) {
+        CodesignConfig config;
+        config.per_query = true;
+        config.q_full = q;
+        points.push_back(Evaluate(config));
+    }
+    return points;
+}
+
+std::vector<SweepPoint> CodesignEvaluator::CodesignFrontier(
+    const std::vector<std::uint64_t>& q_full_grid) const {
+    std::vector<SweepPoint> points;
+    // Hot fraction 10-20% and C in 1..4, per the paper's reported sweet
+    // spots (Section 4.2, "Co-design Parameter Selection"); replication
+    // stays available as a last resort for very tight quality targets.
+    const std::uint64_t hot_sizes[] = {vocab_ / 10, vocab_ / 5};
+    const int cs[] = {1, 2, 4};
+    for (const std::uint64_t q : q_full_grid) {
+        for (const std::uint64_t hot : hot_sizes) {
+            for (const int c : cs) {
+                for (const int replicas : {1, 2}) {
+                    CodesignConfig config;
+                    config.hot_size = std::max<std::uint64_t>(1, hot);
+                    config.colocate_c = c;
+                    // Hot queries are cheap; give the hot table 4x the
+                    // full-table budget.
+                    config.q_hot = std::max<std::uint64_t>(1, 4 * q);
+                    config.q_full = q;
+                    config.full_replicas = replicas;
+                    points.push_back(Evaluate(config));
+                }
+            }
+        }
+    }
+    return points;
+}
+
+}  // namespace gpudpf

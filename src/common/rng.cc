@@ -1,0 +1,88 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace gpudpf {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : s_) s = SplitMix64(x);
+}
+
+std::uint64_t Rng::Next64() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+}
+
+u128 Rng::Next128() { return MakeU128(Next64(), Next64()); }
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = Next64();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+double Rng::UniformDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Normal() {
+    if (has_spare_normal_) {
+        has_spare_normal_ = false;
+        return spare_normal_;
+    }
+    double u;
+    double v;
+    double s;
+    do {
+        u = 2.0 * UniformDouble() - 1.0;
+        v = 2.0 * UniformDouble() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_normal_ = v * mul;
+    has_spare_normal_ = true;
+    return u * mul;
+}
+
+void Rng::FillBytes(std::uint8_t* out, std::size_t n) {
+    std::size_t i = 0;
+    while (i + 8 <= n) {
+        std::uint64_t r = Next64();
+        for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(r >> (8 * b));
+    }
+    if (i < n) {
+        std::uint64_t r = Next64();
+        while (i < n) {
+            out[i++] = static_cast<std::uint8_t>(r);
+            r >>= 8;
+        }
+    }
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation for experiments.
+//
+// All stochastic components (workload generators, model initialization,
+// client key randomness in tests) draw from this xoshiro256** generator so
+// experiments are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/u128.h"
+
+namespace gpudpf {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+// seeded via splitmix64.
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    // Next raw 64 random bits.
+    std::uint64_t Next64();
+
+    // Next 128 random bits (e.g. a fresh DPF seed).
+    u128 Next128();
+
+    // Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t UniformInt(std::uint64_t bound);
+
+    // Uniform double in [0, 1).
+    double UniformDouble();
+
+    // Standard normal via Box-Muller (used by ML weight init).
+    double Normal();
+
+    // Fills a byte buffer with random bytes.
+    void FillBytes(std::uint8_t* out, std::size_t n);
+
+    // Fisher-Yates shuffle of a vector.
+    template <typename T>
+    void Shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = UniformInt(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s_[4];
+    bool has_spare_normal_ = false;
+    double spare_normal_ = 0.0;
+};
+
+}  // namespace gpudpf

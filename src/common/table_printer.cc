@@ -1,0 +1,53 @@
+#include "src/common/table_printer.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gpudpf {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+    if (row.size() != headers_.size()) {
+        throw std::invalid_argument("TablePrinter: row arity mismatch");
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string TablePrinter::ToString() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+    emit(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+    }
+    os << "-|\n";
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+}  // namespace gpudpf

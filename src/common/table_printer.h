@@ -1,0 +1,31 @@
+// Aligned plain-text table output used by every bench binary to print the
+// paper's tables/figure series in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gpudpf {
+
+class TablePrinter {
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    // Adds a row; must have the same arity as the header.
+    void AddRow(std::vector<std::string> row);
+
+    // Convenience: formats doubles with the given precision.
+    static std::string Num(double v, int precision = 2);
+
+    // Renders with column alignment and a header separator.
+    std::string ToString() const;
+
+    // Renders to stdout.
+    void Print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpudpf

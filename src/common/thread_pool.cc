@@ -1,0 +1,84 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace gpudpf {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    task_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        tasks_.push(std::move(fn));
+        ++in_flight_;
+    }
+    task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t max_parallelism) {
+    if (begin >= end) return;
+    std::size_t width = max_parallelism == 0 ? thread_count() : max_parallelism;
+    width = std::min(width, end - begin);
+    if (width <= 1) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+        return;
+    }
+    const std::size_t n = end - begin;
+    const std::size_t chunk = (n + width - 1) / width;
+    for (std::size_t w = 0; w < width; ++w) {
+        const std::size_t lo = begin + w * chunk;
+        const std::size_t hi = std::min(end, lo + chunk);
+        if (lo >= hi) break;
+        Submit([lo, hi, &fn] {
+            for (std::size_t i = lo; i < hi; ++i) fn(i);
+        });
+    }
+    Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (--in_flight_ == 0) done_cv_.notify_all();
+        }
+    }
+}
+
+ThreadPool& ThreadPool::Shared() {
+    static ThreadPool pool;
+    return pool;
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,56 @@
+// Work-sharing thread pool.
+//
+// Backs both the simulated-GPU block scheduler (each thread block becomes a
+// pool task) and the multi-threaded CPU DPF baseline.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gpudpf {
+
+class ThreadPool {
+  public:
+    // Creates a pool with `threads` workers (0 = hardware concurrency).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t thread_count() const { return workers_.size(); }
+
+    // Enqueues a task; tasks may not block on other pool tasks.
+    void Submit(std::function<void()> fn);
+
+    // Blocks until every submitted task has finished.
+    void Wait();
+
+    // Runs fn(i) for i in [begin, end), split into contiguous chunks across
+    // up to max_parallelism workers (0 = all workers), and waits.
+    void ParallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)>& fn,
+                     std::size_t max_parallelism = 0);
+
+    // Process-wide shared pool sized to the host.
+    static ThreadPool& Shared();
+
+  private:
+    void WorkerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mu_;
+    std::condition_variable task_cv_;
+    std::condition_variable done_cv_;
+    std::size_t in_flight_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace gpudpf

@@ -1,0 +1,25 @@
+// Wall-clock timer for host-side measurements.
+#pragma once
+
+#include <chrono>
+
+namespace gpudpf {
+
+class Timer {
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    void Reset() { start_ = Clock::now(); }
+
+    double ElapsedSeconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace gpudpf

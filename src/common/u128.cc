@@ -1,0 +1,15 @@
+#include "src/common/u128.h"
+
+namespace gpudpf {
+
+std::string ToHex(u128 v) {
+    static const char* kDigits = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 31; i >= 0; --i) {
+        out[i] = kDigits[static_cast<unsigned>(v & 0xf)];
+        v >>= 4;
+    }
+    return out;
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,33 @@
+#include "src/common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gpudpf {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) : exponent_(exponent) {
+    if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        acc += std::pow(static_cast<double>(k + 1), -exponent);
+        cdf_[k] = acc;
+    }
+    const double inv = 1.0 / acc;
+    for (auto& c : cdf_) c *= inv;
+    cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+    const double u = rng.UniformDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(std::size_t k) const {
+    if (k >= cdf_.size()) return 0.0;
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,34 @@
+// Zipf-distributed index sampler.
+//
+// Embedding-table accesses in recommendation and language workloads follow a
+// power law (paper Section 4.2, [41, 99]); the hot-table co-design exploits
+// exactly this skew. This sampler materializes the CDF once and samples by
+// binary search, which is fast enough for million-entry vocabularies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace gpudpf {
+
+class ZipfSampler {
+  public:
+    // Distribution over [0, n) with P(k) proportional to 1/(k+1)^exponent.
+    ZipfSampler(std::size_t n, double exponent);
+
+    std::size_t Sample(Rng& rng) const;
+
+    // Probability mass of index k.
+    double Pmf(std::size_t k) const;
+
+    std::size_t size() const { return cdf_.size(); }
+    double exponent() const { return exponent_; }
+
+  private:
+    std::vector<double> cdf_;
+    double exponent_;
+};
+
+}  // namespace gpudpf

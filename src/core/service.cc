@@ -1,0 +1,194 @@
+#include "src/core/service.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/kernels/strategy.h"
+
+namespace gpudpf {
+namespace {
+
+std::uint64_t FullBinSize(std::uint64_t vocab, std::uint64_t q_full) {
+    const std::uint64_t q = std::max<std::uint64_t>(1, q_full);
+    return std::max<std::uint64_t>(1, (vocab + q - 1) / q);
+}
+
+std::uint64_t HotBinSize(std::uint64_t hot, std::uint64_t q_hot) {
+    const std::uint64_t q = std::max<std::uint64_t>(1, q_hot);
+    return std::max<std::uint64_t>(1, (hot + q - 1) / q);
+}
+
+// Modeled single-batch GPU latency for answering one table's bin queries.
+double ServerPirLatency(const Pbr& pbr, std::size_t row_bytes, PrfKind prf) {
+    StrategyConfig config;
+    config.kind = StrategyKind::kMemBoundTree;
+    config.log_domain = pbr.bin_log_domain();
+    config.num_entries = pbr.bin_size();
+    config.entry_bytes = row_bytes;
+    config.prf = prf;
+    config.batch = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(pbr.num_bins(), 1u << 16));
+    config.chunk_k = std::min<std::uint64_t>(128, config.num_entries);
+    static const GpuCostModel model;
+    return model.Estimate(MakeStrategy(config)->Analyze()).latency_sec;
+}
+
+}  // namespace
+
+PrivateEmbeddingService::PrivateEmbeddingService(
+    const EmbeddingTable& embeddings, const AccessStats& stats,
+    const ServiceConfig& config)
+    : config_(config),
+      dim_(embeddings.dim()),
+      base_entry_bytes_(static_cast<std::size_t>(embeddings.dim()) *
+                        sizeof(float)),
+      layout_(embeddings.vocab(), stats, config.codesign),
+      full_pbr_(embeddings.vocab(),
+                FullBinSize(embeddings.vocab(), config.codesign.q_full)),
+      hot_pbr_(config.codesign.hot_size > 0
+                   ? std::make_unique<Pbr>(
+                         config.codesign.hot_size,
+                         HotBinSize(config.codesign.hot_size,
+                                    config.codesign.q_hot))
+                   : nullptr),
+      planner_(&layout_, hot_pbr_.get(), &full_pbr_),
+      full_table_(BuildPhysicalTable(
+          embeddings, [&] {
+              std::vector<std::uint64_t> owners(embeddings.vocab());
+              for (std::uint64_t i = 0; i < embeddings.vocab(); ++i) {
+                  owners[i] = i;
+              }
+              return owners;
+          }())),
+      client_(this) {
+    if (hot_pbr_ != nullptr) {
+        std::vector<std::uint64_t> owners(layout_.hot_size());
+        for (std::uint64_t s = 0; s < layout_.hot_size(); ++s) {
+            owners[s] = layout_.HotContent(s);
+        }
+        hot_table_ =
+            std::make_unique<PirTable>(BuildPhysicalTable(embeddings, owners));
+    }
+}
+
+PirTable PrivateEmbeddingService::BuildPhysicalTable(
+    const EmbeddingTable& embeddings,
+    const std::vector<std::uint64_t>& owners) const {
+    const std::size_t row_bytes = layout_.RowBytes(base_entry_bytes_);
+    PirTable table(owners.size(), row_bytes);
+    std::vector<std::uint8_t> row(row_bytes, 0);
+    for (std::uint64_t r = 0; r < owners.size(); ++r) {
+        std::fill(row.begin(), row.end(), 0);
+        const std::uint64_t owner = owners[r];
+        std::memcpy(row.data(), embeddings.Row(owner), base_entry_bytes_);
+        const auto& partners = layout_.Partners(owner);
+        for (std::size_t j = 0; j < partners.size(); ++j) {
+            std::memcpy(row.data() + (j + 1) * base_entry_bytes_,
+                        embeddings.Row(partners[j]), base_entry_bytes_);
+        }
+        table.SetEntry(r, row.data(), row.size());
+    }
+    return table;
+}
+
+PrivateEmbeddingService::Client::Client(PrivateEmbeddingService* service)
+    : service_(service),
+      rng_(service->config_.client_seed),
+      full_session_(&service->full_pbr_, service->config_.prf,
+                    service->config_.client_seed + 1) {
+    if (service_->hot_pbr_ != nullptr) {
+        hot_session_ = std::make_unique<PbrSession>(
+            service_->hot_pbr_.get(), service_->config_.prf,
+            service_->config_.client_seed + 2);
+    }
+}
+
+PrivateEmbeddingService::LookupResult
+PrivateEmbeddingService::Client::Lookup(
+    const std::vector<std::uint64_t>& wanted) {
+    const auto& layout = service_->layout_;
+    const std::size_t base = service_->base_entry_bytes_;
+    const int dim = service_->dim_;
+
+    LookupResult result;
+    const InferencePlan plan = service_->planner_.Plan(wanted, rng_);
+    result.retrieved = plan.retrieved;
+    result.embeddings.assign(wanted.size(), std::vector<float>(dim, 0.0f));
+
+    // Positions served per owner index.
+    auto deliver_row = [&](std::uint64_t owner,
+                           const std::vector<std::uint8_t>& row) {
+        auto copy_slot = [&](std::uint64_t index, std::size_t slot) {
+            for (std::size_t i = 0; i < wanted.size(); ++i) {
+                if (wanted[i] != index || !plan.retrieved[i]) continue;
+                std::memcpy(result.embeddings[i].data(),
+                            row.data() + slot * base, base);
+            }
+        };
+        copy_slot(owner, 0);
+        const auto& partners = layout.Partners(owner);
+        for (std::size_t j = 0; j < partners.size(); ++j) {
+            copy_slot(partners[j], j + 1);
+        }
+    };
+
+    // Full-table round trip.
+    {
+        PbrSession::Request req = full_session_.BuildRequest(plan.full_plan);
+        result.upload_bytes += req.UploadBytesPerServer();
+        const auto r0 =
+            full_session_.Answer(service_->full_table_, req.keys_for_server0);
+        const auto r1 =
+            full_session_.Answer(service_->full_table_, req.keys_for_server1);
+        const auto rows = full_session_.Reconstruct(
+            r0, r1, layout.RowBytes(base));
+        result.download_bytes +=
+            service_->full_pbr_.DownloadBytes(layout.RowBytes(base));
+        for (std::size_t b = 0; b < plan.full_plan.queries.size(); ++b) {
+            const auto& q = plan.full_plan.queries[b];
+            if (q.real) deliver_row(q.global_index, rows[b]);
+        }
+    }
+    // Hot-table round trip.
+    if (hot_session_ != nullptr) {
+        PbrSession::Request req = hot_session_->BuildRequest(plan.hot_plan);
+        result.upload_bytes += req.UploadBytesPerServer();
+        const auto r0 =
+            hot_session_->Answer(*service_->hot_table_, req.keys_for_server0);
+        const auto r1 =
+            hot_session_->Answer(*service_->hot_table_, req.keys_for_server1);
+        const auto rows =
+            hot_session_->Reconstruct(r0, r1, layout.RowBytes(base));
+        result.download_bytes +=
+            service_->hot_pbr_->DownloadBytes(layout.RowBytes(base));
+        for (std::size_t b = 0; b < plan.hot_plan.queries.size(); ++b) {
+            const auto& q = plan.hot_plan.queries[b];
+            if (q.real) {
+                deliver_row(layout.HotContent(q.global_index), rows[b]);
+            }
+        }
+    }
+
+    // Latency breakdown (Figure 12 composition).
+    const auto& cfg = service_->config_;
+    std::uint64_t keys = service_->full_pbr_.num_bins();
+    double gen = KeyGenLatency(cfg.client_device, keys,
+                               service_->full_pbr_.bin_log_domain());
+    double pir = ServerPirLatency(service_->full_pbr_,
+                                  layout.RowBytes(base), cfg.prf);
+    if (service_->hot_pbr_ != nullptr) {
+        gen += KeyGenLatency(cfg.client_device,
+                             service_->hot_pbr_->num_bins(),
+                             service_->hot_pbr_->bin_log_domain());
+        pir += ServerPirLatency(*service_->hot_pbr_, layout.RowBytes(base),
+                                cfg.prf);
+    }
+    result.latency.gen_sec = gen;
+    result.latency.pir_sec = pir;
+    result.latency.network_sec = NetworkLatency(
+        cfg.network, result.upload_bytes, result.download_bytes);
+    result.latency.dnn_sec = DnnLatency(cfg.client_device, cfg.dnn_flops);
+    return result;
+}
+
+}  // namespace gpudpf

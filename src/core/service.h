@@ -1,0 +1,104 @@
+// Public end-to-end API: private embedding serving for on-device ML
+// (the system of paper Figure 1b).
+//
+// A PrivateEmbeddingService owns the server-side state: the physical full
+// (and optional hot) PIR tables laid out by the co-design layer, replicated
+// across two non-colluding logical servers. Its Client runs on the user
+// device: it plans an oblivious query set for each inference, generates DPF
+// keys, contacts both servers, reconstructs the embeddings, and reports the
+// exact communication plus a modeled end-to-end latency breakdown.
+//
+// Quickstart (see examples/quickstart.cc):
+//   EmbeddingTable emb(...);              // the model's embedding weights
+//   AccessStats stats = ...;              // from the training trace
+//   ServiceConfig config;                 // PRF, co-design parameters
+//   PrivateEmbeddingService service(emb, stats, config);
+//   auto result = service.client().Lookup({idx0, idx1, ...});
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/batchpir/pbr.h"
+#include "src/batchpir/pbr_session.h"
+#include "src/codesign/layout.h"
+#include "src/codesign/planner.h"
+#include "src/ml/embedding.h"
+#include "src/net/comm_model.h"
+#include "src/pir/table.h"
+#include "src/workloads/dataset.h"
+
+namespace gpudpf {
+
+struct ServiceConfig {
+    PrfKind prf = PrfKind::kChacha20;
+    CodesignConfig codesign;
+    std::uint64_t client_seed = 1;
+    NetworkSpec network = NetworkSpec::FourG();
+    ClientDeviceSpec client_device = ClientDeviceSpec::CoreI3();
+    // FLOPs of the on-device model, for the latency breakdown.
+    std::uint64_t dnn_flops = 0;
+};
+
+class PrivateEmbeddingService {
+  public:
+    PrivateEmbeddingService(const EmbeddingTable& embeddings,
+                            const AccessStats& stats,
+                            const ServiceConfig& config);
+
+    struct LookupResult {
+        // Aligned with the wanted vector.
+        std::vector<bool> retrieved;
+        // Embedding vectors (zero-filled when dropped).
+        std::vector<std::vector<float>> embeddings;
+        // Exact communication, one server.
+        std::size_t upload_bytes = 0;
+        std::size_t download_bytes = 0;
+        // Modeled end-to-end latency (Gen / PIR / network / DNN).
+        LatencyBreakdown latency;
+    };
+
+    class Client {
+      public:
+        explicit Client(PrivateEmbeddingService* service);
+        LookupResult Lookup(const std::vector<std::uint64_t>& wanted);
+
+      private:
+        PrivateEmbeddingService* service_;
+        Rng rng_;
+        PbrSession full_session_;
+        std::unique_ptr<PbrSession> hot_session_;
+    };
+
+    Client& client() { return client_; }
+    const EmbeddingLayout& layout() const { return layout_; }
+    const Pbr& full_pbr() const { return full_pbr_; }
+    const Pbr* hot_pbr() const { return hot_pbr_.get(); }
+    const QueryPlanner& planner() const { return planner_; }
+    const ServiceConfig& config() const { return config_; }
+    int dim() const { return dim_; }
+
+  private:
+    friend class Client;
+
+    // Builds a physical PIR table with co-located rows for the given row
+    // owners (identity for the full table, hot contents for the hot table).
+    PirTable BuildPhysicalTable(const EmbeddingTable& embeddings,
+                                const std::vector<std::uint64_t>& owners) const;
+
+    ServiceConfig config_;
+    int dim_;
+    std::size_t base_entry_bytes_;
+    EmbeddingLayout layout_;
+    Pbr full_pbr_;
+    std::unique_ptr<Pbr> hot_pbr_;
+    QueryPlanner planner_;
+    // Tables are logically replicated on two non-colluding servers; both
+    // "servers" answer from the same in-process copy here.
+    PirTable full_table_;
+    std::unique_ptr<PirTable> hot_table_;
+    Client client_;
+};
+
+}  // namespace gpudpf

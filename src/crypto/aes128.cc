@@ -1,0 +1,144 @@
+#include "src/crypto/aes128.h"
+
+#include <mutex>
+
+namespace gpudpf {
+namespace {
+
+// FIPS-197 S-box.
+const std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+const std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                0x20, 0x40, 0x80, 0x1b, 0x36};
+
+// Encryption T-tables, generated once from the S-box.
+std::uint32_t g_te[4][256];
+std::once_flag g_te_once;
+
+std::uint8_t XTime(std::uint8_t x) {
+    return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+void InitTables() {
+    for (int i = 0; i < 256; ++i) {
+        const std::uint8_t s = kSbox[i];
+        const std::uint8_t s2 = XTime(s);
+        const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+        // Column (2s, s, s, 3s) in big-endian word order.
+        const std::uint32_t t = (static_cast<std::uint32_t>(s2) << 24) |
+                                (static_cast<std::uint32_t>(s) << 16) |
+                                (static_cast<std::uint32_t>(s) << 8) |
+                                static_cast<std::uint32_t>(s3);
+        g_te[0][i] = t;
+        g_te[1][i] = (t >> 8) | (t << 24);
+        g_te[2][i] = (t >> 16) | (t << 16);
+        g_te[3][i] = (t >> 24) | (t << 8);
+    }
+}
+
+std::uint32_t SubWord(std::uint32_t w) {
+    return (static_cast<std::uint32_t>(kSbox[(w >> 24) & 0xff]) << 24) |
+           (static_cast<std::uint32_t>(kSbox[(w >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(kSbox[(w >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(kSbox[w & 0xff]);
+}
+
+std::uint32_t RotWord(std::uint32_t w) { return (w << 8) | (w >> 24); }
+
+}  // namespace
+
+Aes128::Aes128(u128 key) {
+    std::call_once(g_te_once, InitTables);
+    // FIPS-197 interprets the key as 16 big-endian bytes; we map the u128's
+    // most significant byte to key byte 0.
+    std::uint8_t kb[16];
+    for (int i = 0; i < 16; ++i) {
+        kb[i] = static_cast<std::uint8_t>(key >> (8 * (15 - i)));
+    }
+    for (int i = 0; i < 4; ++i) {
+        round_keys_[i] = (static_cast<std::uint32_t>(kb[4 * i]) << 24) |
+                         (static_cast<std::uint32_t>(kb[4 * i + 1]) << 16) |
+                         (static_cast<std::uint32_t>(kb[4 * i + 2]) << 8) |
+                         static_cast<std::uint32_t>(kb[4 * i + 3]);
+    }
+    for (int i = 4; i < 44; ++i) {
+        std::uint32_t temp = round_keys_[i - 1];
+        if (i % 4 == 0) {
+            temp = SubWord(RotWord(temp)) ^
+                   (static_cast<std::uint32_t>(kRcon[i / 4 - 1]) << 24);
+        }
+        round_keys_[i] = round_keys_[i - 4] ^ temp;
+    }
+}
+
+u128 Aes128::EncryptBlock(u128 plaintext) const {
+    // Load state as 4 big-endian words.
+    std::uint32_t s0 = static_cast<std::uint32_t>(plaintext >> 96) ^ round_keys_[0];
+    std::uint32_t s1 = static_cast<std::uint32_t>(plaintext >> 64) ^ round_keys_[1];
+    std::uint32_t s2 = static_cast<std::uint32_t>(plaintext >> 32) ^ round_keys_[2];
+    std::uint32_t s3 = static_cast<std::uint32_t>(plaintext) ^ round_keys_[3];
+
+    std::uint32_t t0;
+    std::uint32_t t1;
+    std::uint32_t t2;
+    std::uint32_t t3;
+    for (int round = 1; round < 10; ++round) {
+        t0 = g_te[0][(s0 >> 24) & 0xff] ^ g_te[1][(s1 >> 16) & 0xff] ^
+             g_te[2][(s2 >> 8) & 0xff] ^ g_te[3][s3 & 0xff] ^
+             round_keys_[4 * round];
+        t1 = g_te[0][(s1 >> 24) & 0xff] ^ g_te[1][(s2 >> 16) & 0xff] ^
+             g_te[2][(s3 >> 8) & 0xff] ^ g_te[3][s0 & 0xff] ^
+             round_keys_[4 * round + 1];
+        t2 = g_te[0][(s2 >> 24) & 0xff] ^ g_te[1][(s3 >> 16) & 0xff] ^
+             g_te[2][(s0 >> 8) & 0xff] ^ g_te[3][s1 & 0xff] ^
+             round_keys_[4 * round + 2];
+        t3 = g_te[0][(s3 >> 24) & 0xff] ^ g_te[1][(s0 >> 16) & 0xff] ^
+             g_te[2][(s1 >> 8) & 0xff] ^ g_te[3][s2 & 0xff] ^
+             round_keys_[4 * round + 3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+    auto final_word = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                          std::uint32_t d, std::uint32_t rk) {
+        return ((static_cast<std::uint32_t>(kSbox[(a >> 24) & 0xff]) << 24) |
+                (static_cast<std::uint32_t>(kSbox[(b >> 16) & 0xff]) << 16) |
+                (static_cast<std::uint32_t>(kSbox[(c >> 8) & 0xff]) << 8) |
+                static_cast<std::uint32_t>(kSbox[d & 0xff])) ^
+               rk;
+    };
+    const std::uint32_t o0 = final_word(s0, s1, s2, s3, round_keys_[40]);
+    const std::uint32_t o1 = final_word(s1, s2, s3, s0, round_keys_[41]);
+    const std::uint32_t o2 = final_word(s2, s3, s0, s1, round_keys_[42]);
+    const std::uint32_t o3 = final_word(s3, s0, s1, s2, round_keys_[43]);
+
+    return (static_cast<u128>(o0) << 96) | (static_cast<u128>(o1) << 64) |
+           (static_cast<u128>(o2) << 32) | static_cast<u128>(o3);
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,33 @@
+// AES-128 block cipher (encrypt-only), table-based software implementation.
+//
+// The DPF pseudorandom generator uses AES in a fixed-key Matyas-Meyer-Oseas
+// construction (AES_k(x) ^ x), matching the CPU baseline's use of AES-NI
+// (paper Section 3.2.6). This implementation is validated against the
+// FIPS-197 test vectors. It is NOT constant-time; see DESIGN.md security
+// caveat.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/u128.h"
+
+namespace gpudpf {
+
+class Aes128 {
+  public:
+    // Expands the 128-bit key into the 11 round keys.
+    explicit Aes128(u128 key);
+
+    // Encrypts one 16-byte block.
+    u128 EncryptBlock(u128 plaintext) const;
+
+    // Fixed-key MMO compression: AES_k(x) ^ x. One-way even given k.
+    u128 Mmo(u128 x) const { return EncryptBlock(x) ^ x; }
+
+  private:
+    // Round keys as 4 big-endian words per round.
+    std::array<std::uint32_t, 44> round_keys_;
+};
+
+}  // namespace gpudpf

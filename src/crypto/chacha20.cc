@@ -1,0 +1,46 @@
+#include "src/crypto/chacha20.h"
+
+namespace gpudpf {
+namespace {
+
+inline std::uint32_t Rotl32(std::uint32_t x, int k) {
+    return (x << k) | (x >> (32 - k));
+}
+
+inline void QuarterRound(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                         std::uint32_t& d) {
+    a += b; d ^= a; d = Rotl32(d, 16);
+    c += d; b ^= c; b = Rotl32(b, 12);
+    a += b; d ^= a; d = Rotl32(d, 8);
+    c += d; b ^= c; b = Rotl32(b, 7);
+}
+
+}  // namespace
+
+void Chacha20Block(const std::uint32_t key[8], std::uint32_t counter,
+                   const std::uint32_t nonce[3], std::uint32_t out[16]) {
+    // "expand 32-byte k"
+    std::uint32_t state[16] = {0x61707865u, 0x3320646eu, 0x79622d32u,
+                               0x6b206574u, key[0],      key[1],
+                               key[2],      key[3],      key[4],
+                               key[5],      key[6],      key[7],
+                               counter,     nonce[0],    nonce[1],
+                               nonce[2]};
+    std::uint32_t x[16];
+    for (int i = 0; i < 16; ++i) x[i] = state[i];
+    for (int i = 0; i < 10; ++i) {
+        // Column rounds.
+        QuarterRound(x[0], x[4], x[8], x[12]);
+        QuarterRound(x[1], x[5], x[9], x[13]);
+        QuarterRound(x[2], x[6], x[10], x[14]);
+        QuarterRound(x[3], x[7], x[11], x[15]);
+        // Diagonal rounds.
+        QuarterRound(x[0], x[5], x[10], x[15]);
+        QuarterRound(x[1], x[6], x[11], x[12]);
+        QuarterRound(x[2], x[7], x[8], x[13]);
+        QuarterRound(x[3], x[4], x[9], x[14]);
+    }
+    for (int i = 0; i < 16; ++i) out[i] = x[i] + state[i];
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,33 @@
+// ChaCha20 stream cipher block function (RFC 8439).
+//
+// ChaCha20 is the paper's best-performing standard PRF on GPU (Table 5): it
+// is ARX-only, which maps well to integer ALUs without AES hardware. One
+// block call yields 512 bits, so a single call expands a DPF node into both
+// children.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gpudpf {
+
+// Computes one ChaCha20 block: 16 output words from a 256-bit key, 32-bit
+// counter and 96-bit nonce (RFC 8439 section 2.3).
+void Chacha20Block(const std::uint32_t key[8], std::uint32_t counter,
+                   const std::uint32_t nonce[3], std::uint32_t out[16]);
+
+// Convenience wrapper holding a key.
+class Chacha20 {
+  public:
+    explicit Chacha20(const std::array<std::uint32_t, 8>& key) : key_(key) {}
+
+    void Block(std::uint32_t counter, const std::uint32_t nonce[3],
+               std::uint32_t out[16]) const {
+        Chacha20Block(key_.data(), counter, nonce, out);
+    }
+
+  private:
+    std::array<std::uint32_t, 8> key_;
+};
+
+}  // namespace gpudpf

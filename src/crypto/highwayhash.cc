@@ -1,0 +1,65 @@
+#include "src/crypto/highwayhash.h"
+
+namespace gpudpf {
+namespace {
+
+// Zipper-merge style byte permutation (interleaves high and low bytes of a
+// lane so multiply diffusion reaches every byte).
+std::uint64_t ZipperMerge(std::uint64_t v) {
+    std::uint64_t out = 0;
+    // Byte permutation (destination byte i takes source byte kPerm[i]).
+    static const int kPerm[8] = {3, 6, 2, 4, 1, 7, 0, 5};
+    for (int i = 0; i < 8; ++i) {
+        const std::uint64_t byte = (v >> (8 * kPerm[i])) & 0xff;
+        out |= byte << (8 * i);
+    }
+    return out;
+}
+
+struct HhState {
+    std::uint64_t v0[2];
+    std::uint64_t v1[2];
+    std::uint64_t mul0[2];
+    std::uint64_t mul1[2];
+
+    void Update(std::uint64_t lane0, std::uint64_t lane1) {
+        const std::uint64_t in[2] = {lane0, lane1};
+        for (int i = 0; i < 2; ++i) {
+            v1[i] += mul0[i] + in[i];
+            mul0[i] ^= (v1[i] & 0xffffffffull) * (v0[i] >> 32);
+            v0[i] += mul1[i];
+            mul1[i] ^= (v0[i] & 0xffffffffull) * (v1[i] >> 32);
+        }
+        v0[0] += ZipperMerge(v1[0]);
+        v0[1] += ZipperMerge(v1[1]);
+        v1[0] += ZipperMerge(v0[0]);
+        v1[1] += ZipperMerge(v0[1]);
+    }
+};
+
+}  // namespace
+
+u128 HighwayHashPrf(u128 key, u128 x) {
+    // Initialization constants from the HighwayHash reference (sqrt digits).
+    HhState s;
+    s.v0[0] = 0xdbe6d5d5fe4cce2full ^ Lo64(key);
+    s.v0[1] = 0xa4093822299f31d0ull ^ Hi64(key);
+    s.v1[0] = 0x13198a2e03707344ull ^ (Lo64(key) << 32 | Lo64(key) >> 32);
+    s.v1[1] = 0x243f6a8885a308d3ull ^ (Hi64(key) << 32 | Hi64(key) >> 32);
+    s.mul0[0] = 0x3bd39e10cb0ef593ull;
+    s.mul0[1] = 0xc0acf169b5f18a8cull;
+    s.mul1[0] = 0xbe5466cf34e90c6cull;
+    s.mul1[1] = 0x452821e638d01377ull;
+
+    s.Update(Lo64(x), Hi64(x));
+    // Finalization: 4 permute-and-update rounds as in the reference.
+    for (int round = 0; round < 4; ++round) {
+        const std::uint64_t p0 = (s.v0[1] >> 32) | (s.v0[1] << 32);
+        const std::uint64_t p1 = (s.v0[0] >> 32) | (s.v0[0] << 32);
+        s.Update(p0, p1);
+    }
+    return MakeU128(s.v0[1] + s.mul0[1] + s.v1[1] + s.mul1[1],
+                    s.v0[0] + s.mul0[0] + s.v1[0] + s.mul1[0]);
+}
+
+}  // namespace gpudpf

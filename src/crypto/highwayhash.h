@@ -1,0 +1,21 @@
+// HighwayHash-style keyed mixing PRF.
+//
+// The paper's Table 5 includes HighwayHash as a fast non-standard PRF
+// option. This is a faithful scalar implementation of the HighwayHash
+// round structure (4x64-bit lane state, multiply-and-zipper-merge updates)
+// but it is NOT bit-compatible with the SIMD reference implementation; it
+// is used here as a representative "HighwayHash-class" PRF whose cost
+// profile (multiplications + permutes, no table lookups) matches the
+// original. Determinism/avalanche properties are covered by tests.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/u128.h"
+
+namespace gpudpf {
+
+// 128-bit-output keyed mix of a 128-bit input block.
+u128 HighwayHashPrf(u128 key, u128 x);
+
+}  // namespace gpudpf

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4) and HMAC-SHA256 (RFC 2104).
+//
+// Used as the hash-based PRF option in the paper's PRF comparison (Table 5,
+// "SHA-256 Hash (HMAC)").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace gpudpf {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+// One-shot SHA-256.
+Sha256Digest Sha256(const std::uint8_t* data, std::size_t len);
+
+// Incremental interface (needed by HMAC and usable standalone).
+class Sha256Ctx {
+  public:
+    Sha256Ctx();
+    void Update(const std::uint8_t* data, std::size_t len);
+    Sha256Digest Finish();
+
+  private:
+    void Compress(const std::uint8_t block[64]);
+
+    std::array<std::uint32_t, 8> state_;
+    std::uint8_t buf_[64];
+    std::size_t buf_len_ = 0;
+    std::uint64_t total_len_ = 0;
+};
+
+// HMAC-SHA256 with an arbitrary-length key.
+Sha256Digest HmacSha256(const std::uint8_t* key, std::size_t key_len,
+                        const std::uint8_t* data, std::size_t len);
+
+}  // namespace gpudpf

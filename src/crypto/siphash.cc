@@ -1,0 +1,91 @@
+#include "src/crypto/siphash.h"
+
+#include <cstring>
+
+namespace gpudpf {
+namespace {
+
+inline std::uint64_t Rotl64(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+struct SipState {
+    std::uint64_t v0, v1, v2, v3;
+
+    void Round() {
+        v0 += v1; v1 = Rotl64(v1, 13); v1 ^= v0; v0 = Rotl64(v0, 32);
+        v2 += v3; v3 = Rotl64(v3, 16); v3 ^= v2;
+        v0 += v3; v3 = Rotl64(v3, 21); v3 ^= v0;
+        v2 += v1; v1 = Rotl64(v1, 17); v1 ^= v2; v2 = Rotl64(v2, 32);
+    }
+};
+
+std::uint64_t ReadLe64(const std::uint8_t* p) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;  // Host is little-endian (x86-64).
+}
+
+// Core SipHash-2-4; if out_hi != nullptr, runs the 128-bit output variant.
+std::uint64_t SipCore(std::uint64_t k0, std::uint64_t k1,
+                      const std::uint8_t* data, std::size_t len,
+                      std::uint64_t* out_hi) {
+    SipState s{0x736f6d6570736575ull ^ k0, 0x646f72616e646f6dull ^ k1,
+               0x6c7967656e657261ull ^ k0, 0x7465646279746573ull ^ k1};
+    if (out_hi != nullptr) s.v1 ^= 0xee;
+
+    const std::size_t end = len & ~static_cast<std::size_t>(7);
+    for (std::size_t i = 0; i < end; i += 8) {
+        const std::uint64_t m = ReadLe64(data + i);
+        s.v3 ^= m;
+        s.Round();
+        s.Round();
+        s.v0 ^= m;
+    }
+    std::uint64_t last = static_cast<std::uint64_t>(len & 0xff) << 56;
+    for (std::size_t i = end; i < len; ++i) {
+        last |= static_cast<std::uint64_t>(data[i]) << (8 * (i - end));
+    }
+    s.v3 ^= last;
+    s.Round();
+    s.Round();
+    s.v0 ^= last;
+
+    s.v2 ^= (out_hi != nullptr) ? 0xee : 0xff;
+    s.Round();
+    s.Round();
+    s.Round();
+    s.Round();
+    const std::uint64_t lo = s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+    if (out_hi != nullptr) {
+        s.v1 ^= 0xdd;
+        s.Round();
+        s.Round();
+        s.Round();
+        s.Round();
+        *out_hi = s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+    }
+    return lo;
+}
+
+}  // namespace
+
+std::uint64_t SipHash24(std::uint64_t k0, std::uint64_t k1,
+                        const std::uint8_t* data, std::size_t len) {
+    return SipCore(k0, k1, data, len, nullptr);
+}
+
+u128 SipHash24_128(std::uint64_t k0, std::uint64_t k1, const std::uint8_t* data,
+                   std::size_t len) {
+    std::uint64_t hi = 0;
+    const std::uint64_t lo = SipCore(k0, k1, data, len, &hi);
+    return MakeU128(hi, lo);
+}
+
+u128 SipHashPrf(u128 key, u128 x) {
+    std::uint8_t msg[16];
+    StoreU128Le(x, msg);
+    return SipHash24_128(Lo64(key), Hi64(key), msg, sizeof(msg));
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,25 @@
+// SipHash-2-4 keyed PRF (Aumasson & Bernstein reference algorithm).
+//
+// The paper reports SipHash as the fastest (but less conservatively
+// analyzed) PRF option on GPU (Table 5 / Section 3.2.6). We provide the
+// 64-bit output variant and the 128-bit variant used for DPF seed expansion.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/u128.h"
+
+namespace gpudpf {
+
+// SipHash-2-4 with 64-bit output over an arbitrary byte message.
+std::uint64_t SipHash24(std::uint64_t k0, std::uint64_t k1,
+                        const std::uint8_t* data, std::size_t len);
+
+// SipHash-2-4 with 128-bit output (the official "SipHash-128" tweak).
+u128 SipHash24_128(std::uint64_t k0, std::uint64_t k1, const std::uint8_t* data,
+                   std::size_t len);
+
+// PRF convenience: 128-bit key, 128-bit input block, 128-bit output.
+u128 SipHashPrf(u128 key, u128 x);
+
+}  // namespace gpudpf

@@ -1,0 +1,253 @@
+#include "src/dpf/dpf.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gpudpf {
+namespace {
+
+// Converts a leaf seed into `n` pseudorandom output words (the "convert"
+// step of the BGI construction). For n == 1 the seed itself is the
+// conversion (it is already a PRG output for every node below the root).
+void Convert(const Prg& prg, u128 seed, u128* out, int n) {
+    if (n == 1) {
+        out[0] = seed;
+        return;
+    }
+    prg.ExpandWide(seed, out, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+std::size_t DpfKey::SerializedSize() const {
+    // Layout: header (party:1, log_domain:1, prf:1, out_words:1) +
+    // root seed (16) + per-level (seed 16 + packed t bits 1) + final CWs.
+    return 4 + 16 + cw.size() * 17 + final_cw.size() * 16;
+}
+
+std::vector<std::uint8_t> DpfKey::Serialize() const {
+    std::vector<std::uint8_t> out;
+    out.reserve(SerializedSize());
+    out.push_back(static_cast<std::uint8_t>(party));
+    out.push_back(static_cast<std::uint8_t>(params.log_domain));
+    out.push_back(static_cast<std::uint8_t>(params.prf));
+    out.push_back(static_cast<std::uint8_t>(params.out_words));
+    std::uint8_t buf[16];
+    StoreU128Le(root_seed, buf);
+    out.insert(out.end(), buf, buf + 16);
+    for (const auto& c : cw) {
+        StoreU128Le(c.seed, buf);
+        out.insert(out.end(), buf, buf + 16);
+        out.push_back(static_cast<std::uint8_t>((c.t_left ? 1 : 0) |
+                                                (c.t_right ? 2 : 0)));
+    }
+    for (const auto& f : final_cw) {
+        StoreU128Le(f, buf);
+        out.insert(out.end(), buf, buf + 16);
+    }
+    return out;
+}
+
+DpfKey DpfKey::Deserialize(const std::uint8_t* data, std::size_t len) {
+    if (len < 20) throw std::invalid_argument("DpfKey: truncated buffer");
+    DpfKey key;
+    key.party = data[0];
+    key.params.log_domain = data[1];
+    key.params.prf = static_cast<PrfKind>(data[2]);
+    key.params.out_words = data[3];
+    const std::size_t expected = 4 + 16 +
+                                 static_cast<std::size_t>(key.params.log_domain) * 17 +
+                                 static_cast<std::size_t>(key.params.out_words) * 16;
+    if (len != expected) throw std::invalid_argument("DpfKey: bad length");
+    std::size_t off = 4;
+    key.root_seed = LoadU128Le(data + off);
+    off += 16;
+    key.cw.resize(key.params.log_domain);
+    for (auto& c : key.cw) {
+        c.seed = LoadU128Le(data + off);
+        off += 16;
+        c.t_left = (data[off] & 1) != 0;
+        c.t_right = (data[off] & 2) != 0;
+        ++off;
+    }
+    key.final_cw.resize(key.params.out_words);
+    for (auto& f : key.final_cw) {
+        f = LoadU128Le(data + off);
+        off += 16;
+    }
+    return key;
+}
+
+Dpf::Dpf(DpfParams params) : params_(params), prg_(params.prf) {
+    if (params_.log_domain < 1 || params_.log_domain > 40) {
+        throw std::invalid_argument("Dpf: log_domain out of range");
+    }
+    if (params_.out_words < 1 || params_.out_words > 255) {
+        throw std::invalid_argument("Dpf: out_words out of range");
+    }
+}
+
+std::pair<DpfKey, DpfKey> Dpf::Gen(std::uint64_t alpha,
+                                   const std::vector<u128>& beta,
+                                   Rng& rng) const {
+    if (alpha >= domain_size()) {
+        throw std::invalid_argument("Dpf::Gen: alpha outside domain");
+    }
+    if (beta.size() != static_cast<std::size_t>(params_.out_words)) {
+        throw std::invalid_argument("Dpf::Gen: beta width mismatch");
+    }
+
+    DpfKey k0;
+    DpfKey k1;
+    k0.party = 0;
+    k1.party = 1;
+    k0.params = k1.params = params_;
+    k0.root_seed = rng.Next128();
+    k1.root_seed = rng.Next128();
+    k0.cw.resize(params_.log_domain);
+    k1.cw.resize(params_.log_domain);
+
+    u128 s0 = k0.root_seed;
+    u128 s1 = k1.root_seed;
+    bool t0 = false;
+    bool t1 = true;
+
+    const int n = params_.log_domain;
+    for (int level = 0; level < n; ++level) {
+        const int bit = static_cast<int>((alpha >> (n - 1 - level)) & 1);
+
+        u128 s0l, s0r, s1l, s1r;
+        prg_.Expand(s0, &s0l, &s0r);
+        prg_.Expand(s1, &s1l, &s1r);
+        const bool t0l = Lsb(s0l), t0r = Lsb(s0r);
+        const bool t1l = Lsb(s1l), t1r = Lsb(s1r);
+        s0l = ClearLsb(s0l); s0r = ClearLsb(s0r);
+        s1l = ClearLsb(s1l); s1r = ClearLsb(s1r);
+
+        // The "lose" child (off the path to alpha) gets seeds that cancel;
+        // the "keep" child stays pseudorandom and diverging.
+        const u128 s_cw = (bit == 0) ? (s0r ^ s1r) : (s0l ^ s1l);
+        const bool t_cw_l = t0l ^ t1l ^ (bit == 1) ^ true;
+        const bool t_cw_r = t0r ^ t1r ^ (bit == 1);
+
+        CorrectionWord cw{s_cw, t_cw_l, t_cw_r};
+        k0.cw[level] = cw;
+        k1.cw[level] = cw;
+
+        const u128 s0_keep = (bit == 0) ? s0l : s0r;
+        const u128 s1_keep = (bit == 0) ? s1l : s1r;
+        const bool t0_keep = (bit == 0) ? t0l : t0r;
+        const bool t1_keep = (bit == 0) ? t1l : t1r;
+        const bool t_cw_keep = (bit == 0) ? t_cw_l : t_cw_r;
+
+        s0 = t0 ? (s0_keep ^ s_cw) : s0_keep;
+        s1 = t1 ? (s1_keep ^ s_cw) : s1_keep;
+        t0 = t0_keep ^ (t0 && t_cw_keep);
+        t1 = t1_keep ^ (t1 && t_cw_keep);
+    }
+
+    // Final output correction words: make the on-path leaf shares sum to
+    // beta. Off-path leaves have identical (s, t) on both sides and cancel.
+    std::vector<u128> conv0(params_.out_words);
+    std::vector<u128> conv1(params_.out_words);
+    Convert(prg_, s0, conv0.data(), params_.out_words);
+    Convert(prg_, s1, conv1.data(), params_.out_words);
+    k0.final_cw.resize(params_.out_words);
+    for (int w = 0; w < params_.out_words; ++w) {
+        u128 cw = beta[w] - conv0[w] + conv1[w];
+        if (t1) cw = static_cast<u128>(0) - cw;  // (-1)^{t1}
+        k0.final_cw[w] = cw;
+    }
+    k1.final_cw = k0.final_cw;
+    return {std::move(k0), std::move(k1)};
+}
+
+std::pair<DpfKey, DpfKey> Dpf::GenIndicator(std::uint64_t alpha,
+                                            Rng& rng) const {
+    std::vector<u128> beta(params_.out_words, 0);
+    beta[0] = 1;
+    return Gen(alpha, beta, rng);
+}
+
+Dpf::Node Dpf::Root(const DpfKey& key) const {
+    return Node{key.root_seed, key.party == 1};
+}
+
+void Dpf::ExpandNode(const DpfKey& key, const Node& parent, int level,
+                     Node* left, Node* right) const {
+    u128 sl, sr;
+    prg_.Expand(parent.seed, &sl, &sr);
+    bool tl = Lsb(sl);
+    bool tr = Lsb(sr);
+    sl = ClearLsb(sl);
+    sr = ClearLsb(sr);
+    if (parent.t) {
+        const CorrectionWord& cw = key.cw[level];
+        sl ^= cw.seed;
+        sr ^= cw.seed;
+        tl ^= cw.t_left;
+        tr ^= cw.t_right;
+    }
+    left->seed = sl;
+    left->t = tl;
+    right->seed = sr;
+    right->t = tr;
+}
+
+void Dpf::Finalize(const DpfKey& key, const Node& leaf, u128* out) const {
+    Convert(prg_, leaf.seed, out, params_.out_words);
+    for (int w = 0; w < params_.out_words; ++w) {
+        if (leaf.t) out[w] += key.final_cw[w];
+        if (key.party == 1) out[w] = static_cast<u128>(0) - out[w];
+    }
+}
+
+void Dpf::EvalPoint(const DpfKey& key, std::uint64_t x, u128* out) const {
+    if (x >= domain_size()) {
+        throw std::invalid_argument("Dpf::EvalPoint: x outside domain");
+    }
+    Node node = Root(key);
+    const int n = params_.log_domain;
+    for (int level = 0; level < n; ++level) {
+        Node left;
+        Node right;
+        ExpandNode(key, node, level, &left, &right);
+        node = ((x >> (n - 1 - level)) & 1) ? right : left;
+    }
+    Finalize(key, node, out);
+}
+
+void Dpf::EvalFullDomain(const DpfKey& key, std::vector<u128>* out) const {
+    const std::uint64_t L = domain_size();
+    const int n = params_.log_domain;
+    const int w = params_.out_words;
+    out->assign(L * static_cast<std::uint64_t>(w), 0);
+
+    // Iterative depth-first traversal with an explicit stack of (node,
+    // level) — O(log L) live state, the sequential analogue of the
+    // memory-bounded GPU traversal.
+    struct Frame {
+        Node node;
+        int level;
+        std::uint64_t index;  // node index within its level
+    };
+    std::vector<Frame> stack;
+    stack.reserve(2 * n + 2);
+    stack.push_back({Root(key), 0, 0});
+    while (!stack.empty()) {
+        Frame f = stack.back();
+        stack.pop_back();
+        if (f.level == n) {
+            Finalize(key, f.node, out->data() + f.index * w);
+            continue;
+        }
+        Node left;
+        Node right;
+        ExpandNode(key, f.node, f.level, &left, &right);
+        // Push right first so leaves are produced left-to-right.
+        stack.push_back({right, f.level + 1, 2 * f.index + 1});
+        stack.push_back({left, f.level + 1, 2 * f.index});
+    }
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,96 @@
+#include "src/gpusim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpudpf {
+
+GpuCostModel::GpuCostModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+double GpuCostModel::RateFactor(std::uint64_t blocks,
+                                std::uint64_t threads_per_block) const {
+    const double block_factor =
+        std::min(1.0, static_cast<double>(blocks) / spec_.sm_count);
+    const double thread_factor = std::min(
+        1.0, static_cast<double>(threads_per_block) / kSaturationThreads);
+    return std::max(1e-6, block_factor * thread_factor);
+}
+
+double GpuCostModel::Utilization(double avg_active_threads) const {
+    const double capacity =
+        static_cast<double>(spec_.sm_count) * spec_.max_threads_per_sm;
+    return std::clamp(avg_active_threads / capacity, 0.0, 1.0);
+}
+
+PerfEstimate GpuCostModel::Estimate(const StrategyReport& report) const {
+    const PrfCostProfile& prf = GetPrfCostProfile(report.prf);
+    const double rate = RateFactor(report.blocks, report.threads_per_block);
+
+    PerfEstimate est;
+    est.utilization = Utilization(report.avg_active_threads);
+    est.compute_sec =
+        static_cast<double>(report.metrics.prf_expansions) /
+            (prf.v100_expands_per_sec * rate) +
+        static_cast<double>(report.metrics.mac128_ops) /
+            (spec_.mac128_per_sec * rate);
+    est.memory_sec = static_cast<double>(report.metrics.global_bytes_read +
+                                         report.metrics.global_bytes_written) /
+                     spec_.mem_bandwidth_bytes_per_sec;
+    est.overhead_sec =
+        static_cast<double>(report.metrics.kernel_launches +
+                            report.metrics.grid_syncs) *
+        spec_.kernel_launch_overhead_sec;
+
+    // Fused kernels overlap table streaming with PRF compute; unfused
+    // pipelines serialize the expansion and mat-mul stages.
+    const double body = report.fused
+                            ? std::max(est.compute_sec, est.memory_sec)
+                            : est.compute_sec + est.memory_sec;
+    est.latency_sec = est.overhead_sec + body;
+    est.throughput_qps =
+        body > 0 ? static_cast<double>(report.batch) / body : 0.0;
+    est.fits_in_memory =
+        report.workspace_bytes + report.table_bytes <= spec_.global_mem_bytes;
+    return est;
+}
+
+PerfEstimate GpuCostModel::EstimateMultiGpu(const StrategyReport& report,
+                                            int n_gpus) const {
+    // Each GPU holds L/n of the table and evaluates the same DPF over its
+    // shard; the final reduction is a w-word add per query (negligible).
+    StrategyReport shard = report;
+    shard.metrics.prf_expansions /= n_gpus;
+    shard.metrics.mac128_ops /= n_gpus;
+    shard.metrics.global_bytes_read /= n_gpus;
+    shard.metrics.global_bytes_written /= n_gpus;
+    shard.table_bytes /= n_gpus;
+    shard.workspace_bytes /= n_gpus;
+    return Estimate(shard);
+}
+
+CpuCostModel::CpuCostModel(CpuSpec spec) : spec_(std::move(spec)) {}
+
+PerfEstimate CpuCostModel::Estimate(PrfKind prf, std::uint64_t prf_expansions,
+                                    std::uint64_t mac128_ops,
+                                    std::uint64_t batch, int threads) const {
+    const PrfCostProfile& profile = GetPrfCostProfile(prf);
+    const double speedup =
+        threads <= 1 ? 1.0
+                     : std::min<double>(threads, spec_.cores) *
+                           spec_.parallel_efficiency;
+    PerfEstimate est;
+    est.compute_sec = static_cast<double>(prf_expansions) /
+                          (profile.xeon_core_expands_per_sec * speedup) +
+                      static_cast<double>(mac128_ops) /
+                          (spec_.mac128_per_core_per_sec * speedup);
+    est.memory_sec = 0.0;  // folded into the calibrated per-core rates
+    est.latency_sec = est.compute_sec;
+    est.throughput_qps = est.compute_sec > 0
+                             ? static_cast<double>(batch) / est.compute_sec
+                             : 0.0;
+    est.utilization =
+        std::min(1.0, static_cast<double>(threads) / spec_.cores);
+    return est;
+}
+
+}  // namespace gpudpf

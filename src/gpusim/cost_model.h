@@ -1,0 +1,95 @@
+// Analytical device cost model.
+//
+// Takes the exactly-counted kernel metrics (PRF expansions, 128-bit MACs,
+// memory traffic, launch structure) plus the execution geometry reported by
+// a strategy, and produces modeled V100 latency/throughput and the
+// occupancy-style utilization metric plotted in the paper's Figures 8b/9.
+//
+// Calibration: per-PRF aggregate expansion rates come from Table 5
+// (see crypto/prf.cc); the saturation model (a block with >=128 resident
+// threads saturates its SM share; >=80 blocks saturate the device) is fit
+// to Table 4's single-query latency column. The CPU model is fit to Table
+// 4's 1-thread/32-thread latency columns. Absolute numbers are a model;
+// every *relative* trend is driven by counted work (see DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/crypto/prf.h"
+#include "src/gpusim/device.h"
+#include "src/gpusim/metrics.h"
+
+namespace gpudpf {
+
+// Execution-shape summary a strategy reports alongside its raw metrics.
+struct StrategyReport {
+    std::string strategy_name;
+    KernelMetrics metrics;
+    PrfKind prf = PrfKind::kAes128;
+    std::uint64_t batch = 1;
+    // Geometry: concurrent blocks and (simulated) threads per block.
+    std::uint64_t blocks = 1;
+    std::uint64_t threads_per_block = 1;
+    // Time-weighted average of simultaneously-active simulated threads.
+    double avg_active_threads = 1.0;
+    // Whether DPF expansion and the table product are fused (overlapped).
+    bool fused = false;
+    // Bytes of resident device state excluding the table (workspace).
+    std::uint64_t workspace_bytes = 0;
+    // Resident table bytes.
+    std::uint64_t table_bytes = 0;
+};
+
+struct PerfEstimate {
+    double latency_sec = 0.0;     // one batch, end to end on the device
+    double throughput_qps = 0.0;  // steady-state queries/sec
+    double utilization = 0.0;     // occupancy metric in [0,1]
+    double compute_sec = 0.0;
+    double memory_sec = 0.0;
+    double overhead_sec = 0.0;
+    bool fits_in_memory = true;
+};
+
+class GpuCostModel {
+  public:
+    explicit GpuCostModel(DeviceSpec spec = DeviceSpec::V100());
+
+    const DeviceSpec& spec() const { return spec_; }
+
+    PerfEstimate Estimate(const StrategyReport& report) const;
+
+    // Fraction of peak device rate achieved with the given geometry.
+    double RateFactor(std::uint64_t blocks, std::uint64_t threads_per_block) const;
+
+    // Occupancy-style utilization (Figures 8b / 9a / 9b).
+    double Utilization(double avg_active_threads) const;
+
+    // Multi-GPU scaling (paper Section 3.2.7): each of n GPUs evaluates the
+    // DPF over L/n indices; returns the modeled speedup factor for the
+    // given report when sharded over n devices.
+    PerfEstimate EstimateMultiGpu(const StrategyReport& report, int n_gpus) const;
+
+  private:
+    DeviceSpec spec_;
+    // Threads per block needed to saturate an SM's share of throughput.
+    static constexpr double kSaturationThreads = 128.0;
+};
+
+class CpuCostModel {
+  public:
+    explicit CpuCostModel(CpuSpec spec = CpuSpec::XeonGold6230());
+
+    const CpuSpec& spec() const { return spec_; }
+
+    // Models a CPU evaluation performing `prf_expansions` + `mac128_ops`
+    // for `batch` queries on `threads` software threads.
+    PerfEstimate Estimate(PrfKind prf, std::uint64_t prf_expansions,
+                          std::uint64_t mac128_ops, std::uint64_t batch,
+                          int threads) const;
+
+  private:
+    CpuSpec spec_;
+};
+
+}  // namespace gpudpf

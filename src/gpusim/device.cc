@@ -1,0 +1,116 @@
+#include "src/gpusim/device.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gpudpf {
+
+DeviceSpec DeviceSpec::V100() {
+    DeviceSpec spec;
+    spec.name = "NVIDIA V100-SXM2-16GB (simulated)";
+    spec.sm_count = 80;
+    spec.max_threads_per_sm = 2048;
+    spec.max_threads_per_block = 1024;
+    spec.global_mem_bytes = 16ull << 30;
+    spec.mem_bandwidth_bytes_per_sec = 900e9;
+    spec.kernel_launch_overhead_sec = 5e-6;
+    // 128x128-bit multiply-accumulate ~ 10 32-bit integer ops; the V100
+    // sustains ~2e12 int32 ops/s, so the table product is normally
+    // memory-bound, not MAC-bound (paper Figure 14's sublinear entry-size
+    // scaling depends on this).
+    spec.mac128_per_sec = 2e11;
+    return spec;
+}
+
+CpuSpec CpuSpec::XeonGold6230() {
+    CpuSpec spec;
+    spec.name = "Intel Xeon Gold 6230 @ 2.10GHz (modeled)";
+    spec.cores = 28;
+    spec.baseline_threads = 32;
+    spec.parallel_efficiency = 0.60;
+    spec.mac128_per_core_per_sec = 2.0e8;
+    return spec;
+}
+
+GpuDevice::GpuDevice(DeviceSpec spec, ThreadPool* pool)
+    : spec_(std::move(spec)),
+      pool_(pool != nullptr ? pool : &ThreadPool::Shared()) {}
+
+void GpuDevice::Alloc(std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_alloc_ += bytes;
+    peak_alloc_ = std::max(peak_alloc_, current_alloc_);
+}
+
+void GpuDevice::Free(std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_alloc_ = bytes > current_alloc_ ? 0 : current_alloc_ - bytes;
+}
+
+void GpuDevice::ResetPeakAlloc() {
+    std::lock_guard<std::mutex> lock(mu_);
+    peak_alloc_ = current_alloc_;
+}
+
+void GpuDevice::Launch(std::uint32_t grid_dim, std::uint32_t block_dim,
+                       const KernelFn& kernel) {
+    std::vector<KernelMetrics> block_metrics(grid_dim);
+    pool_->ParallelFor(0, grid_dim, [&](std::size_t b) {
+        BlockContext ctx;
+        ctx.block_id = static_cast<std::uint32_t>(b);
+        ctx.grid_dim = grid_dim;
+        ctx.block_dim = block_dim;
+        kernel(ctx);
+        block_metrics[b] = ctx.metrics;
+    });
+    KernelMetrics merged;
+    for (const auto& m : block_metrics) merged += m;
+    merged.kernel_launches = 1;
+    merged.blocks_launched = grid_dim;
+    merged.threads_per_block = block_dim;
+    MergeBlockMetrics(merged);
+}
+
+void GpuDevice::LaunchCooperative(std::uint32_t grid_dim,
+                                  std::uint32_t block_dim,
+                                  std::uint32_t phases,
+                                  const CoopKernelFn& kernel) {
+    KernelMetrics merged;
+    for (std::uint32_t phase = 0; phase < phases; ++phase) {
+        std::vector<KernelMetrics> block_metrics(grid_dim);
+        pool_->ParallelFor(0, grid_dim, [&](std::size_t b) {
+            BlockContext ctx;
+            ctx.block_id = static_cast<std::uint32_t>(b);
+            ctx.grid_dim = grid_dim;
+            ctx.block_dim = block_dim;
+            kernel(ctx, phase);
+            block_metrics[b] = ctx.metrics;
+        });
+        for (const auto& m : block_metrics) merged += m;
+        if (phase + 1 < phases) ++merged.grid_syncs;
+    }
+    merged.kernel_launches = 1;  // one cooperative launch
+    merged.blocks_launched = grid_dim;
+    merged.threads_per_block = block_dim;
+    MergeBlockMetrics(merged);
+}
+
+KernelMetrics GpuDevice::ConsumeMetrics() {
+    std::lock_guard<std::mutex> lock(mu_);
+    KernelMetrics out = metrics_;
+    out.peak_device_bytes = std::max<std::uint64_t>(out.peak_device_bytes, peak_alloc_);
+    metrics_ = KernelMetrics{};
+    return out;
+}
+
+void GpuDevice::ResetMetrics() {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = KernelMetrics{};
+}
+
+void GpuDevice::MergeBlockMetrics(const KernelMetrics& m) {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ += m;
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,107 @@
+// Simulated GPU device.
+//
+// Substitution for the paper's V100 (see DESIGN.md section 1): kernels are
+// REAL parallel programs executed block-by-block on a host thread pool;
+// the device object supplies the execution geometry (grid/block), tracks
+// simulated device memory, and accumulates exact operation metrics that
+// drive the analytical cost model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "src/common/thread_pool.h"
+#include "src/gpusim/metrics.h"
+
+namespace gpudpf {
+
+// Static hardware parameters of a modeled device.
+struct DeviceSpec {
+    std::string name;
+    int sm_count = 80;
+    int max_threads_per_sm = 2048;
+    int max_threads_per_block = 1024;
+    std::uint64_t global_mem_bytes = 16ull << 30;
+    double mem_bandwidth_bytes_per_sec = 900e9;
+    double kernel_launch_overhead_sec = 5e-6;
+    // Aggregate 128-bit multiply-accumulate throughput (integer units).
+    double mac128_per_sec = 2e11;
+
+    // NVIDIA V100-SXM2-16GB, the paper's GPU platform.
+    static DeviceSpec V100();
+};
+
+// Multi-core CPU parameters for the baseline model (paper: Xeon Gold 6230).
+struct CpuSpec {
+    std::string name;
+    int cores = 28;
+    int baseline_threads = 32;  // the paper's "32-thread" configuration
+    double parallel_efficiency = 0.60;
+    double mac128_per_core_per_sec = 2.0e8;
+
+    static CpuSpec XeonGold6230();
+};
+
+// Per-block execution context handed to kernels.
+class GpuDevice;
+struct BlockContext {
+    std::uint32_t block_id = 0;
+    std::uint32_t grid_dim = 1;
+    std::uint32_t block_dim = 1;
+    // Per-block metric accumulation (merged into the device after launch).
+    KernelMetrics metrics;
+};
+
+class GpuDevice {
+  public:
+    explicit GpuDevice(DeviceSpec spec = DeviceSpec::V100(),
+                       ThreadPool* pool = nullptr);
+
+    const DeviceSpec& spec() const { return spec_; }
+
+    // --- Simulated device memory ------------------------------------------
+    // Tracks allocation watermark; throws std::bad_alloc-like logic is NOT
+    // applied — capacity pressure is reported through metrics so benches can
+    // show out-of-memory regimes without crashing.
+    void Alloc(std::uint64_t bytes);
+    void Free(std::uint64_t bytes);
+    std::uint64_t current_alloc_bytes() const { return current_alloc_; }
+    std::uint64_t peak_alloc_bytes() const { return peak_alloc_; }
+    void ResetPeakAlloc();
+
+    // --- Kernel execution ---------------------------------------------------
+    using KernelFn = std::function<void(BlockContext&)>;
+
+    // Launches `grid_dim` blocks of `block_dim` (simulated) threads. Blocks
+    // run concurrently on the host pool; each block runs sequentially, which
+    // preserves intra-block semantics for our kernels (they are written as
+    // phase loops with no intra-block races).
+    void Launch(std::uint32_t grid_dim, std::uint32_t block_dim,
+                const KernelFn& kernel);
+
+    // Cooperative launch: runs `phases` sequential grid-wide phases with an
+    // implicit grid sync between them (cooperative-groups execution model,
+    // paper Section 3.2.5).
+    using CoopKernelFn = std::function<void(BlockContext&, std::uint32_t phase)>;
+    void LaunchCooperative(std::uint32_t grid_dim, std::uint32_t block_dim,
+                           std::uint32_t phases, const CoopKernelFn& kernel);
+
+    // Accumulated metrics since last ResetMetrics().
+    KernelMetrics ConsumeMetrics();
+    void ResetMetrics();
+
+  private:
+    void MergeBlockMetrics(const KernelMetrics& m);
+
+    DeviceSpec spec_;
+    ThreadPool* pool_;
+    mutable std::mutex mu_;
+    std::uint64_t current_alloc_ = 0;
+    std::uint64_t peak_alloc_ = 0;
+    KernelMetrics metrics_;
+};
+
+}  // namespace gpudpf

@@ -1,0 +1,49 @@
+// Operation-level metrics collected while executing kernels on the
+// simulated device.
+//
+// Everything the cost model consumes is counted exactly during real kernel
+// execution (no sampling): PRF expansions (the paper's "number of PRFs"
+// metric, Figure 6), 128-bit multiply-accumulates for the table product,
+// global-memory traffic, device allocations, and launch/sync counts.
+#pragma once
+
+#include <cstdint>
+
+namespace gpudpf {
+
+struct KernelMetrics {
+    // DPF node expansions performed (1 expansion = both children).
+    std::uint64_t prf_expansions = 0;
+    // 128-bit multiply-accumulate operations (table mat-vec).
+    std::uint64_t mac128_ops = 0;
+    // Global memory traffic in bytes.
+    std::uint64_t global_bytes_read = 0;
+    std::uint64_t global_bytes_written = 0;
+    // Peak simulated-device memory in bytes (workspace + outputs; the table
+    // itself is reported separately since it is resident across queries).
+    std::uint64_t peak_device_bytes = 0;
+    // Launch structure.
+    std::uint64_t kernel_launches = 0;
+    std::uint64_t grid_syncs = 0;
+    std::uint64_t blocks_launched = 0;
+    std::uint64_t threads_per_block = 0;
+
+    KernelMetrics& operator+=(const KernelMetrics& o) {
+        prf_expansions += o.prf_expansions;
+        mac128_ops += o.mac128_ops;
+        global_bytes_read += o.global_bytes_read;
+        global_bytes_written += o.global_bytes_written;
+        peak_device_bytes = peak_device_bytes > o.peak_device_bytes
+                                ? peak_device_bytes
+                                : o.peak_device_bytes;
+        kernel_launches += o.kernel_launches;
+        grid_syncs += o.grid_syncs;
+        blocks_launched += o.blocks_launched;
+        threads_per_block =
+            threads_per_block > o.threads_per_block ? threads_per_block
+                                                    : o.threads_per_block;
+        return *this;
+    }
+};
+
+}  // namespace gpudpf

@@ -1,0 +1,98 @@
+// Branch-parallel DPF evaluation (paper Section 3.2.2, Figure 5a).
+//
+// Each (simulated) thread independently walks from the root to a subset of
+// leaves. No intermediate state is shared, so memory usage is minimal, but
+// every leaf walk re-computes the path: O(L log L) PRF work instead of the
+// optimal O(L) — the redundancy visible in Figure 6.
+#include "src/kernels/strategies_internal.h"
+
+#include <stdexcept>
+
+namespace gpudpf {
+
+using strategy_detail::AddMatVecMetrics;
+using strategy_detail::MatVec;
+
+EvalResult BranchParallelStrategy::Run(
+    GpuDevice& device, const Dpf& dpf, const PirTable& table,
+    const std::vector<const DpfKey*>& keys) const {
+    if (keys.size() != config_.batch) {
+        throw std::invalid_argument("branch-parallel: batch mismatch");
+    }
+    const std::uint64_t L = config_.num_entries;
+    const int n = config_.log_domain;
+    const std::uint64_t w = config_.words_per_entry();
+    device.ResetMetrics();
+
+    // Device workspace: materialized leaf shares + responses.
+    const std::uint64_t workspace =
+        config_.batch * (L * 16 + w * 16);
+    device.Alloc(workspace);
+
+    std::vector<std::vector<u128>> leaves(config_.batch);
+    for (auto& v : leaves) v.assign(L, 0);
+
+    // Expansion kernel: one block per query; threads stride the leaves.
+    device.Launch(config_.batch, config_.block_dim, [&](BlockContext& ctx) {
+        const DpfKey& key = *keys[ctx.block_id];
+        std::vector<u128>& out = leaves[ctx.block_id];
+        const Dpf::Node root = dpf.Root(key);
+        for (std::uint64_t j = 0; j < L; ++j) {
+            Dpf::Node node = root;
+            for (int level = 0; level < n; ++level) {
+                Dpf::Node left;
+                Dpf::Node right;
+                dpf.ExpandNode(key, node, level, &left, &right);
+                ++ctx.metrics.prf_expansions;
+                node = ((j >> (n - 1 - level)) & 1) ? right : left;
+            }
+            u128 value;
+            dpf.Finalize(key, node, &value);
+            out[j] = value;
+        }
+        ctx.metrics.global_bytes_written += L * 16;
+    });
+
+    // Separate mat-vec kernel (branch-parallel predates operator fusion).
+    EvalResult result;
+    result.responses.resize(config_.batch);
+    device.Launch(config_.batch, config_.block_dim, [&](BlockContext& ctx) {
+        result.responses[ctx.block_id] = MatVec(table, leaves[ctx.block_id]);
+        if (ctx.block_id == 0) AddMatVecMetrics(config_, &ctx.metrics);
+    });
+
+    device.Free(workspace);
+    result.report = Analyze();
+    result.report.metrics = device.ConsumeMetrics();
+    result.report.metrics.peak_device_bytes = workspace;
+    return result;
+}
+
+StrategyReport BranchParallelStrategy::Analyze() const {
+    const std::uint64_t L = config_.num_entries;
+    const std::uint64_t w = config_.words_per_entry();
+    StrategyReport r;
+    r.strategy_name = name();
+    r.prf = config_.prf;
+    r.batch = config_.batch;
+    r.blocks = config_.batch;
+    r.threads_per_block = config_.block_dim;
+    r.avg_active_threads =
+        static_cast<double>(config_.batch) * config_.block_dim;
+    r.fused = false;
+    r.workspace_bytes = config_.batch * (L * 16 + w * 16);
+    r.table_bytes = config_.table_bytes();
+
+    KernelMetrics& m = r.metrics;
+    m.prf_expansions =
+        config_.batch * L * static_cast<std::uint64_t>(config_.log_domain);
+    m.global_bytes_written = config_.batch * L * 16;
+    m.kernel_launches = 2;
+    m.blocks_launched = 2ull * config_.batch;
+    m.threads_per_block = config_.block_dim;
+    m.peak_device_bytes = r.workspace_bytes;
+    AddMatVecMetrics(config_, &m);
+    return r;
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,192 @@
+// Cooperative-groups single-query evaluation (paper Section 3.2.5).
+//
+// For very large tables (> 2^22 entries) a single DPF already contains
+// enough parallelism to fill the device, so all blocks cooperate on one
+// query: each level of the tree is processed grid-wide with a grid sync
+// between levels, and the final level fuses the table product with a
+// per-block partial accumulation. This minimizes single-query latency on
+// huge tables (Figure 9b, Figure 13-right) at the cost of level-by-level
+// style O(L) frontier memory — acceptable because the batch is 1.
+#include "src/kernels/strategies_internal.h"
+
+#include <stdexcept>
+
+namespace gpudpf {
+
+using strategy_detail::NeededNodes;
+using strategy_detail::PrunedExpansions;
+
+namespace {
+
+// One query's frontier traffic: parents re-read and children re-written
+// through global memory at every level, then the leaf pass.
+void AddCoopTraffic(const StrategyConfig& config, KernelMetrics* m) {
+    const std::uint64_t L = config.num_entries;
+    const int n = config.log_domain;
+    for (int d = 0; d < n; ++d) {
+        m->global_bytes_read += kNodeBytes * NeededNodes(L, n, d);
+        m->global_bytes_written += kNodeBytes * NeededNodes(L, n, d + 1);
+    }
+    m->global_bytes_read += kNodeBytes * L;          // finalize reads
+    m->global_bytes_read += config.table_bytes();    // fused table stream
+    m->global_bytes_written += config.words_per_entry() * 16;
+    m->mac128_ops += L * config.words_per_entry();
+}
+
+}  // namespace
+
+std::uint32_t CoopGroupsStrategy::GridDim() const {
+    // Fill the modeled device: one resident grid covering every SM slot.
+    const DeviceSpec spec = DeviceSpec::V100();
+    const std::uint32_t blocks =
+        static_cast<std::uint32_t>(spec.sm_count) *
+        (spec.max_threads_per_sm / std::max<std::uint32_t>(1, config_.block_dim));
+    return std::max<std::uint32_t>(blocks, 1);
+}
+
+double CoopGroupsStrategy::AvgActiveThreads() const {
+    const std::uint64_t L = config_.num_entries;
+    const int n = config_.log_domain;
+    const double capacity =
+        static_cast<double>(GridDim()) * config_.block_dim;
+    double total_work = 0.0;
+    double weighted = 0.0;
+    for (int d = 0; d <= n; ++d) {
+        const double work = static_cast<double>(
+            d < n ? NeededNodes(L, n, d) : L);  // level d expansions / leaves
+        total_work += work;
+        weighted += work * std::min(work, capacity);
+    }
+    return total_work > 0 ? weighted / total_work : 0.0;
+}
+
+EvalResult CoopGroupsStrategy::Run(
+    GpuDevice& device, const Dpf& dpf, const PirTable& table,
+    const std::vector<const DpfKey*>& keys) const {
+    if (keys.size() != config_.batch) {
+        throw std::invalid_argument("coop-groups: batch mismatch");
+    }
+    const std::uint64_t L = config_.num_entries;
+    const int n = config_.log_domain;
+    const std::uint64_t w = config_.words_per_entry();
+    const std::uint32_t grid = GridDim();
+    device.ResetMetrics();
+
+    const StrategyReport shape = Analyze();
+    device.Alloc(shape.workspace_bytes);
+
+    EvalResult result;
+    result.responses.assign(config_.batch, PirResponse(w, 0));
+
+    // Ping-pong frontier buffers shared by the whole grid.
+    std::vector<Dpf::Node> frontier[2];
+    frontier[0].resize(L);
+    frontier[1].resize(L);
+    std::vector<PirResponse> partials(grid);
+
+    for (std::uint32_t q = 0; q < config_.batch; ++q) {
+        const DpfKey& key = *keys[q];
+        frontier[0][0] = dpf.Root(key);
+        for (auto& p : partials) p.assign(w, 0);
+
+        device.LaunchCooperative(
+            grid, config_.block_dim, static_cast<std::uint32_t>(n + 1),
+            [&](BlockContext& ctx, std::uint32_t phase) {
+                if (phase < static_cast<std::uint32_t>(n)) {
+                    const int d = static_cast<int>(phase);
+                    const std::uint64_t parents = NeededNodes(L, n, d);
+                    const std::uint64_t kept = NeededNodes(L, n, d + 1);
+                    std::vector<Dpf::Node>& cur = frontier[d % 2];
+                    std::vector<Dpf::Node>& next = frontier[(d + 1) % 2];
+                    // Contiguous slice of the frontier for this block.
+                    const std::uint64_t chunk =
+                        (parents + ctx.grid_dim - 1) / ctx.grid_dim;
+                    const std::uint64_t lo =
+                        std::min<std::uint64_t>(ctx.block_id * chunk, parents);
+                    const std::uint64_t hi =
+                        std::min<std::uint64_t>(lo + chunk, parents);
+                    for (std::uint64_t i = lo; i < hi; ++i) {
+                        Dpf::Node left;
+                        Dpf::Node right;
+                        dpf.ExpandNode(key, cur[i], d, &left, &right);
+                        ++ctx.metrics.prf_expansions;
+                        if (2 * i < kept) next[2 * i] = left;
+                        if (2 * i + 1 < kept) next[2 * i + 1] = right;
+                    }
+                    ctx.metrics.global_bytes_read += kNodeBytes * (hi - lo);
+                    // Children written (boundary node may keep only one).
+                    const std::uint64_t children_written =
+                        std::min(kept, 2 * hi) - std::min(kept, 2 * lo);
+                    ctx.metrics.global_bytes_written +=
+                        kNodeBytes * children_written;
+                    return;
+                }
+                // Final phase: fused leaf finalize + table dot product.
+                std::vector<Dpf::Node>& cur = frontier[n % 2];
+                const std::uint64_t chunk =
+                    (L + ctx.grid_dim - 1) / ctx.grid_dim;
+                const std::uint64_t lo =
+                    std::min<std::uint64_t>(ctx.block_id * chunk, L);
+                const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, L);
+                PirResponse& acc = partials[ctx.block_id];
+                for (std::uint64_t j = lo; j < hi; ++j) {
+                    u128 value;
+                    dpf.Finalize(key, cur[j], &value);
+                    const u128* row = table.Entry(j);
+                    for (std::uint64_t k = 0; k < w; ++k) {
+                        acc[k] += value * row[k];
+                    }
+                    ctx.metrics.mac128_ops += w;
+                }
+                ctx.metrics.global_bytes_read += kNodeBytes * (hi - lo);
+                if (ctx.block_id == 0) {
+                    ctx.metrics.global_bytes_read += config_.table_bytes();
+                    ctx.metrics.global_bytes_written += w * 16;
+                }
+            });
+
+        // Grid-wide tree reduction of the per-block partials.
+        PirResponse& resp = result.responses[q];
+        for (const auto& p : partials) {
+            for (std::uint64_t k = 0; k < w; ++k) resp[k] += p[k];
+        }
+    }
+
+    device.Free(shape.workspace_bytes);
+    result.report = Analyze();
+    result.report.metrics = device.ConsumeMetrics();
+    result.report.metrics.peak_device_bytes = shape.workspace_bytes;
+    return result;
+}
+
+StrategyReport CoopGroupsStrategy::Analyze() const {
+    const std::uint64_t L = config_.num_entries;
+    const int n = config_.log_domain;
+    const std::uint64_t w = config_.words_per_entry();
+    const std::uint32_t grid = GridDim();
+
+    StrategyReport r;
+    r.strategy_name = name();
+    r.prf = config_.prf;
+    r.batch = config_.batch;
+    r.blocks = grid;
+    r.threads_per_block = config_.block_dim;
+    r.avg_active_threads = AvgActiveThreads();
+    r.fused = true;
+    r.workspace_bytes = 2 * kNodeBytes * L + grid * w * 16;
+    r.table_bytes = config_.table_bytes();
+
+    KernelMetrics& m = r.metrics;
+    m.prf_expansions = config_.batch * PrunedExpansions(L, n);
+    for (std::uint32_t q = 0; q < config_.batch; ++q) {
+        AddCoopTraffic(config_, &m);
+    }
+    m.kernel_launches = config_.batch;
+    m.grid_syncs = config_.batch * static_cast<std::uint64_t>(n);
+    m.blocks_launched = static_cast<std::uint64_t>(config_.batch) * grid;
+    m.threads_per_block = config_.block_dim;
+    m.peak_device_bytes = r.workspace_bytes;
+    return r;
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,132 @@
+// Level-by-level DPF evaluation (paper Section 3.2.2, Figure 5b).
+//
+// The whole frontier of each level is materialized in (simulated) global
+// memory and re-read to produce the next level. Work is the optimal O(L),
+// but peak memory is O(B * L), which caps the usable batch size — the
+// memory wall visible in Figures 6 and 8a.
+#include "src/kernels/strategies_internal.h"
+
+#include <stdexcept>
+
+namespace gpudpf {
+
+using strategy_detail::AddMatVecMetrics;
+using strategy_detail::MatVec;
+using strategy_detail::NeededNodes;
+
+namespace {
+
+// Expansion-phase traffic for one query: parents are read back from global
+// memory at every level, kept children written out.
+void AddFrontierTraffic(std::uint64_t num_entries, int n, KernelMetrics* m) {
+    for (int d = 0; d < n; ++d) {
+        m->global_bytes_read += kNodeBytes * NeededNodes(num_entries, n, d);
+        m->global_bytes_written +=
+            kNodeBytes * NeededNodes(num_entries, n, d + 1);
+    }
+    // Finalize pass: read leaf nodes, write leaf share values.
+    m->global_bytes_read += kNodeBytes * num_entries;
+    m->global_bytes_written += 16 * num_entries;
+}
+
+}  // namespace
+
+EvalResult LevelByLevelStrategy::Run(
+    GpuDevice& device, const Dpf& dpf, const PirTable& table,
+    const std::vector<const DpfKey*>& keys) const {
+    if (keys.size() != config_.batch) {
+        throw std::invalid_argument("level-by-level: batch mismatch");
+    }
+    const std::uint64_t L = config_.num_entries;
+    const int n = config_.log_domain;
+    const std::uint64_t w = config_.words_per_entry();
+    device.ResetMetrics();
+
+    // Ping-pong frontier buffers (peak: the last two levels live at once)
+    // plus materialized leaf shares and responses.
+    const std::uint64_t frontier_bytes =
+        config_.batch * kNodeBytes *
+        (NeededNodes(L, n, n) + NeededNodes(L, n, n - 1));
+    const std::uint64_t workspace =
+        frontier_bytes + config_.batch * (L * 16 + w * 16);
+    device.Alloc(workspace);
+
+    std::vector<std::vector<u128>> leaves(config_.batch);
+
+    device.Launch(config_.batch, config_.block_dim, [&](BlockContext& ctx) {
+        const DpfKey& key = *keys[ctx.block_id];
+        std::vector<Dpf::Node> cur{dpf.Root(key)};
+        std::vector<Dpf::Node> next;
+        for (int d = 0; d < n; ++d) {
+            const std::uint64_t parents = NeededNodes(L, n, d);
+            const std::uint64_t kept = NeededNodes(L, n, d + 1);
+            next.resize(kept);
+            for (std::uint64_t i = 0; i < parents; ++i) {
+                Dpf::Node left;
+                Dpf::Node right;
+                dpf.ExpandNode(key, cur[i], d, &left, &right);
+                ++ctx.metrics.prf_expansions;
+                if (2 * i < kept) next[2 * i] = left;
+                if (2 * i + 1 < kept) next[2 * i + 1] = right;
+            }
+            ctx.metrics.global_bytes_read += kNodeBytes * parents;
+            ctx.metrics.global_bytes_written += kNodeBytes * kept;
+            cur.swap(next);
+        }
+        std::vector<u128>& out = leaves[ctx.block_id];
+        out.resize(L);
+        for (std::uint64_t j = 0; j < L; ++j) {
+            dpf.Finalize(key, cur[j], &out[j]);
+        }
+        ctx.metrics.global_bytes_read += kNodeBytes * L;
+        ctx.metrics.global_bytes_written += 16 * L;
+    });
+
+    EvalResult result;
+    result.responses.resize(config_.batch);
+    device.Launch(config_.batch, config_.block_dim, [&](BlockContext& ctx) {
+        result.responses[ctx.block_id] = MatVec(table, leaves[ctx.block_id]);
+        if (ctx.block_id == 0) AddMatVecMetrics(config_, &ctx.metrics);
+    });
+
+    device.Free(workspace);
+    result.report = Analyze();
+    result.report.metrics = device.ConsumeMetrics();
+    result.report.metrics.peak_device_bytes = workspace;
+    return result;
+}
+
+StrategyReport LevelByLevelStrategy::Analyze() const {
+    const std::uint64_t L = config_.num_entries;
+    const int n = config_.log_domain;
+    const std::uint64_t w = config_.words_per_entry();
+    StrategyReport r;
+    r.strategy_name = name();
+    r.prf = config_.prf;
+    r.batch = config_.batch;
+    r.blocks = config_.batch;
+    r.threads_per_block = config_.block_dim;
+    r.avg_active_threads =
+        static_cast<double>(config_.batch) * config_.block_dim;
+    r.fused = false;
+    r.workspace_bytes =
+        config_.batch * kNodeBytes *
+            (NeededNodes(L, n, n) + NeededNodes(L, n, n - 1)) +
+        config_.batch * (L * 16 + w * 16);
+    r.table_bytes = config_.table_bytes();
+
+    KernelMetrics& m = r.metrics;
+    m.prf_expansions =
+        config_.batch * strategy_detail::PrunedExpansions(L, n);
+    for (std::uint64_t q = 0; q < config_.batch; ++q) {
+        AddFrontierTraffic(L, n, &m);
+    }
+    m.kernel_launches = 2;
+    m.blocks_launched = 2ull * config_.batch;
+    m.threads_per_block = config_.block_dim;
+    m.peak_device_bytes = r.workspace_bytes;
+    AddMatVecMetrics(config_, &m);
+    return r;
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,221 @@
+// Memory-bounded tree traversal with optional DPF (x) mat-mul operator
+// fusion — the paper's proposed kernel (Sections 3.2.3 and 3.2.4,
+// Figure 7).
+//
+// The DPF tree is evaluated depth-first in chunks of K nodes per level:
+// a chunk of parents is expanded, its children are immediately consumed by
+// the recursion into the next level, and the buffers are reused once the
+// sub-traversal returns. Peak memory is O(B * K * log L) instead of the
+// level-by-level O(B * L), while work stays the optimal O(L).
+//
+// With fusion enabled, a chunk of leaves is dotted into the table rows the
+// moment it is produced and accumulated in (simulated) registers, so the
+// full leaf-share vector is never materialized (Figure 7b); the final
+// response is produced by a per-block tree-sum.
+#include "src/kernels/strategies_internal.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gpudpf {
+
+using strategy_detail::AddMatVecMetrics;
+using strategy_detail::MatVec;
+using strategy_detail::NeededNodes;
+
+int MemBoundTreeStrategy::FrontierLevel() const {
+    // First level whose full width reaches the chunk size K.
+    int k0 = 0;
+    while ((std::uint64_t{1} << k0) < config_.chunk_k &&
+           k0 < config_.log_domain) {
+        ++k0;
+    }
+    return k0;
+}
+
+EvalResult MemBoundTreeStrategy::Run(
+    GpuDevice& device, const Dpf& dpf, const PirTable& table,
+    const std::vector<const DpfKey*>& keys) const {
+    if (keys.size() != config_.batch) {
+        throw std::invalid_argument("membound-tree: batch mismatch");
+    }
+    const std::uint64_t L = config_.num_entries;
+    const int n = config_.log_domain;
+    const std::uint64_t w = config_.words_per_entry();
+    const std::uint64_t K = config_.chunk_k;
+    const int k0 = FrontierLevel();
+    device.ResetMetrics();
+
+    const StrategyReport shape = Analyze();
+    const auto block_dim = static_cast<std::uint32_t>(shape.threads_per_block);
+    device.Alloc(shape.workspace_bytes);
+
+    std::vector<std::vector<u128>> leaves;  // only for the un-fused variant
+    if (!config_.fuse) {
+        leaves.resize(config_.batch);
+        for (auto& v : leaves) v.assign(L, 0);
+    }
+
+    EvalResult result;
+    result.responses.assign(config_.batch, PirResponse(w, 0));
+
+    device.Launch(config_.batch, block_dim, [&](BlockContext& ctx) {
+        const DpfKey& key = *keys[ctx.block_id];
+        PirResponse acc(w, 0);
+
+        // Per-level chunk buffers, each holding up to 2K children; buffer
+        // [d] is free again whenever the recursion returns to level d.
+        std::vector<std::vector<Dpf::Node>> buffers(n + 1);
+        for (auto& b : buffers) b.reserve(2 * K);
+
+        // Phase A: expand the root down to the frontier level k0.
+        std::vector<Dpf::Node> frontier{dpf.Root(key)};
+        for (int d = 0; d < k0; ++d) {
+            const std::uint64_t kept = NeededNodes(L, n, d + 1);
+            std::vector<Dpf::Node> next;
+            next.reserve(2 * frontier.size());
+            for (std::uint64_t i = 0; i < frontier.size(); ++i) {
+                Dpf::Node left;
+                Dpf::Node right;
+                dpf.ExpandNode(key, frontier[i], d, &left, &right);
+                ++ctx.metrics.prf_expansions;
+                if (2 * i < kept) next.push_back(left);
+                if (2 * i + 1 < kept) next.push_back(right);
+            }
+            frontier.swap(next);
+        }
+
+        // Consumes a chunk of leaf nodes starting at leaf index `base`.
+        auto consume_leaves = [&](const std::vector<Dpf::Node>& chunk,
+                                  std::uint64_t base) {
+            for (std::size_t i = 0; i < chunk.size(); ++i) {
+                const std::uint64_t j = base + i;
+                u128 value;
+                dpf.Finalize(key, chunk[i], &value);
+                if (config_.fuse) {
+                    const u128* row = table.Entry(j);
+                    for (std::uint64_t k = 0; k < w; ++k) {
+                        acc[k] += value * row[k];
+                    }
+                    ctx.metrics.mac128_ops += w;
+                } else {
+                    leaves[ctx.block_id][j] = value;
+                }
+            }
+            if (!config_.fuse) {
+                ctx.metrics.global_bytes_written += 16 * chunk.size();
+            }
+        };
+
+        // Phase B: depth-first chunked descent. `nodes` live at level d and
+        // cover node indices [base, base + nodes.size()).
+        auto descend = [&](auto&& self, int d,
+                           const std::vector<Dpf::Node>& nodes,
+                           std::uint64_t base) -> void {
+            if (d == n) {
+                consume_leaves(nodes, base);
+                return;
+            }
+            const std::uint64_t kept = NeededNodes(L, n, d + 1);
+            std::vector<Dpf::Node>& children = buffers[d + 1];
+            children.clear();
+            for (std::size_t i = 0; i < nodes.size(); ++i) {
+                Dpf::Node left;
+                Dpf::Node right;
+                dpf.ExpandNode(key, nodes[i], d, &left, &right);
+                ++ctx.metrics.prf_expansions;
+                const std::uint64_t ci = 2 * (base + i);
+                if (ci < kept) children.push_back(left);
+                if (ci + 1 < kept) children.push_back(right);
+            }
+            // Recurse in K-sized sub-chunks; `children` must be copied out
+            // per sub-chunk because deeper levels reuse buffers[d+1]... no:
+            // deeper levels use buffers[d+2..]; children stays intact.
+            const std::uint64_t child_base = 2 * base;
+            for (std::size_t off = 0; off < children.size(); off += K) {
+                const std::size_t len = std::min<std::size_t>(
+                    K, children.size() - off);
+                std::vector<Dpf::Node> sub(children.begin() + off,
+                                           children.begin() + off + len);
+                self(self, d + 1, sub, child_base + off);
+            }
+        };
+        descend(descend, k0, frontier, 0);
+
+        if (config_.fuse) {
+            result.responses[ctx.block_id] = acc;
+            if (ctx.block_id == 0) {
+                // Fused table streaming: rows are read once per batch
+                // (tiled across blocks), responses written out.
+                ctx.metrics.global_bytes_read += config_.table_bytes();
+                ctx.metrics.global_bytes_written += config_.batch * w * 16;
+            }
+        }
+    });
+
+    if (!config_.fuse) {
+        device.Launch(config_.batch, block_dim,
+                      [&](BlockContext& ctx) {
+                          result.responses[ctx.block_id] =
+                              MatVec(table, leaves[ctx.block_id]);
+                          if (ctx.block_id == 0) {
+                              AddMatVecMetrics(config_, &ctx.metrics);
+                          }
+                      });
+    }
+
+    device.Free(shape.workspace_bytes);
+    result.report = Analyze();
+    result.report.metrics = device.ConsumeMetrics();
+    result.report.metrics.peak_device_bytes = shape.workspace_bytes;
+    return result;
+}
+
+StrategyReport MemBoundTreeStrategy::Analyze() const {
+    const std::uint64_t L = config_.num_entries;
+    const int n = config_.log_domain;
+    const std::uint64_t w = config_.words_per_entry();
+    const std::uint64_t K = config_.chunk_k;
+    const int k0 = FrontierLevel();
+
+    StrategyReport r;
+    r.strategy_name = name();
+    r.prf = config_.prf;
+    r.batch = config_.batch;
+    r.blocks = config_.batch;
+    r.threads_per_block =
+        std::min<std::uint64_t>(std::max<std::uint64_t>(K, config_.block_dim),
+                                1024);
+    r.avg_active_threads =
+        static_cast<double>(config_.batch) * r.threads_per_block;
+    r.fused = config_.fuse;
+    // Chunk buffers: one 2K-node buffer per level below the frontier, plus
+    // the K-node frontier and the w-word register accumulator.
+    const std::uint64_t per_query =
+        kNodeBytes * (2 * K * static_cast<std::uint64_t>(n - k0) + K) +
+        w * 16;
+    r.workspace_bytes = config_.batch * per_query;
+    if (!config_.fuse) r.workspace_bytes += config_.batch * L * 16;
+    r.table_bytes = config_.table_bytes();
+
+    KernelMetrics& m = r.metrics;
+    m.prf_expansions =
+        config_.batch * strategy_detail::PrunedExpansions(L, n);
+    m.threads_per_block = r.threads_per_block;
+    m.peak_device_bytes = r.workspace_bytes;
+    if (config_.fuse) {
+        m.mac128_ops = config_.batch * L * w;
+        m.global_bytes_read = config_.table_bytes();
+        m.global_bytes_written = config_.batch * w * 16;
+        m.kernel_launches = 1;
+        m.blocks_launched = config_.batch;
+    } else {
+        m.global_bytes_written = config_.batch * L * 16;
+        m.kernel_launches = 2;
+        m.blocks_launched = 2ull * config_.batch;
+        AddMatVecMetrics(config_, &m);
+    }
+    return r;
+}
+
+}  // namespace gpudpf

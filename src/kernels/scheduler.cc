@@ -1,0 +1,65 @@
+#include "src/kernels/scheduler.h"
+
+namespace gpudpf {
+
+KernelScheduler::KernelScheduler(GpuCostModel model)
+    : model_(std::move(model)) {}
+
+ScheduleDecision KernelScheduler::Plan(int log_domain,
+                                       std::uint64_t num_entries,
+                                       std::size_t entry_bytes, PrfKind prf,
+                                       double max_latency_sec,
+                                       std::uint64_t max_batch) const {
+    StrategyConfig base;
+    base.log_domain = log_domain;
+    base.num_entries = num_entries;
+    base.entry_bytes = entry_bytes;
+    base.prf = prf;
+    base.fuse = true;
+
+    ScheduleDecision best;
+    bool have_best = false;
+    auto consider = [&](const StrategyConfig& config) {
+        const StrategyReport report = MakeStrategy(config)->Analyze();
+        const PerfEstimate est = model_.Estimate(report);
+        if (!est.fits_in_memory) return;
+        if (max_latency_sec > 0 && est.latency_sec > max_latency_sec) return;
+        if (!have_best || est.throughput_qps > best.estimate.throughput_qps ||
+            (est.throughput_qps == best.estimate.throughput_qps &&
+             est.latency_sec < best.estimate.latency_sec)) {
+            best = {config, est};
+            have_best = true;
+        }
+    };
+
+    // Batched memory-bounded traversal across batch sizes.
+    for (std::uint64_t batch = 1; batch <= max_batch; batch *= 2) {
+        StrategyConfig c = base;
+        c.kind = StrategyKind::kMemBoundTree;
+        c.batch = static_cast<std::uint32_t>(batch);
+        consider(c);
+    }
+    // Cooperative groups (single-query) for the very-large-table regime.
+    if (num_entries >= kCoopThresholdEntries) {
+        StrategyConfig c = base;
+        c.kind = StrategyKind::kCoopGroups;
+        c.batch = 1;
+        c.block_dim = 256;
+        consider(c);
+    }
+    if (!have_best) {
+        // Fall back to the latency-optimal single-query configuration even
+        // if it misses the budget, so callers always get a plan.
+        StrategyConfig c = base;
+        c.kind = num_entries >= kCoopThresholdEntries
+                     ? StrategyKind::kCoopGroups
+                     : StrategyKind::kMemBoundTree;
+        c.batch = 1;
+        if (c.kind == StrategyKind::kCoopGroups) c.block_dim = 256;
+        best.config = c;
+        best.estimate = model_.Estimate(MakeStrategy(c)->Analyze());
+    }
+    return best;
+}
+
+}  // namespace gpudpf

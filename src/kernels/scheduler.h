@@ -1,0 +1,41 @@
+// Batch- and table-size-aware kernel scheduling (paper Section 3.2.5).
+//
+// Picks the execution strategy and batch size for a given table shape and
+// service budget: batched memory-bounded traversal by default, switching to
+// cooperative groups for very large tables (> 2^22 entries) where a single
+// query saturates the device and batching only hurts latency.
+#pragma once
+
+#include <cstdint>
+
+#include "src/gpusim/cost_model.h"
+#include "src/kernels/strategy.h"
+
+namespace gpudpf {
+
+struct ScheduleDecision {
+    StrategyConfig config;
+    PerfEstimate estimate;
+};
+
+class KernelScheduler {
+  public:
+    explicit KernelScheduler(GpuCostModel model = GpuCostModel());
+
+    // Empirical threshold from the paper for coop-groups selection.
+    static constexpr std::uint64_t kCoopThresholdEntries = 1ull << 22;
+
+    // Selects the throughput-optimal configuration subject to a latency
+    // budget (seconds; <=0 means unconstrained) and a batch cap.
+    ScheduleDecision Plan(int log_domain, std::uint64_t num_entries,
+                          std::size_t entry_bytes, PrfKind prf,
+                          double max_latency_sec,
+                          std::uint64_t max_batch = 4096) const;
+
+    const GpuCostModel& cost_model() const { return model_; }
+
+  private:
+    GpuCostModel model_;
+};
+
+}  // namespace gpudpf

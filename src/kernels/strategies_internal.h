@@ -1,0 +1,80 @@
+// Concrete strategy classes (internal; use MakeStrategy()).
+#pragma once
+
+#include "src/kernels/strategy.h"
+
+namespace gpudpf {
+
+// Bytes of device memory per stored tree node (16-byte seed + control bit,
+// padded to the allocation granularity a CUDA kernel would use).
+inline constexpr std::uint64_t kNodeBytes = 32;
+
+class BranchParallelStrategy : public EvalStrategy {
+  public:
+    explicit BranchParallelStrategy(StrategyConfig c)
+        : EvalStrategy(std::move(c)) {}
+    const char* name() const override { return "branch-parallel"; }
+    EvalResult Run(GpuDevice& device, const Dpf& dpf, const PirTable& table,
+                   const std::vector<const DpfKey*>& keys) const override;
+    StrategyReport Analyze() const override;
+};
+
+class LevelByLevelStrategy : public EvalStrategy {
+  public:
+    explicit LevelByLevelStrategy(StrategyConfig c)
+        : EvalStrategy(std::move(c)) {}
+    const char* name() const override { return "level-by-level"; }
+    EvalResult Run(GpuDevice& device, const Dpf& dpf, const PirTable& table,
+                   const std::vector<const DpfKey*>& keys) const override;
+    StrategyReport Analyze() const override;
+};
+
+class MemBoundTreeStrategy : public EvalStrategy {
+  public:
+    explicit MemBoundTreeStrategy(StrategyConfig c)
+        : EvalStrategy(std::move(c)) {}
+    const char* name() const override {
+        return config_.fuse ? "membound-tree+fusion" : "membound-tree";
+    }
+    EvalResult Run(GpuDevice& device, const Dpf& dpf, const PirTable& table,
+                   const std::vector<const DpfKey*>& keys) const override;
+    StrategyReport Analyze() const override;
+
+  private:
+    int FrontierLevel() const;  // k0 = level where the chunk DFS starts
+};
+
+class CoopGroupsStrategy : public EvalStrategy {
+  public:
+    explicit CoopGroupsStrategy(StrategyConfig c)
+        : EvalStrategy(std::move(c)) {}
+    const char* name() const override { return "coop-groups"; }
+    EvalResult Run(GpuDevice& device, const Dpf& dpf, const PirTable& table,
+                   const std::vector<const DpfKey*>& keys) const override;
+    StrategyReport Analyze() const override;
+
+  private:
+    std::uint32_t GridDim() const;
+    double AvgActiveThreads() const;
+};
+
+class CpuStrategy : public EvalStrategy {
+  public:
+    explicit CpuStrategy(StrategyConfig c) : EvalStrategy(std::move(c)) {}
+    const char* name() const override {
+        return config_.kind == StrategyKind::kCpuSequential ? "cpu-1-thread"
+                                                            : "cpu-multithread";
+    }
+    EvalResult Run(GpuDevice& device, const Dpf& dpf, const PirTable& table,
+                   const std::vector<const DpfKey*>& keys) const override;
+    StrategyReport Analyze() const override;
+
+  private:
+    int Threads() const {
+        return config_.kind == StrategyKind::kCpuSequential
+                   ? 1
+                   : (config_.cpu_threads > 1 ? config_.cpu_threads : 32);
+    }
+};
+
+}  // namespace gpudpf

@@ -1,0 +1,38 @@
+#include "src/ml/embedding.h"
+
+#include <stdexcept>
+
+namespace gpudpf {
+
+EmbeddingTable::EmbeddingTable(std::uint64_t vocab, int dim)
+    : vocab_(vocab), dim_(dim) {
+    if (vocab == 0 || dim <= 0) {
+        throw std::invalid_argument("EmbeddingTable: bad shape");
+    }
+    data_.assign(vocab_ * static_cast<std::uint64_t>(dim_), 0.0f);
+}
+
+void EmbeddingTable::InitRandom(Rng& rng, float scale) {
+    for (auto& v : data_) v = scale * static_cast<float>(rng.Normal());
+}
+
+std::vector<float> EmbeddingTable::MeanPool(
+    const std::vector<std::uint64_t>& indices,
+    const std::vector<bool>* retrieved) const {
+    if (retrieved != nullptr && retrieved->size() != indices.size()) {
+        throw std::invalid_argument("MeanPool: mask misaligned");
+    }
+    std::vector<float> out(dim_, 0.0f);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (retrieved != nullptr && !(*retrieved)[i]) continue;
+        const float* row = Row(indices[i]);
+        for (int d = 0; d < dim_; ++d) out[d] += row[d];
+    }
+    if (!indices.empty()) {
+        const float inv = 1.0f / static_cast<float>(indices.size());
+        for (auto& v : out) v *= inv;
+    }
+    return out;
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,44 @@
+// Dense embedding table + pooling with retrieval masks.
+//
+// This is the client-visible ML view of the data the PIR layer serves:
+// embeddings that were dropped by batch-PIR (bin collisions / budget) are
+// excluded from the pooled representation, which is how retrieval failures
+// feed into model quality (paper Section 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace gpudpf {
+
+class EmbeddingTable {
+  public:
+    EmbeddingTable(std::uint64_t vocab, int dim);
+
+    std::uint64_t vocab() const { return vocab_; }
+    int dim() const { return dim_; }
+    std::size_t size_bytes() const { return data_.size() * sizeof(float); }
+
+    float* Row(std::uint64_t i) { return data_.data() + i * dim_; }
+    const float* Row(std::uint64_t i) const { return data_.data() + i * dim_; }
+
+    void InitRandom(Rng& rng, float scale);
+
+    // Mean of the selected rows. If `retrieved` is non-null it must be
+    // index-aligned with `indices`; rows whose flag is false are treated as
+    // dropped and contribute a zero vector (the divisor stays the full
+    // lookup count — the model was trained on complete histories, so a
+    // dropped lookup biases the pooled representation toward zero exactly
+    // as it would in a deployed system).
+    std::vector<float> MeanPool(const std::vector<std::uint64_t>& indices,
+                                const std::vector<bool>* retrieved) const;
+
+  private:
+    std::uint64_t vocab_;
+    int dim_;
+    std::vector<float> data_;
+};
+
+}  // namespace gpudpf

@@ -1,0 +1,52 @@
+#include "src/ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gpudpf {
+
+double RocAuc(const std::vector<float>& scores,
+              const std::vector<float>& labels) {
+    if (scores.size() != labels.size() || scores.empty()) {
+        throw std::invalid_argument("RocAuc: bad input");
+    }
+    std::vector<std::size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return scores[a] < scores[b];
+    });
+    // Average ranks over ties, then the Mann-Whitney U statistic.
+    std::vector<double> rank(scores.size());
+    std::size_t i = 0;
+    while (i < order.size()) {
+        std::size_t j = i;
+        while (j + 1 < order.size() &&
+               scores[order[j + 1]] == scores[order[i]]) {
+            ++j;
+        }
+        const double avg_rank = (static_cast<double>(i) +
+                                 static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+        i = j + 1;
+    }
+    double pos = 0;
+    double rank_sum_pos = 0;
+    for (std::size_t k = 0; k < labels.size(); ++k) {
+        if (labels[k] > 0.5f) {
+            pos += 1.0;
+            rank_sum_pos += rank[k];
+        }
+    }
+    const double neg = static_cast<double>(labels.size()) - pos;
+    if (pos == 0 || neg == 0) return 0.5;
+    return (rank_sum_pos - pos * (pos + 1) / 2.0) / (pos * neg);
+}
+
+double PerplexityFromNll(double total_nll, std::size_t count) {
+    if (count == 0) throw std::invalid_argument("PerplexityFromNll: count=0");
+    return std::exp(total_nll / static_cast<double>(count));
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,17 @@
+// Model-quality metrics used in the paper's evaluation: ROC-AUC for the
+// recommendation models, perplexity for the language model (Section 5.1).
+#pragma once
+
+#include <vector>
+
+namespace gpudpf {
+
+// Area under the ROC curve via the rank-sum estimator (tie-aware).
+double RocAuc(const std::vector<float>& scores,
+              const std::vector<float>& labels);
+
+// Perplexity from a total negative log likelihood (nats) over `count`
+// predictions: exp(total_nll / count).
+double PerplexityFromNll(double total_nll, std::size_t count);
+
+}  // namespace gpudpf

@@ -1,0 +1,264 @@
+#include "src/ml/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/ml/metrics.h"
+
+namespace gpudpf {
+namespace {
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+void InitWeights(std::vector<float>* w, Rng& rng, float scale) {
+    for (auto& v : *w) v = scale * static_cast<float>(rng.Normal());
+}
+
+}  // namespace
+
+// --- MlpRanker ---------------------------------------------------------------
+
+MlpRanker::MlpRanker(int dim, int hidden, std::uint64_t seed)
+    : dim_(dim), hidden_(hidden) {
+    Rng rng(seed);
+    w1_.resize(static_cast<std::size_t>(hidden_) * kFeatureGroups * dim_);
+    b1_.assign(hidden_, 0.0f);
+    w2_.resize(hidden_);
+    InitWeights(&w1_, rng,
+                1.0f / std::sqrt(static_cast<float>(kFeatureGroups * dim_)));
+    InitWeights(&w2_, rng, 1.0f / std::sqrt(static_cast<float>(hidden_)));
+}
+
+std::uint64_t MlpRanker::ForwardFlops() const {
+    return 2ull * hidden_ * kFeatureGroups * dim_ + 2ull * hidden_;
+}
+
+float MlpRanker::Forward(const std::vector<float>& user_vec,
+                         const float* cand_emb) const {
+    float out = b2_;
+    for (int h = 0; h < hidden_; ++h) {
+        float z = b1_[h];
+        const float* row =
+            &w1_[static_cast<std::size_t>(h) * kFeatureGroups * dim_];
+        for (int d = 0; d < dim_; ++d) z += row[d] * user_vec[d];
+        for (int d = 0; d < dim_; ++d) z += row[dim_ + d] * cand_emb[d];
+        for (int d = 0; d < dim_; ++d) {
+            z += row[2 * dim_ + d] * user_vec[d] * cand_emb[d];
+        }
+        out += w2_[h] * std::max(0.0f, z);
+    }
+    return Sigmoid(out);
+}
+
+void MlpRanker::Train(const std::vector<RecSample>& samples,
+                      EmbeddingTable* emb, int epochs, float lr) {
+    std::vector<float> hvec(hidden_);
+    std::vector<float> zvec(hidden_);
+    std::vector<float> du(dim_);  // gradient wrt pooled user vector
+    std::vector<float> dc(dim_);  // gradient wrt candidate embedding
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        for (const auto& s : samples) {
+            const std::vector<float> user = emb->MeanPool(s.history, nullptr);
+            const float* cand = emb->Row(s.candidate);
+
+            // Forward.
+            float out = b2_;
+            for (int h = 0; h < hidden_; ++h) {
+                float z = b1_[h];
+                const float* row =
+                    &w1_[static_cast<std::size_t>(h) * kFeatureGroups * dim_];
+                for (int d = 0; d < dim_; ++d) z += row[d] * user[d];
+                for (int d = 0; d < dim_; ++d) z += row[dim_ + d] * cand[d];
+                for (int d = 0; d < dim_; ++d) {
+                    z += row[2 * dim_ + d] * user[d] * cand[d];
+                }
+                zvec[h] = z;
+                hvec[h] = std::max(0.0f, z);
+                out += w2_[h] * hvec[h];
+            }
+            const float p = Sigmoid(out);
+            const float delta = p - s.label;  // dBCE/dlogit
+
+            // Backward.
+            std::fill(du.begin(), du.end(), 0.0f);
+            std::fill(dc.begin(), dc.end(), 0.0f);
+            for (int h = 0; h < hidden_; ++h) {
+                const float dh = delta * w2_[h];
+                w2_[h] -= lr * delta * hvec[h];
+                if (zvec[h] <= 0.0f) continue;
+                float* row =
+                    &w1_[static_cast<std::size_t>(h) * kFeatureGroups * dim_];
+                for (int d = 0; d < dim_; ++d) {
+                    du[d] += dh * (row[d] + row[2 * dim_ + d] * cand[d]);
+                    dc[d] += dh * (row[dim_ + d] + row[2 * dim_ + d] * user[d]);
+                    row[d] -= lr * dh * user[d];
+                    row[dim_ + d] -= lr * dh * cand[d];
+                    row[2 * dim_ + d] -= lr * dh * user[d] * cand[d];
+                }
+                b1_[h] -= lr * dh;
+            }
+            b2_ -= lr * delta;
+
+            // Embedding gradients: history rows share the pooled gradient.
+            const float inv_hist =
+                s.history.empty()
+                    ? 0.0f
+                    : 1.0f / static_cast<float>(s.history.size());
+            for (const std::uint64_t idx : s.history) {
+                float* row = emb->Row(idx);
+                for (int d = 0; d < dim_; ++d) {
+                    row[d] -= lr * du[d] * inv_hist;
+                }
+            }
+            float* cand_row = emb->Row(s.candidate);
+            for (int d = 0; d < dim_; ++d) {
+                cand_row[d] -= lr * dc[d];
+            }
+        }
+    }
+}
+
+double MlpRanker::EvaluateAuc(
+    const std::vector<RecSample>& samples, const EmbeddingTable& emb,
+    const std::vector<std::vector<bool>>* retrieved) const {
+    std::vector<float> scores;
+    std::vector<float> labels;
+    scores.reserve(samples.size());
+    labels.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const auto& s = samples[i];
+        const std::vector<float> user = emb.MeanPool(
+            s.history, retrieved != nullptr ? &(*retrieved)[i] : nullptr);
+        scores.push_back(Forward(user, emb.Row(s.candidate)));
+        labels.push_back(s.label);
+    }
+    return RocAuc(scores, labels);
+}
+
+// --- FeedforwardLm -----------------------------------------------------------
+
+FeedforwardLm::FeedforwardLm(std::uint64_t vocab, int dim, int hidden,
+                             std::uint64_t seed)
+    : vocab_(vocab), dim_(dim), hidden_(hidden) {
+    Rng rng(seed);
+    w1_.resize(static_cast<std::size_t>(hidden_) * dim_);
+    b1_.assign(hidden_, 0.0f);
+    w2_.resize(vocab_ * static_cast<std::size_t>(hidden_));
+    b2_.assign(vocab_, 0.0f);
+    InitWeights(&w1_, rng, 1.0f / std::sqrt(static_cast<float>(dim_)));
+    InitWeights(&w2_, rng, 1.0f / std::sqrt(static_cast<float>(hidden_)));
+}
+
+std::uint64_t FeedforwardLm::ForwardFlops() const {
+    return 2ull * hidden_ * dim_ + 2ull * vocab_ * hidden_;
+}
+
+void FeedforwardLm::Logits(const std::vector<float>& context_vec,
+                           std::vector<float>* logits) const {
+    std::vector<float> h(hidden_);
+    for (int i = 0; i < hidden_; ++i) {
+        float z = b1_[i];
+        const float* row = &w1_[static_cast<std::size_t>(i) * dim_];
+        for (int d = 0; d < dim_; ++d) z += row[d] * context_vec[d];
+        h[i] = std::tanh(z);
+    }
+    logits->assign(vocab_, 0.0f);
+    for (std::uint64_t v = 0; v < vocab_; ++v) {
+        float z = b2_[v];
+        const float* row = &w2_[v * static_cast<std::size_t>(hidden_)];
+        for (int i = 0; i < hidden_; ++i) z += row[i] * h[i];
+        (*logits)[v] = z;
+    }
+}
+
+void FeedforwardLm::Train(const std::vector<LmSample>& samples,
+                          EmbeddingTable* emb, int epochs, float lr) {
+    std::vector<float> h(hidden_);
+    std::vector<float> logits(vocab_);
+    std::vector<float> probs(vocab_);
+    std::vector<float> dh(hidden_);
+    std::vector<float> dx(dim_);
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        for (const auto& s : samples) {
+            const std::vector<float> x = emb->MeanPool(s.context, nullptr);
+            // Forward.
+            for (int i = 0; i < hidden_; ++i) {
+                float z = b1_[i];
+                const float* row = &w1_[static_cast<std::size_t>(i) * dim_];
+                for (int d = 0; d < dim_; ++d) z += row[d] * x[d];
+                h[i] = std::tanh(z);
+            }
+            float max_logit = -1e30f;
+            for (std::uint64_t v = 0; v < vocab_; ++v) {
+                float z = b2_[v];
+                const float* row =
+                    &w2_[v * static_cast<std::size_t>(hidden_)];
+                for (int i = 0; i < hidden_; ++i) z += row[i] * h[i];
+                logits[v] = z;
+                max_logit = std::max(max_logit, z);
+            }
+            float denom = 0.0f;
+            for (std::uint64_t v = 0; v < vocab_; ++v) {
+                probs[v] = std::exp(logits[v] - max_logit);
+                denom += probs[v];
+            }
+            const float inv_denom = 1.0f / denom;
+            for (auto& p : probs) p *= inv_denom;
+
+            // Backward (softmax cross-entropy).
+            std::fill(dh.begin(), dh.end(), 0.0f);
+            for (std::uint64_t v = 0; v < vocab_; ++v) {
+                const float dlogit =
+                    probs[v] - (v == s.next ? 1.0f : 0.0f);
+                float* row = &w2_[v * static_cast<std::size_t>(hidden_)];
+                for (int i = 0; i < hidden_; ++i) {
+                    dh[i] += dlogit * row[i];
+                    row[i] -= lr * dlogit * h[i];
+                }
+                b2_[v] -= lr * dlogit;
+            }
+            std::fill(dx.begin(), dx.end(), 0.0f);
+            for (int i = 0; i < hidden_; ++i) {
+                const float dz = dh[i] * (1.0f - h[i] * h[i]);
+                float* row = &w1_[static_cast<std::size_t>(i) * dim_];
+                for (int d = 0; d < dim_; ++d) {
+                    dx[d] += dz * row[d];
+                    row[d] -= lr * dz * x[d];
+                }
+                b1_[i] -= lr * dz;
+            }
+            const float inv_ctx =
+                s.context.empty()
+                    ? 0.0f
+                    : 1.0f / static_cast<float>(s.context.size());
+            for (const std::uint64_t idx : s.context) {
+                float* row = emb->Row(idx);
+                for (int d = 0; d < dim_; ++d) {
+                    row[d] -= lr * dx[d] * inv_ctx;
+                }
+            }
+        }
+    }
+}
+
+double FeedforwardLm::EvaluatePerplexity(
+    const std::vector<LmSample>& samples, const EmbeddingTable& emb,
+    const std::vector<std::vector<bool>>* retrieved) const {
+    double total_nll = 0.0;
+    std::vector<float> logits(vocab_);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const auto& s = samples[i];
+        const std::vector<float> x = emb.MeanPool(
+            s.context, retrieved != nullptr ? &(*retrieved)[i] : nullptr);
+        Logits(x, &logits);
+        float max_logit = *std::max_element(logits.begin(), logits.end());
+        double denom = 0.0;
+        for (const float z : logits) denom += std::exp(z - max_logit);
+        total_nll -= static_cast<double>(logits[s.next]) - max_logit -
+                     std::log(denom);
+    }
+    return PerplexityFromNll(total_nll, samples.size());
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,93 @@
+// On-device models for the paper's three applications (Section 5.1):
+//
+//   MlpRanker     — 2-layer MLP click-probability ranker (MovieLens-like,
+//                   Taobao-like); quality metric: ROC-AUC.
+//   FeedforwardLm — embedding-pooled next-word predictor standing in for
+//                   the paper's LSTM (Wikitext2-like); quality metric:
+//                   perplexity. Substitution rationale: the PIR layer only
+//                   interacts with models through embedding lookups; a
+//                   feedforward LM consumes them identically and trains
+//                   within the bench budget (DESIGN.md §1).
+//
+// Both models train jointly with their embedding table by plain SGD and
+// evaluate under retrieval masks, so quality-vs-dropped-queries curves are
+// measured, not assumed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ml/embedding.h"
+#include "src/workloads/dataset.h"
+
+namespace gpudpf {
+
+class MlpRanker {
+  public:
+    MlpRanker(int dim, int hidden, std::uint64_t seed);
+
+    int dim() const { return dim_; }
+    int hidden() const { return hidden_; }
+    // Forward-pass FLOPs per inference (drives the on-device latency model).
+    std::uint64_t ForwardFlops() const;
+
+    // Click probability from a pooled history vector and a candidate row.
+    float Forward(const std::vector<float>& user_vec,
+                  const float* cand_emb) const;
+
+    // Joint SGD over model weights and `emb` rows.
+    void Train(const std::vector<RecSample>& samples, EmbeddingTable* emb,
+               int epochs, float lr);
+
+    // AUC over samples; `retrieved` (optional) is sample-aligned masks of
+    // which history lookups the PIR layer actually returned.
+    double EvaluateAuc(const std::vector<RecSample>& samples,
+                       const EmbeddingTable& emb,
+                       const std::vector<std::vector<bool>>* retrieved) const;
+
+  private:
+    // Input features: [user, cand, user (.) cand] — the explicit
+    // elementwise interaction makes the private history genuinely
+    // load-bearing for the prediction (dropping lookups measurably hurts
+    // AUC, as in the paper's feature-importance study, Section 2.3).
+    static constexpr int kFeatureGroups = 3;
+
+    int dim_;
+    int hidden_;
+    std::vector<float> w1_;  // hidden x (3*dim)
+    std::vector<float> b1_;  // hidden
+    std::vector<float> w2_;  // hidden
+    float b2_ = 0.0f;
+};
+
+class FeedforwardLm {
+  public:
+    FeedforwardLm(std::uint64_t vocab, int dim, int hidden,
+                  std::uint64_t seed);
+
+    std::uint64_t vocab() const { return vocab_; }
+    std::uint64_t ForwardFlops() const;
+
+    // Log-softmax over the vocabulary for a pooled context vector.
+    void Logits(const std::vector<float>& context_vec,
+                std::vector<float>* logits) const;
+
+    void Train(const std::vector<LmSample>& samples, EmbeddingTable* emb,
+               int epochs, float lr);
+
+    double EvaluatePerplexity(
+        const std::vector<LmSample>& samples, const EmbeddingTable& emb,
+        const std::vector<std::vector<bool>>* retrieved) const;
+
+  private:
+    std::uint64_t vocab_;
+    int dim_;
+    int hidden_;
+    std::vector<float> w1_;  // hidden x dim
+    std::vector<float> b1_;  // hidden
+    std::vector<float> w2_;  // vocab x hidden
+    std::vector<float> b2_;  // vocab
+};
+
+}  // namespace gpudpf

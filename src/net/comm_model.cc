@@ -1,0 +1,22 @@
+#include "src/net/comm_model.h"
+
+namespace gpudpf {
+
+double NetworkLatency(const NetworkSpec& net, std::uint64_t upload_bytes,
+                      std::uint64_t download_bytes) {
+    return net.rtt_sec +
+           static_cast<double>(upload_bytes) / net.uplink_bytes_per_sec +
+           static_cast<double>(download_bytes) / net.downlink_bytes_per_sec;
+}
+
+double KeyGenLatency(const ClientDeviceSpec& dev, std::uint64_t num_keys,
+                     int levels_per_key) {
+    return static_cast<double>(num_keys) *
+           static_cast<double>(levels_per_key) / dev.gen_expansions_per_sec;
+}
+
+double DnnLatency(const ClientDeviceSpec& dev, std::uint64_t flops) {
+    return static_cast<double>(flops) / dev.dnn_flops_per_sec;
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,50 @@
+// Client-server communication and client-device latency models
+// (paper Section 5.3: 4G network at 60 Mbit/s, client key generation and
+// on-device DNN measured on an Intel Core i3-class device).
+#pragma once
+
+#include <cstdint>
+
+namespace gpudpf {
+
+struct NetworkSpec {
+    double uplink_bytes_per_sec = 60e6 / 8;    // 60 Mbit/s
+    double downlink_bytes_per_sec = 60e6 / 8;  // 60 Mbit/s
+    double rtt_sec = 0.05;
+
+    static NetworkSpec FourG() { return NetworkSpec{}; }
+};
+
+// One round trip carrying the PIR request up and the shares down. Both
+// servers are contacted in parallel, so the time is one round trip over the
+// per-server byte counts.
+double NetworkLatency(const NetworkSpec& net, std::uint64_t upload_bytes,
+                      std::uint64_t download_bytes);
+
+// Client-device (Intel Core i3 class) performance model for the two
+// client-side stages of Figure 12.
+struct ClientDeviceSpec {
+    // DPF Gen performs one PRG expansion per tree level.
+    double gen_expansions_per_sec = 1.2e6;
+    double dnn_flops_per_sec = 5e9;
+
+    static ClientDeviceSpec CoreI3() { return ClientDeviceSpec{}; }
+};
+
+double KeyGenLatency(const ClientDeviceSpec& dev, std::uint64_t num_keys,
+                     int levels_per_key);
+double DnnLatency(const ClientDeviceSpec& dev, std::uint64_t flops);
+
+// End-to-end latency breakdown of one private inference (Figure 12).
+struct LatencyBreakdown {
+    double gen_sec = 0;
+    double pir_sec = 0;
+    double network_sec = 0;
+    double dnn_sec = 0;
+
+    double total_sec() const {
+        return gen_sec + pir_sec + network_sec + dnn_sec;
+    }
+};
+
+}  // namespace gpudpf

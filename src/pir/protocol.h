@@ -1,0 +1,90 @@
+// Two-server DPF-PIR protocol (paper Figure 2).
+//
+//   client:  Gen(i) -> (k_a, k_b), uploads one key per server
+//   servers: Eval over the full domain, response = shares^T * Table
+//   client:  entry = response_a + response_b (mod 2^128 per word)
+//
+// `PirClient` runs on the (trusted) user device; `PirServer` is the
+// reference sequential server implementation that all GPU/CPU kernels are
+// validated against. A naive O(L)-communication PIR (Section 3.1's warm-up
+// scheme) is included as a baseline for the communication comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dpf/dpf.h"
+#include "src/pir/table.h"
+
+namespace gpudpf {
+
+// A single-query PIR request: one serialized DPF key per server.
+struct PirQuery {
+    std::vector<std::uint8_t> key_for_server0;
+    std::vector<std::uint8_t> key_for_server1;
+
+    std::size_t UploadBytesPerServer() const { return key_for_server0.size(); }
+};
+
+// One server's response: additive share of the selected entry, one u128 per
+// entry word.
+using PirResponse = std::vector<u128>;
+
+class PirClient {
+  public:
+    // log_domain must cover the table (2^log_domain >= num_entries).
+    PirClient(int log_domain, PrfKind prf, std::uint64_t seed = 1);
+
+    const Dpf& dpf() const { return dpf_; }
+
+    // Builds the two keys for private index `index`.
+    PirQuery Query(std::uint64_t index);
+
+    // Combines the two server responses into the entry bytes.
+    std::vector<std::uint8_t> Reconstruct(const PirResponse& r0,
+                                          const PirResponse& r1,
+                                          std::size_t entry_bytes) const;
+
+  private:
+    Dpf dpf_;
+    Rng rng_;
+};
+
+class PirServer {
+  public:
+    explicit PirServer(const PirTable* table) : table_(table) {}
+
+    // Reference answer path: full-domain DPF expansion + integer mat-vec.
+    PirResponse Answer(const std::uint8_t* key_bytes, std::size_t key_len) const;
+
+    // Same, from a parsed key (used by tests).
+    PirResponse Answer(const DpfKey& key) const;
+
+    const PirTable& table() const { return *table_; }
+
+  private:
+    const PirTable* table_;
+};
+
+// Naive PIR baseline (Section 3.1): the client uploads additive shares of
+// the full indicator vector (O(L) communication). Used to demonstrate the
+// DPF's O(log L) communication advantage.
+namespace naive_pir {
+
+struct Query {
+    std::vector<u128> share_for_server0;
+    std::vector<u128> share_for_server1;
+
+    std::size_t UploadBytesPerServer() const {
+        return share_for_server0.size() * sizeof(u128);
+    }
+};
+
+Query MakeQuery(std::uint64_t index, std::uint64_t num_entries, Rng& rng);
+
+PirResponse Answer(const PirTable& table, const std::vector<u128>& share);
+
+}  // namespace naive_pir
+
+}  // namespace gpudpf

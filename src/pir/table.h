@@ -1,0 +1,53 @@
+// Embedding-table container shared by the PIR servers.
+//
+// Entries are fixed-width byte vectors stored row-major as 128-bit words;
+// the server-side PIR response is an integer matrix-vector product between
+// the DPF leaf shares and this table (paper Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/u128.h"
+
+namespace gpudpf {
+
+class PirTable {
+  public:
+    // Creates a zero-filled table of `num_entries` rows of `entry_bytes`
+    // bytes each. entry_bytes is rounded up to a multiple of 16 internally.
+    PirTable(std::uint64_t num_entries, std::size_t entry_bytes);
+
+    std::uint64_t num_entries() const { return num_entries_; }
+    std::size_t entry_bytes() const { return entry_bytes_; }
+    std::size_t words_per_entry() const { return words_per_entry_; }
+    std::size_t size_bytes() const { return data_.size() * sizeof(u128); }
+
+    // Row access as 128-bit words.
+    const u128* Entry(std::uint64_t i) const {
+        return data_.data() + i * words_per_entry_;
+    }
+    u128* MutableEntry(std::uint64_t i) {
+        return data_.data() + i * words_per_entry_;
+    }
+
+    // Writes raw bytes into row i (at most entry_bytes; rest zero-padded).
+    void SetEntry(std::uint64_t i, const std::uint8_t* bytes, std::size_t len);
+
+    // Reads row i back out as bytes.
+    std::vector<std::uint8_t> EntryBytes(std::uint64_t i) const;
+
+    // Fills every row with deterministic pseudorandom content.
+    void FillRandom(Rng& rng);
+
+    const std::vector<u128>& raw() const { return data_; }
+
+  private:
+    std::uint64_t num_entries_;
+    std::size_t entry_bytes_;
+    std::size_t words_per_entry_;
+    std::vector<u128> data_;
+};
+
+}  // namespace gpudpf

@@ -1,0 +1,106 @@
+// Synthetic workload generation — statistical twins of the paper's three
+// evaluation datasets (Section 5.1; substitution documented in DESIGN.md).
+//
+// The co-design results depend on three access-pattern statistics, all of
+// which these generators reproduce:
+//   * popularity skew (Zipf)           -> frequency-based hot-table split
+//   * co-occurrence (cluster structure) -> embedding co-location
+//   * queries per inference             -> batch-PIR pressure
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace gpudpf {
+
+// One recommendation example: the user's (private, on-device) interaction
+// history, a candidate item proposed by the server, and the click label.
+struct RecSample {
+    std::vector<std::uint64_t> history;  // embedding-table lookups via PIR
+    std::uint64_t candidate = 0;         // server-provided, not private
+    float label = 0.0f;
+};
+
+struct RecDataset {
+    std::string name;
+    std::uint64_t vocab = 0;  // embedding table entries
+    int dim = 16;             // embedding dimension
+    std::vector<RecSample> train;
+    std::vector<RecSample> test;
+
+    double AvgQueriesPerInference() const;
+};
+
+// One language-model example: context token window -> next token.
+struct LmSample {
+    std::vector<std::uint64_t> context;  // word-embedding lookups via PIR
+    std::uint64_t next = 0;
+};
+
+struct LmDataset {
+    std::string name;
+    std::uint64_t vocab = 0;
+    int dim = 32;
+    std::vector<LmSample> train;
+    std::vector<LmSample> test;
+};
+
+struct RecWorkloadSpec {
+    std::string name;
+    std::uint64_t vocab = 27'000;
+    int dim = 16;
+    std::size_t num_train = 30'000;
+    std::size_t num_test = 8'000;
+    int min_history = 10;
+    int max_history = 30;
+    double zipf_exponent = 1.05;
+    int num_clusters = 64;
+    // Interest clusters per user: histories mix this many topics, so the
+    // evidence for any one candidate is carried by only a few history
+    // items — which is what makes dropped PIR lookups hurt quality.
+    int user_clusters = 12;
+    // Strength of the preference signal in the labels; lower values yield
+    // noisier labels (lower attainable AUC, as in Taobao).
+    double signal_scale = 3.0;
+    std::uint64_t seed = 1;
+};
+
+struct LmWorkloadSpec {
+    std::string name;
+    std::uint64_t vocab = 2'048;
+    int dim = 32;
+    std::size_t num_train = 20'000;
+    std::size_t num_test = 5'000;
+    int context_len = 8;
+    double zipf_exponent = 1.05;
+    int num_clusters = 32;
+    // Probability of staying in the current topic cluster per step.
+    double cluster_stickiness = 0.85;
+    std::uint64_t seed = 2;
+};
+
+RecDataset GenerateRecDataset(const RecWorkloadSpec& spec);
+LmDataset GenerateLmDataset(const LmWorkloadSpec& spec);
+
+// Canonical specs mirroring the paper's three applications. Vocabulary
+// sizes are scaled where the original would not train within the bench
+// budget; the scaling is recorded in EXPERIMENTS.md.
+RecWorkloadSpec MovieLensLikeSpec();  // MovieLens-20M: 27K entries, ~72 q/inf
+RecWorkloadSpec TaobaoLikeSpec();     // Taobao ads: ~900K entries, 2.68 q/inf
+LmWorkloadSpec WikiText2LikeSpec();   // WikiText-2: ~131K vocab LSTM
+
+// Access statistics extracted from a training split (preprocessing phase of
+// the co-design, Section 4.2).
+struct AccessStats {
+    std::vector<std::uint64_t> freq;  // lookup count per table index
+    // Top co-occurring partner indices per table index (by pair count).
+    std::vector<std::vector<std::uint32_t>> partners;
+};
+
+AccessStats ComputeRecStats(const RecDataset& dataset, int top_c);
+AccessStats ComputeLmStats(const LmDataset& dataset, int top_c);
+
+}  // namespace gpudpf

@@ -1,0 +1,210 @@
+// Unit tests for src/common: u128 helpers, RNG, Zipf sampling, thread pool,
+// statistics, table printing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table_printer.h"
+#include "src/common/thread_pool.h"
+#include "src/common/u128.h"
+#include "src/common/zipf.h"
+
+namespace gpudpf {
+namespace {
+
+TEST(U128Test, MakeAndSplitRoundTrip) {
+    const u128 v = MakeU128(0x0123456789abcdefull, 0xfedcba9876543210ull);
+    EXPECT_EQ(Hi64(v), 0x0123456789abcdefull);
+    EXPECT_EQ(Lo64(v), 0xfedcba9876543210ull);
+}
+
+TEST(U128Test, LsbAndClear) {
+    EXPECT_EQ(Lsb(MakeU128(0, 1)), 1);
+    EXPECT_EQ(Lsb(MakeU128(0, 2)), 0);
+    EXPECT_EQ(ClearLsb(MakeU128(0, 3)), MakeU128(0, 2));
+    EXPECT_EQ(Lsb(ClearLsb(MakeU128(~0ull, ~0ull))), 0);
+}
+
+TEST(U128Test, ByteSerializationRoundTrip) {
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        const u128 v = rng.Next128();
+        std::uint8_t buf[16];
+        StoreU128Le(v, buf);
+        EXPECT_EQ(LoadU128Le(buf), v);
+    }
+}
+
+TEST(U128Test, HexRendering) {
+    EXPECT_EQ(ToHex(0), std::string(32, '0'));
+    EXPECT_EQ(ToHex(MakeU128(0, 0xff)), std::string(30, '0') + "ff");
+    EXPECT_EQ(ToHex(MakeU128(0xdeadbeef00000000ull, 0)),
+              "deadbeef000000000000000000000000");
+}
+
+TEST(U128Test, WrapAroundArithmetic) {
+    const u128 max = ~static_cast<u128>(0);
+    EXPECT_EQ(max + 1, static_cast<u128>(0));
+    EXPECT_EQ(static_cast<u128>(0) - 1, max);
+}
+
+TEST(RngTest, Deterministic) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += (a.Next64() == b.Next64());
+    EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformIntInRange) {
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.UniformInt(17), 17u);
+    }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+    Rng rng(4);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.UniformDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, NormalMoments) {
+    Rng rng(6);
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i) stat.Add(rng.Normal());
+    EXPECT_NEAR(stat.mean(), 0.0, 0.03);
+    EXPECT_NEAR(stat.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, FillBytesExactLength) {
+    Rng rng(8);
+    for (std::size_t n : {0, 1, 7, 8, 9, 31}) {
+        std::vector<std::uint8_t> buf(n + 2, 0xAB);
+        rng.FillBytes(buf.data(), n);
+        EXPECT_EQ(buf[n], 0xAB);      // no overrun
+        EXPECT_EQ(buf[n + 1], 0xAB);
+    }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+    ZipfSampler zipf(1000, 1.0);
+    double sum = 0;
+    for (std::size_t k = 0; k < 1000; ++k) sum += zipf.Pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, HeadHeavierThanTail) {
+    ZipfSampler zipf(1000, 1.0);
+    EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+    EXPECT_GT(zipf.Pmf(1), zipf.Pmf(100));
+    EXPECT_GT(zipf.Pmf(100), zipf.Pmf(999));
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+    ZipfSampler zipf(50, 1.2);
+    Rng rng(9);
+    std::vector<int> counts(50, 0);
+    const int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(rng)];
+    // Head index frequency should be close to its mass.
+    EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, zipf.Pmf(0), 0.01);
+    EXPECT_NEAR(static_cast<double>(counts[1]) / kSamples, zipf.Pmf(1), 0.01);
+}
+
+TEST(ZipfTest, RejectsEmptyDomain) {
+    EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+    ZipfSampler zipf(10, 0.0);
+    for (std::size_t k = 0; k < 10; ++k) EXPECT_NEAR(zipf.Pmf(k), 0.1, 1e-9);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(100);
+    pool.ParallelFor(0, 100, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+    ThreadPool pool(2);
+    bool called = false;
+    pool.ParallelFor(5, 5, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, MaxParallelismOne) {
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.ParallelFor(0, 10, [&](std::size_t) { ++total; }, 1);
+    EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    for (int i = 0; i < 20; ++i) pool.Submit([&] { ++total; });
+    pool.Wait();
+    EXPECT_EQ(total.load(), 20);
+}
+
+TEST(StatsTest, RunningStatBasics) {
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+    std::vector<double> v{10, 20, 30, 40, 50};
+    EXPECT_DOUBLE_EQ(Percentile(v, 0), 10);
+    EXPECT_DOUBLE_EQ(Percentile(v, 50), 30);
+    EXPECT_DOUBLE_EQ(Percentile(v, 100), 50);
+    EXPECT_DOUBLE_EQ(Percentile(v, 25), 20);
+}
+
+TEST(StatsTest, FormatHelpers) {
+    EXPECT_EQ(FormatBytes(1536.0), "1.50 KiB");
+    EXPECT_EQ(FormatCount(2500000.0), "2.50 M");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+    TablePrinter t({"a", "long_header"});
+    t.AddRow({"xx", "1"});
+    const std::string s = t.ToString();
+    EXPECT_NE(s.find("| a  | long_header |"), std::string::npos);
+    EXPECT_NE(s.find("| xx | 1           |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RejectsArityMismatch) {
+    TablePrinter t({"a", "b"});
+    EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpudpf

@@ -1,0 +1,154 @@
+// End-to-end integration tests through the public PrivateEmbeddingService
+// API: retrieved embeddings must equal direct table reads, co-design on and
+// off, plus latency/communication accounting sanity.
+#include <gtest/gtest.h>
+
+#include "src/core/service.h"
+#include "src/net/comm_model.h"
+
+namespace gpudpf {
+namespace {
+
+struct TestWorld {
+    explicit TestWorld(CodesignConfig codesign, std::uint64_t vocab = 512) {
+        RecWorkloadSpec spec;
+        spec.name = "core-test";
+        spec.vocab = vocab;
+        spec.num_train = 1'500;
+        spec.num_test = 200;
+        spec.min_history = 4;
+        spec.max_history = 10;
+        spec.num_clusters = 8;
+        spec.seed = 11;
+        dataset = GenerateRecDataset(spec);
+        stats = ComputeRecStats(dataset, 4);
+        emb = std::make_unique<EmbeddingTable>(vocab, spec.dim);
+        Rng rng(3);
+        emb->InitRandom(rng, 0.2f);
+
+        ServiceConfig config;
+        config.prf = PrfKind::kChacha20;
+        config.codesign = codesign;
+        config.dnn_flops = 10'000;
+        service = std::make_unique<PrivateEmbeddingService>(*emb, stats,
+                                                            config);
+    }
+
+    RecDataset dataset;
+    AccessStats stats;
+    std::unique_ptr<EmbeddingTable> emb;
+    std::unique_ptr<PrivateEmbeddingService> service;
+};
+
+void ExpectRetrievedMatchesTable(const TestWorld& world,
+                                 const std::vector<std::uint64_t>& wanted) {
+    auto result = world.service->client().Lookup(wanted);
+    ASSERT_EQ(result.retrieved.size(), wanted.size());
+    ASSERT_EQ(result.embeddings.size(), wanted.size());
+    for (std::size_t i = 0; i < wanted.size(); ++i) {
+        if (!result.retrieved[i]) continue;
+        const float* expected = world.emb->Row(wanted[i]);
+        for (int d = 0; d < world.emb->dim(); ++d) {
+            EXPECT_FLOAT_EQ(result.embeddings[i][d], expected[d])
+                << "wanted[" << i << "]=" << wanted[i] << " dim " << d;
+        }
+    }
+}
+
+TEST(ServiceTest, PlainBatchPirRetrievesExactEmbeddings) {
+    CodesignConfig codesign;
+    codesign.q_full = 8;
+    TestWorld world(codesign);
+    ExpectRetrievedMatchesTable(world, {0, 100, 200, 300, 400, 511});
+}
+
+TEST(ServiceTest, SpreadLookupsAllRetrieved) {
+    CodesignConfig codesign;
+    codesign.q_full = 8;  // 8 bins of 64
+    TestWorld world(codesign);
+    const std::vector<std::uint64_t> wanted{1, 65, 129, 193, 257, 321};
+    auto result = world.service->client().Lookup(wanted);
+    for (std::size_t i = 0; i < wanted.size(); ++i) {
+        EXPECT_TRUE(result.retrieved[i]) << i;
+    }
+}
+
+TEST(ServiceTest, CodesignRetrievesExactEmbeddings) {
+    CodesignConfig codesign;
+    codesign.hot_size = 64;
+    codesign.colocate_c = 2;
+    codesign.q_hot = 16;
+    codesign.q_full = 8;
+    TestWorld world(codesign);
+    ExpectRetrievedMatchesTable(world, {0, 1, 2, 3, 100, 200, 300, 511});
+}
+
+TEST(ServiceTest, RealInferenceHistoriesRoundTrip) {
+    CodesignConfig codesign;
+    codesign.hot_size = 128;
+    codesign.colocate_c = 2;
+    codesign.q_hot = 32;
+    codesign.q_full = 16;
+    TestWorld world(codesign);
+    for (int s = 0; s < 10; ++s) {
+        ExpectRetrievedMatchesTable(world, world.dataset.test[s].history);
+    }
+}
+
+TEST(ServiceTest, CommunicationMatchesPlannerAccounting) {
+    CodesignConfig codesign;
+    codesign.hot_size = 64;
+    codesign.colocate_c = 1;
+    codesign.q_hot = 8;
+    codesign.q_full = 4;
+    TestWorld world(codesign);
+    auto result = world.service->client().Lookup({1, 2, 3});
+    EXPECT_EQ(result.upload_bytes,
+              world.service->planner().UploadBytesPerServer());
+    EXPECT_EQ(result.download_bytes, world.service->planner().DownloadBytes(
+                                         world.emb->dim() * sizeof(float)));
+}
+
+TEST(ServiceTest, LatencyBreakdownIsPopulated) {
+    CodesignConfig codesign;
+    codesign.q_full = 8;
+    TestWorld world(codesign);
+    auto result = world.service->client().Lookup({5, 6});
+    EXPECT_GT(result.latency.gen_sec, 0.0);
+    EXPECT_GT(result.latency.pir_sec, 0.0);
+    EXPECT_GT(result.latency.network_sec, 0.0);
+    EXPECT_GT(result.latency.dnn_sec, 0.0);
+    EXPECT_NEAR(result.latency.total_sec(),
+                result.latency.gen_sec + result.latency.pir_sec +
+                    result.latency.network_sec + result.latency.dnn_sec,
+                1e-12);
+    // Network includes at least one RTT.
+    EXPECT_GE(result.latency.network_sec, 0.05);
+}
+
+TEST(ServiceTest, DroppedLookupsAreZeroFilled) {
+    CodesignConfig codesign;
+    codesign.q_full = 1;  // single bin: heavy collisions
+    TestWorld world(codesign);
+    auto result = world.service->client().Lookup({10, 20, 30, 40});
+    bool any_dropped = false;
+    for (std::size_t i = 0; i < result.retrieved.size(); ++i) {
+        if (result.retrieved[i]) continue;
+        any_dropped = true;
+        for (const float v : result.embeddings[i]) EXPECT_EQ(v, 0.0f);
+    }
+    EXPECT_TRUE(any_dropped);
+}
+
+TEST(NetModelTest, LatencyComposition) {
+    const NetworkSpec net = NetworkSpec::FourG();
+    const double lat = NetworkLatency(net, 75'000, 75'000);
+    // 50ms RTT + 2 x 10ms transfer.
+    EXPECT_NEAR(lat, 0.05 + 2 * 75'000 / 7.5e6, 1e-9);
+    const ClientDeviceSpec dev = ClientDeviceSpec::CoreI3();
+    EXPECT_GT(KeyGenLatency(dev, 16, 10), 0.0);
+    EXPECT_NEAR(DnnLatency(dev, 5e9), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gpudpf

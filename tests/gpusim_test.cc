@@ -1,0 +1,181 @@
+// Simulated-device and cost-model tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/gpusim/cost_model.h"
+#include "src/gpusim/device.h"
+
+namespace gpudpf {
+namespace {
+
+TEST(DeviceSpecTest, V100Parameters) {
+    const DeviceSpec v100 = DeviceSpec::V100();
+    EXPECT_EQ(v100.sm_count, 80);
+    EXPECT_EQ(v100.global_mem_bytes, 16ull << 30);
+}
+
+TEST(GpuDeviceTest, LaunchRunsEveryBlockOnce) {
+    GpuDevice device;
+    std::vector<std::atomic<int>> hits(64);
+    device.Launch(64, 128, [&](BlockContext& ctx) {
+        ++hits[ctx.block_id];
+        EXPECT_EQ(ctx.grid_dim, 64u);
+        EXPECT_EQ(ctx.block_dim, 128u);
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(GpuDeviceTest, MetricsAggregateAcrossBlocks) {
+    GpuDevice device;
+    device.Launch(10, 32, [&](BlockContext& ctx) {
+        ctx.metrics.prf_expansions = 5;
+        ctx.metrics.global_bytes_read = 100;
+    });
+    const KernelMetrics m = device.ConsumeMetrics();
+    EXPECT_EQ(m.prf_expansions, 50u);
+    EXPECT_EQ(m.global_bytes_read, 1000u);
+    EXPECT_EQ(m.kernel_launches, 1u);
+    EXPECT_EQ(m.blocks_launched, 10u);
+    EXPECT_EQ(m.threads_per_block, 32u);
+    // Consumed: second read is empty.
+    EXPECT_EQ(device.ConsumeMetrics().prf_expansions, 0u);
+}
+
+TEST(GpuDeviceTest, CooperativeLaunchPhasesAndSyncs) {
+    GpuDevice device;
+    std::atomic<int> phase_calls{0};
+    device.LaunchCooperative(8, 64, 5, [&](BlockContext&, std::uint32_t) {
+        ++phase_calls;
+    });
+    EXPECT_EQ(phase_calls.load(), 8 * 5);
+    const KernelMetrics m = device.ConsumeMetrics();
+    EXPECT_EQ(m.grid_syncs, 4u);  // phases - 1
+    EXPECT_EQ(m.kernel_launches, 1u);
+}
+
+TEST(GpuDeviceTest, CooperativePhasesAreOrdered) {
+    // All blocks must finish phase p before any block starts p+1.
+    GpuDevice device;
+    std::atomic<int> current_phase{0};
+    std::atomic<bool> violation{false};
+    device.LaunchCooperative(16, 32, 4,
+                             [&](BlockContext&, std::uint32_t phase) {
+                                 if (static_cast<int>(phase) <
+                                     current_phase.load()) {
+                                     violation = true;
+                                 }
+                                 current_phase.store(static_cast<int>(phase));
+                             });
+    EXPECT_FALSE(violation.load());
+}
+
+TEST(GpuDeviceTest, AllocationWatermark) {
+    GpuDevice device;
+    device.Alloc(1000);
+    device.Alloc(500);
+    EXPECT_EQ(device.current_alloc_bytes(), 1500u);
+    device.Free(800);
+    EXPECT_EQ(device.current_alloc_bytes(), 700u);
+    EXPECT_EQ(device.peak_alloc_bytes(), 1500u);
+    device.ResetPeakAlloc();
+    EXPECT_EQ(device.peak_alloc_bytes(), 700u);
+}
+
+TEST(GpuCostModelTest, RateFactorSaturates) {
+    GpuCostModel model;
+    EXPECT_DOUBLE_EQ(model.RateFactor(80, 128), 1.0);
+    EXPECT_DOUBLE_EQ(model.RateFactor(160, 256), 1.0);
+    EXPECT_NEAR(model.RateFactor(40, 128), 0.5, 1e-9);
+    EXPECT_NEAR(model.RateFactor(80, 64), 0.5, 1e-9);
+}
+
+TEST(GpuCostModelTest, UtilizationClamped) {
+    GpuCostModel model;
+    EXPECT_DOUBLE_EQ(model.Utilization(0), 0.0);
+    EXPECT_DOUBLE_EQ(model.Utilization(1e9), 1.0);
+    EXPECT_NEAR(model.Utilization(80.0 * 2048 / 2), 0.5, 1e-9);
+}
+
+StrategyReport MakeReport(std::uint64_t expansions, std::uint64_t batch) {
+    StrategyReport r;
+    r.prf = PrfKind::kAes128;
+    r.batch = batch;
+    r.blocks = batch;
+    r.threads_per_block = 128;
+    r.avg_active_threads = static_cast<double>(batch) * 128;
+    r.metrics.prf_expansions = expansions;
+    r.fused = true;
+    return r;
+}
+
+TEST(GpuCostModelTest, ThroughputScalesWithBatchUntilSaturation) {
+    GpuCostModel model;
+    const auto r1 = MakeReport(1 << 20, 1);
+    const auto r128 = MakeReport(128ull << 20, 128);
+    const PerfEstimate e1 = model.Estimate(r1);
+    const PerfEstimate e128 = model.Estimate(r128);
+    // 128 blocks saturate the 80 SMs; 1 block uses 1/80th.
+    EXPECT_GT(e128.throughput_qps, 50 * e1.throughput_qps);
+}
+
+TEST(GpuCostModelTest, CalibratedAesThroughputNearTable5) {
+    // Table 5: 1M entries, batch 512, AES-128 => 965 QPS.
+    GpuCostModel model;
+    auto r = MakeReport(512ull << 20, 512);
+    const PerfEstimate e = model.Estimate(r);
+    EXPECT_GT(e.throughput_qps, 700);
+    EXPECT_LT(e.throughput_qps, 1300);
+}
+
+TEST(GpuCostModelTest, FusionOverlapsComputeAndMemory) {
+    StrategyReport r = MakeReport(1 << 20, 64);
+    r.metrics.global_bytes_read = 1ull << 30;
+    r.fused = true;
+    GpuCostModel model;
+    const PerfEstimate fused = model.Estimate(r);
+    r.fused = false;
+    const PerfEstimate unfused = model.Estimate(r);
+    EXPECT_LT(fused.latency_sec, unfused.latency_sec);
+    EXPECT_NEAR(unfused.latency_sec - unfused.overhead_sec,
+                unfused.compute_sec + unfused.memory_sec, 1e-12);
+}
+
+TEST(GpuCostModelTest, MemoryFeasibilityFlag) {
+    GpuCostModel model;
+    StrategyReport r = MakeReport(1000, 1);
+    r.workspace_bytes = 20ull << 30;  // 20 GiB > 16 GiB V100
+    const PerfEstimate e = model.Estimate(r);
+    EXPECT_FALSE(e.fits_in_memory);
+}
+
+TEST(GpuCostModelTest, MultiGpuScalesLinearly) {
+    GpuCostModel model;
+    const auto r = MakeReport(512ull << 20, 512);
+    const PerfEstimate one = model.Estimate(r);
+    const PerfEstimate four = model.EstimateMultiGpu(r, 4);
+    EXPECT_NEAR(four.throughput_qps / one.throughput_qps, 4.0, 0.2);
+}
+
+TEST(CpuCostModelTest, CalibratedLatencyNearTable4) {
+    // Table 4: 1M entries, AES, 1 thread => 638 ms; 32 threads => 36 ms.
+    CpuCostModel model;
+    const PerfEstimate one =
+        model.Estimate(PrfKind::kAes128, 1 << 20, 0, 1, 1);
+    EXPECT_GT(one.latency_sec, 0.4);
+    EXPECT_LT(one.latency_sec, 0.9);
+    const PerfEstimate many =
+        model.Estimate(PrfKind::kAes128, 1 << 20, 0, 1, 32);
+    EXPECT_GT(many.latency_sec, 0.02);
+    EXPECT_LT(many.latency_sec, 0.06);
+}
+
+TEST(CpuCostModelTest, SingleThreadHasNoParallelPenalty) {
+    CpuCostModel model;
+    const PerfEstimate e1 = model.Estimate(PrfKind::kAes128, 1000, 0, 1, 1);
+    const PerfEstimate e2 = model.Estimate(PrfKind::kAes128, 2000, 0, 1, 1);
+    EXPECT_NEAR(e2.latency_sec / e1.latency_sec, 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace gpudpf

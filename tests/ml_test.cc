@@ -1,0 +1,186 @@
+// ML layer tests: metric correctness, training actually learns, and
+// dropped retrievals degrade quality monotonically (the co-design premise).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ml/embedding.h"
+#include "src/ml/metrics.h"
+#include "src/ml/models.h"
+#include "src/workloads/dataset.h"
+
+namespace gpudpf {
+namespace {
+
+TEST(RocAucTest, PerfectSeparation) {
+    EXPECT_DOUBLE_EQ(RocAuc({0.1f, 0.2f, 0.8f, 0.9f}, {0, 0, 1, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(RocAuc({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresAreHalf) {
+    Rng rng(1);
+    std::vector<float> scores;
+    std::vector<float> labels;
+    for (int i = 0; i < 4000; ++i) {
+        scores.push_back(static_cast<float>(rng.UniformDouble()));
+        labels.push_back(rng.UniformInt(2) ? 1.0f : 0.0f);
+    }
+    EXPECT_NEAR(RocAuc(scores, labels), 0.5, 0.03);
+}
+
+TEST(RocAucTest, TiesAveraged) {
+    // All scores equal: AUC must be exactly 0.5 regardless of labels.
+    EXPECT_DOUBLE_EQ(RocAuc({0.5f, 0.5f, 0.5f, 0.5f}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(RocAucTest, SingleClassReturnsHalf) {
+    EXPECT_DOUBLE_EQ(RocAuc({0.1f, 0.9f}, {1, 1}), 0.5);
+}
+
+TEST(PerplexityTest, UniformModel) {
+    // Uniform over V: nll = log(V) per token => ppl = V.
+    const double nll = std::log(100.0) * 50;
+    EXPECT_NEAR(PerplexityFromNll(nll, 50), 100.0, 1e-9);
+}
+
+TEST(EmbeddingTableTest, MeanPoolBasics) {
+    EmbeddingTable emb(4, 2);
+    emb.Row(0)[0] = 1.0f;
+    emb.Row(0)[1] = 2.0f;
+    emb.Row(1)[0] = 3.0f;
+    emb.Row(1)[1] = 4.0f;
+    const auto pooled = emb.MeanPool({0, 1}, nullptr);
+    EXPECT_FLOAT_EQ(pooled[0], 2.0f);
+    EXPECT_FLOAT_EQ(pooled[1], 3.0f);
+}
+
+TEST(EmbeddingTableTest, MeanPoolRespectsMask) {
+    EmbeddingTable emb(4, 1);
+    emb.Row(0)[0] = 10.0f;
+    emb.Row(1)[0] = 20.0f;
+    // Dropped lookups contribute zero but keep the full divisor.
+    std::vector<bool> mask{true, false};
+    EXPECT_FLOAT_EQ(emb.MeanPool({0, 1}, &mask)[0], 5.0f);
+    std::vector<bool> none{false, false};
+    EXPECT_FLOAT_EQ(emb.MeanPool({0, 1}, &none)[0], 0.0f);
+}
+
+TEST(EmbeddingTableTest, MaskMisalignmentThrows) {
+    EmbeddingTable emb(4, 1);
+    std::vector<bool> mask{true};
+    EXPECT_THROW(emb.MeanPool({0, 1}, &mask), std::invalid_argument);
+}
+
+class TrainedRecModel : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite() {
+        RecWorkloadSpec spec;
+        spec.name = "unit-rec";
+        spec.vocab = 1'500;
+        spec.num_train = 8'000;
+        spec.num_test = 1'200;
+        spec.min_history = 6;
+        spec.max_history = 14;
+        spec.num_clusters = 12;
+        spec.user_clusters = 3;
+        spec.signal_scale = 5.0;
+        spec.seed = 31;
+        dataset_ = new RecDataset(GenerateRecDataset(spec));
+        emb_ = new EmbeddingTable(spec.vocab, spec.dim);
+        Rng rng(7);
+        emb_->InitRandom(rng, 0.1f);
+        model_ = new MlpRanker(spec.dim, 32, 8);
+        model_->Train(dataset_->train, emb_, /*epochs=*/6, /*lr=*/0.05f);
+    }
+    static void TearDownTestSuite() {
+        delete model_;
+        delete emb_;
+        delete dataset_;
+    }
+
+    static RecDataset* dataset_;
+    static EmbeddingTable* emb_;
+    static MlpRanker* model_;
+};
+
+RecDataset* TrainedRecModel::dataset_ = nullptr;
+EmbeddingTable* TrainedRecModel::emb_ = nullptr;
+MlpRanker* TrainedRecModel::model_ = nullptr;
+
+TEST_F(TrainedRecModel, LearnsAboveChance) {
+    const double auc = model_->EvaluateAuc(dataset_->test, *emb_, nullptr);
+    EXPECT_GT(auc, 0.60);  // clearly better than random
+}
+
+TEST_F(TrainedRecModel, DroppingLookupsDegradesAuc) {
+    const double full = model_->EvaluateAuc(dataset_->test, *emb_, nullptr);
+    // Drop fractions 25% / 75% of each history.
+    auto masked_auc = [&](double keep) {
+        Rng rng(55);
+        std::vector<std::vector<bool>> masks;
+        for (const auto& s : dataset_->test) {
+            std::vector<bool> m(s.history.size());
+            for (std::size_t i = 0; i < m.size(); ++i) {
+                m[i] = rng.UniformDouble() < keep;
+            }
+            masks.push_back(std::move(m));
+        }
+        return model_->EvaluateAuc(dataset_->test, *emb_, &masks);
+    };
+    const double most = masked_auc(0.75);
+    const double little = masked_auc(0.25);
+    EXPECT_LE(little, most + 0.01);
+    EXPECT_LT(little, full);
+    // Full mask == no mask.
+    std::vector<std::vector<bool>> all;
+    for (const auto& s : dataset_->test) {
+        all.emplace_back(s.history.size(), true);
+    }
+    EXPECT_DOUBLE_EQ(model_->EvaluateAuc(dataset_->test, *emb_, &all), full);
+}
+
+TEST(FeedforwardLmTest, LearnsBelowUniformPerplexity) {
+    LmWorkloadSpec spec;
+    spec.name = "unit-lm";
+    spec.vocab = 256;
+    spec.dim = 16;
+    spec.num_train = 4'000;
+    spec.num_test = 1'000;
+    spec.context_len = 5;
+    spec.num_clusters = 8;
+    spec.seed = 77;
+    const LmDataset ds = GenerateLmDataset(spec);
+    EmbeddingTable emb(spec.vocab, spec.dim);
+    Rng rng(9);
+    emb.InitRandom(rng, 0.1f);
+    FeedforwardLm lm(spec.vocab, spec.dim, 24, 10);
+
+    const double before = lm.EvaluatePerplexity(ds.test, emb, nullptr);
+    lm.Train(ds.train, &emb, /*epochs=*/2, /*lr=*/0.1f);
+    const double after = lm.EvaluatePerplexity(ds.test, emb, nullptr);
+    EXPECT_LT(after, before);
+    EXPECT_LT(after, 0.7 * spec.vocab);  // well below uniform
+
+    // Dropping context lookups raises perplexity.
+    Rng mask_rng(3);
+    std::vector<std::vector<bool>> masks;
+    for (const auto& s : ds.test) {
+        std::vector<bool> m(s.context.size());
+        for (std::size_t i = 0; i < m.size(); ++i) {
+            m[i] = mask_rng.UniformDouble() < 0.3;
+        }
+        masks.push_back(std::move(m));
+    }
+    const double dropped = lm.EvaluatePerplexity(ds.test, emb, &masks);
+    EXPECT_GT(dropped, after);
+}
+
+TEST(ModelFlopsTest, ReportedFlopsArePlausible) {
+    MlpRanker ranker(16, 32, 1);
+    EXPECT_EQ(ranker.ForwardFlops(), 2ull * 32 * 48 + 2ull * 32);
+    FeedforwardLm lm(1000, 16, 32, 1);
+    EXPECT_EQ(lm.ForwardFlops(), 2ull * 32 * 16 + 2ull * 1000 * 32);
+}
+
+}  // namespace
+}  // namespace gpudpf

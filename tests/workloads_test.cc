@@ -1,0 +1,180 @@
+// Workload generator tests: the synthetic datasets must reproduce the
+// access statistics the co-design relies on (skew, co-occurrence, queries
+// per inference) and be deterministic per seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/workloads/dataset.h"
+
+namespace gpudpf {
+namespace {
+
+RecWorkloadSpec SmallRecSpec() {
+    RecWorkloadSpec spec;
+    spec.name = "small-rec";
+    spec.vocab = 2'000;
+    spec.num_train = 3'000;
+    spec.num_test = 800;
+    spec.min_history = 5;
+    spec.max_history = 15;
+    spec.num_clusters = 16;
+    spec.seed = 5;
+    return spec;
+}
+
+LmWorkloadSpec SmallLmSpec() {
+    LmWorkloadSpec spec;
+    spec.name = "small-lm";
+    spec.vocab = 512;
+    spec.num_train = 4'000;
+    spec.num_test = 1'000;
+    spec.context_len = 6;
+    spec.num_clusters = 8;
+    spec.seed = 6;
+    return spec;
+}
+
+TEST(RecDatasetTest, ShapeMatchesSpec) {
+    const auto spec = SmallRecSpec();
+    const RecDataset ds = GenerateRecDataset(spec);
+    EXPECT_EQ(ds.train.size(), spec.num_train);
+    EXPECT_EQ(ds.test.size(), spec.num_test);
+    EXPECT_EQ(ds.vocab, spec.vocab);
+    for (const auto& s : ds.test) {
+        EXPECT_GE(static_cast<int>(s.history.size()), spec.min_history);
+        EXPECT_LE(static_cast<int>(s.history.size()), spec.max_history);
+        EXPECT_LT(s.candidate, spec.vocab);
+        for (const auto h : s.history) EXPECT_LT(h, spec.vocab);
+        EXPECT_TRUE(s.label == 0.0f || s.label == 1.0f);
+    }
+}
+
+TEST(RecDatasetTest, DeterministicPerSeed) {
+    const auto a = GenerateRecDataset(SmallRecSpec());
+    const auto b = GenerateRecDataset(SmallRecSpec());
+    ASSERT_EQ(a.train.size(), b.train.size());
+    EXPECT_EQ(a.train[0].history, b.train[0].history);
+    EXPECT_EQ(a.train[0].candidate, b.train[0].candidate);
+    auto spec2 = SmallRecSpec();
+    spec2.seed = 999;
+    const auto c = GenerateRecDataset(spec2);
+    EXPECT_NE(a.train[0].history, c.train[0].history);
+}
+
+TEST(RecDatasetTest, LabelsAreBalancedEnough) {
+    const auto ds = GenerateRecDataset(SmallRecSpec());
+    double pos = 0;
+    for (const auto& s : ds.train) pos += s.label;
+    const double frac = pos / ds.train.size();
+    EXPECT_GT(frac, 0.15);
+    EXPECT_LT(frac, 0.85);
+}
+
+TEST(RecDatasetTest, AccessesAreSkewed) {
+    const auto ds = GenerateRecDataset(SmallRecSpec());
+    const AccessStats stats = ComputeRecStats(ds, 0);
+    std::vector<std::uint64_t> freq = stats.freq;
+    std::sort(freq.rbegin(), freq.rend());
+    const std::uint64_t total =
+        std::accumulate(freq.begin(), freq.end(), std::uint64_t{0});
+    // Top 10% of items should cover well over 10% of accesses (Zipf +
+    // cluster concentration) — the hot-table premise.
+    std::uint64_t top = 0;
+    for (std::size_t i = 0; i < freq.size() / 10; ++i) top += freq[i];
+    EXPECT_GT(static_cast<double>(top) / total, 0.2);
+}
+
+TEST(RecDatasetTest, QueriesPerInferenceMatchesPaper) {
+    const auto ds = GenerateRecDataset(MovieLensLikeSpec());
+    EXPECT_NEAR(ds.AvgQueriesPerInference(), 72.0, 3.0);
+    const auto taobao = GenerateRecDataset(TaobaoLikeSpec());
+    EXPECT_NEAR(taobao.AvgQueriesPerInference(), 2.68, 0.5);
+}
+
+TEST(LmDatasetTest, ShapeMatchesSpec) {
+    const auto spec = SmallLmSpec();
+    const LmDataset ds = GenerateLmDataset(spec);
+    EXPECT_EQ(ds.train.size(), spec.num_train);
+    EXPECT_EQ(ds.test.size(), spec.num_test);
+    for (const auto& s : ds.test) {
+        EXPECT_EQ(static_cast<int>(s.context.size()), spec.context_len);
+        EXPECT_LT(s.next, spec.vocab);
+    }
+}
+
+TEST(LmDatasetTest, TokensHaveTopicStructure) {
+    // Adjacent tokens should repeat far more often than uniform chance —
+    // the co-location premise.
+    const auto spec = SmallLmSpec();
+    const LmDataset ds = GenerateLmDataset(spec);
+    const AccessStats stats = ComputeLmStats(ds, 4);
+    std::size_t with_partners = 0;
+    for (const auto& p : stats.partners) with_partners += !p.empty();
+    EXPECT_GT(with_partners, spec.vocab / 4);
+}
+
+TEST(AccessStatsTest, FrequenciesCountEveryAccess) {
+    const auto ds = GenerateRecDataset(SmallRecSpec());
+    const AccessStats stats = ComputeRecStats(ds, 0);
+    std::uint64_t total_freq =
+        std::accumulate(stats.freq.begin(), stats.freq.end(),
+                        std::uint64_t{0});
+    std::uint64_t total_accesses = 0;
+    for (const auto& s : ds.train) total_accesses += s.history.size();
+    EXPECT_EQ(total_freq, total_accesses);
+}
+
+TEST(AccessStatsTest, PartnersAreBounded) {
+    const auto ds = GenerateRecDataset(SmallRecSpec());
+    const AccessStats stats = ComputeRecStats(ds, 3);
+    for (std::uint64_t i = 0; i < ds.vocab; ++i) {
+        EXPECT_LE(stats.partners[i].size(), 3u);
+        for (const auto p : stats.partners[i]) {
+            EXPECT_NE(p, i);  // no self-partnering
+            EXPECT_LT(p, ds.vocab);
+        }
+    }
+}
+
+TEST(AccessStatsTest, PartnersReflectCooccurrence) {
+    // Partners of frequent items should themselves be frequently
+    // co-accessed — sanity-check by verifying a partner appears in some
+    // history together with its owner.
+    const auto ds = GenerateRecDataset(SmallRecSpec());
+    const AccessStats stats = ComputeRecStats(ds, 2);
+    std::uint64_t owner = 0;
+    std::uint64_t best = 0;
+    for (std::uint64_t i = 0; i < ds.vocab; ++i) {
+        if (stats.freq[i] > best && !stats.partners[i].empty()) {
+            best = stats.freq[i];
+            owner = i;
+        }
+    }
+    ASSERT_FALSE(stats.partners[owner].empty());
+    const std::uint64_t partner = stats.partners[owner][0];
+    bool cooccur = false;
+    for (const auto& s : ds.train) {
+        bool has_owner = false;
+        bool has_partner = false;
+        for (const auto h : s.history) {
+            has_owner |= (h == owner);
+            has_partner |= (h == partner);
+        }
+        if (has_owner && has_partner) {
+            cooccur = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(cooccur);
+}
+
+TEST(CanonicalSpecsTest, MatchPaperTable1Scale) {
+    EXPECT_EQ(MovieLensLikeSpec().vocab, 27'000u);
+    EXPECT_GT(TaobaoLikeSpec().vocab, 100'000u);
+    EXPECT_GE(WikiText2LikeSpec().vocab, 2'000u);
+}
+
+}  // namespace
+}  // namespace gpudpf
