@@ -1,0 +1,104 @@
+// Sequential vs sharded/batched server answer throughput.
+//
+//   build/bench/bench_sharded_throughput [log_entries] [entry_bytes] [batch] [iters]
+//
+// Answers a batch of PIR queries against one table three ways — the
+// sequential reference loop, per-query sharded Answer, and the batched
+// BatchAnswer path — at several thread counts, and reports queries/sec plus
+// speedup over the sequential baseline. Speedup tracks the physical core
+// count: on a 1-core host the sharded rows only measure the engine's
+// overhead; run on >= 8 cores to reproduce the >2x-at-8-threads result.
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/common/timer.h"
+#include "src/pir/protocol.h"
+#include "src/pir/table.h"
+
+using namespace gpudpf;
+
+namespace {
+
+double MeasureSeconds(int iters, const std::function<void()>& body) {
+    body();  // warm-up
+    Timer timer;
+    for (int i = 0; i < iters; ++i) body();
+    return timer.ElapsedSeconds() / iters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const int log_entries = argc > 1 ? std::atoi(argv[1]) : 14;
+    const std::size_t entry_bytes =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 256;
+    const std::size_t batch =
+        argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 8;
+    const int iters = argc > 4 ? std::atoi(argv[4]) : 3;
+    if (log_entries < 1 || log_entries > 30 || entry_bytes == 0 ||
+        batch == 0 || iters < 1) {
+        std::fprintf(stderr,
+                     "usage: %s [log_entries 1..30] [entry_bytes >= 1] "
+                     "[batch >= 1] [iters >= 1]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    const std::uint64_t n = std::uint64_t{1} << log_entries;
+    std::printf("== sharded answer throughput ==\n");
+    std::printf("table: %llu entries x %zu B (%.1f MiB), batch=%zu, "
+                "host cores=%u\n",
+                static_cast<unsigned long long>(n), entry_bytes,
+                static_cast<double>(n) * entry_bytes / (1024.0 * 1024.0),
+                batch, std::thread::hardware_concurrency());
+
+    Rng rng(1);
+    PirTable table(n, entry_bytes);
+    table.FillRandom(rng);
+    PirClient client(log_entries, PrfKind::kChacha20, /*seed=*/2);
+
+    std::vector<std::vector<std::uint8_t>> keys;
+    keys.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+        keys.push_back(client.Query((i * 7919) % n).key_for_server0);
+    }
+
+    // Sequential reference baseline: one query at a time, no pool.
+    PirServer sequential(&table);
+    const double seq_sec = MeasureSeconds(iters, [&] {
+        for (const auto& k : keys) sequential.Answer(k.data(), k.size());
+    });
+    const double seq_qps = batch / seq_sec;
+    std::printf("\n%-28s %12s %12s %9s\n", "config", "batch ms", "queries/s",
+                "speedup");
+    std::printf("%-28s %12.2f %12.1f %9s\n", "sequential", seq_sec * 1e3,
+                seq_qps, "1.00x");
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{8}}) {
+        ThreadPool pool(threads);
+        // 2 shards per thread keeps every worker busy through the ragged
+        // tail of the row ranges.
+        PirServer server(&table, ShardingOptions{2 * threads, &pool});
+        const double shard_sec = MeasureSeconds(iters, [&] {
+            for (const auto& k : keys) server.Answer(k.data(), k.size());
+        });
+        const double batch_sec = MeasureSeconds(iters, [&] {
+            server.BatchAnswer(keys);
+        });
+        char label[64];
+        std::snprintf(label, sizeof(label), "sharded   t=%zu shards=%zu",
+                      threads, 2 * threads);
+        std::printf("%-28s %12.2f %12.1f %8.2fx\n", label, shard_sec * 1e3,
+                    batch / shard_sec, seq_sec / shard_sec);
+        std::snprintf(label, sizeof(label), "batched   t=%zu shards=%zu",
+                      threads, 2 * threads);
+        std::printf("%-28s %12.2f %12.1f %8.2fx\n", label, batch_sec * 1e3,
+                    batch / batch_sec, seq_sec / batch_sec);
+    }
+    return 0;
+}

@@ -5,10 +5,12 @@
 
 namespace gpudpf {
 
-PbrSession::PbrSession(const Pbr* pbr, PrfKind prf, std::uint64_t client_seed)
+PbrSession::PbrSession(const Pbr* pbr, PrfKind prf, std::uint64_t client_seed,
+                       ShardingOptions sharding)
     : pbr_(pbr),
       bin_dpf_(DpfParams{pbr->bin_log_domain(), prf, 1}),
-      rng_(client_seed) {}
+      rng_(client_seed),
+      engine_(sharding) {}
 
 std::size_t PbrSession::Request::UploadBytesPerServer() const {
     std::size_t total = 0;
@@ -37,26 +39,18 @@ std::vector<PirResponse> PbrSession::Answer(
     if (keys.size() != pbr_->num_bins()) {
         throw std::invalid_argument("PbrSession::Answer: key count mismatch");
     }
-    const std::size_t w = table.words_per_entry();
-    std::vector<PirResponse> out(keys.size());
+    // One engine job per bin; the whole batched retrieval is answered in a
+    // single pool submission (every (bin, shard) task runs concurrently).
+    std::vector<DpfKey> parsed(keys.size());
+    std::vector<AnswerEngine::Job> jobs(keys.size());
     for (std::uint64_t b = 0; b < keys.size(); ++b) {
-        const DpfKey key = DpfKey::Deserialize(keys[b].data(), keys[b].size());
-        if (key.params.log_domain != pbr_->bin_log_domain()) {
+        parsed[b] = DpfKey::Deserialize(keys[b].data(), keys[b].size());
+        if (parsed[b].params.log_domain != pbr_->bin_log_domain()) {
             throw std::invalid_argument("PbrSession::Answer: bad key domain");
         }
-        std::vector<u128> shares;
-        bin_dpf_.EvalFullDomain(key, &shares);
-        PirResponse resp(w, 0);
-        const std::uint64_t base = b * pbr_->bin_size();
-        const std::uint64_t entries = pbr_->BinEntries(b);
-        for (std::uint64_t j = 0; j < entries; ++j) {
-            const u128 v = shares[j];
-            const u128* row = table.Entry(base + j);
-            for (std::size_t k = 0; k < w; ++k) resp[k] += v * row[k];
-        }
-        out[b] = std::move(resp);
+        jobs[b] = {&parsed[b], b * pbr_->bin_size(), pbr_->BinEntries(b)};
     }
-    return out;
+    return engine_.AnswerBatch(table, jobs);
 }
 
 std::vector<std::vector<std::uint8_t>> PbrSession::Reconstruct(

@@ -18,7 +18,12 @@ namespace gpudpf {
 
 class PbrSession {
   public:
-    PbrSession(const Pbr* pbr, PrfKind prf, std::uint64_t client_seed = 1);
+    // `sharding` configures the server-side answer engine: every per-bin
+    // query of a batched retrieval becomes one engine job (further split
+    // into num_shards row shards), so the whole batch is answered in one
+    // pool submission. Defaults keep the sequential reference behavior.
+    PbrSession(const Pbr* pbr, PrfKind prf, std::uint64_t client_seed = 1,
+               ShardingOptions sharding = {});
 
     // One serialized DPF key per bin, per server.
     struct Request {
@@ -43,10 +48,13 @@ class PbrSession {
         const std::vector<PirResponse>& r0, const std::vector<PirResponse>& r1,
         std::size_t entry_bytes) const;
 
+    const AnswerEngine& engine() const { return engine_; }
+
   private:
     const Pbr* pbr_;
     Dpf bin_dpf_;
     Rng rng_;
+    AnswerEngine engine_;
 };
 
 }  // namespace gpudpf

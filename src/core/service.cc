@@ -60,6 +60,9 @@ PrivateEmbeddingService::PrivateEmbeddingService(
               }
               return owners;
           }())),
+      server_pool_(config.server_threads > 0
+                       ? std::make_unique<ThreadPool>(config.server_threads)
+                       : nullptr),
       client_(this) {
     if (hot_pbr_ != nullptr) {
         std::vector<std::uint64_t> owners(layout_.hot_size());
@@ -95,11 +98,12 @@ PrivateEmbeddingService::Client::Client(PrivateEmbeddingService* service)
     : service_(service),
       rng_(service->config_.client_seed),
       full_session_(&service->full_pbr_, service->config_.prf,
-                    service->config_.client_seed + 1) {
+                    service->config_.client_seed + 1,
+                    service->server_sharding()) {
     if (service_->hot_pbr_ != nullptr) {
         hot_session_ = std::make_unique<PbrSession>(
             service_->hot_pbr_.get(), service_->config_.prf,
-            service_->config_.client_seed + 2);
+            service_->config_.client_seed + 2, service_->server_sharding());
     }
 }
 

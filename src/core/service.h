@@ -39,6 +39,12 @@ struct ServiceConfig {
     ClientDeviceSpec client_device = ClientDeviceSpec::CoreI3();
     // FLOPs of the on-device model, for the latency breakdown.
     std::uint64_t dnn_flops = 0;
+    // Server-side answer parallelism: each per-bin query is split into
+    // `server_shards` contiguous row shards evaluated on a thread pool of
+    // `server_threads` workers (0 = the process-wide shared pool sized to
+    // the host). server_shards == 1 keeps the sequential reference path.
+    std::size_t server_shards = 1;
+    std::size_t server_threads = 0;
 };
 
 class PrivateEmbeddingService {
@@ -72,6 +78,10 @@ class PrivateEmbeddingService {
     };
 
     Client& client() { return client_; }
+    // Sharding configuration handed to the server-side answer engines.
+    ShardingOptions server_sharding() const {
+        return ShardingOptions{config_.server_shards, server_pool_.get()};
+    }
     const EmbeddingLayout& layout() const { return layout_; }
     const Pbr& full_pbr() const { return full_pbr_; }
     const Pbr* hot_pbr() const { return hot_pbr_.get(); }
@@ -98,6 +108,9 @@ class PrivateEmbeddingService {
     // "servers" answer from the same in-process copy here.
     PirTable full_table_;
     std::unique_ptr<PirTable> hot_table_;
+    // Dedicated answer pool when config.server_threads > 0; the engines
+    // fall back to ThreadPool::Shared() otherwise.
+    std::unique_ptr<ThreadPool> server_pool_;
     Client client_;
 };
 

@@ -250,4 +250,45 @@ void Dpf::EvalFullDomain(const DpfKey& key, std::vector<u128>* out) const {
     }
 }
 
+void Dpf::EvalRange(const DpfKey& key, std::uint64_t begin, std::uint64_t end,
+                    std::vector<u128>* out) const {
+    if (begin > end || end > domain_size()) {
+        throw std::invalid_argument("Dpf::EvalRange: bad range");
+    }
+    const int n = params_.log_domain;
+    const int w = params_.out_words;
+    out->assign((end - begin) * static_cast<std::uint64_t>(w), 0);
+    if (begin == end) return;
+
+    // Same DFS as EvalFullDomain, but a node at (level, index) covers leaves
+    // [index << (n - level), (index + 1) << (n - level)) and is pruned when
+    // that span is disjoint from [begin, end).
+    struct Frame {
+        Node node;
+        int level;
+        std::uint64_t index;  // node index within its level
+    };
+    std::vector<Frame> stack;
+    stack.reserve(2 * n + 2);
+    stack.push_back({Root(key), 0, 0});
+    while (!stack.empty()) {
+        Frame f = stack.back();
+        stack.pop_back();
+        const int span_log = n - f.level;
+        const std::uint64_t lo = f.index << span_log;
+        const std::uint64_t hi = lo + (std::uint64_t{1} << span_log);
+        if (hi <= begin || lo >= end) continue;
+        if (f.level == n) {
+            Finalize(key, f.node, out->data() + (f.index - begin) * w);
+            continue;
+        }
+        Node left;
+        Node right;
+        ExpandNode(key, f.node, f.level, &left, &right);
+        // Push right first so leaves are produced left-to-right.
+        stack.push_back({right, f.level + 1, 2 * f.index + 1});
+        stack.push_back({left, f.level + 1, 2 * f.index});
+    }
+}
+
 }  // namespace gpudpf

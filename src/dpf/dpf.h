@@ -82,6 +82,15 @@ class Dpf {
     // out is resized to L * out_words, laid out point-major.
     void EvalFullDomain(const DpfKey& key, std::vector<u128>* out) const;
 
+    // Evaluates the contiguous leaf range [begin, end) by pruned DFS:
+    // subtrees disjoint from the range are never expanded, so the cost is
+    // O((end - begin) + log L) node expansions. out is resized to
+    // (end - begin) * out_words, point-major, with leaf x stored at offset
+    // (x - begin). This is the per-shard primitive of the sharded server
+    // answer engine. Leaf values are identical to EvalFullDomain's.
+    void EvalRange(const DpfKey& key, std::uint64_t begin, std::uint64_t end,
+                   std::vector<u128>* out) const;
+
     // --- Node-level primitives for parallel kernels -----------------------
 
     // Expansion state of one tree node.

@@ -1,0 +1,123 @@
+#include "src/pir/answer_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gpudpf {
+namespace {
+
+// shares^T * rows: accumulates shares[j] * table[row_begin + lo + j] over
+// the shard's local leaf range [lo, hi) into resp (words_per_entry words).
+void AccumulateRows(const PirTable& table, const u128* shares,
+                    std::uint64_t row_begin, std::uint64_t lo,
+                    std::uint64_t hi, u128* resp) {
+    const std::size_t w = table.words_per_entry();
+    for (std::uint64_t j = lo; j < hi; ++j) {
+        const u128 v = shares[j - lo];
+        if (v == 0) continue;
+        const u128* row = table.Entry(row_begin + j);
+        for (std::size_t k = 0; k < w; ++k) resp[k] += v * row[k];
+    }
+}
+
+void ValidateJob(const PirTable& table, const AnswerEngine::Job& job) {
+    if (job.key == nullptr) {
+        throw std::invalid_argument("AnswerEngine: null key in job");
+    }
+    // Deserialize accepts any header bytes, so bound the declared params
+    // here: log_domain outside the Dpf's range would make the domain shift
+    // below undefined, and the mat-vec assumes one indicator share word per
+    // leaf (wider outputs would mis-stride the point-major shares buffer).
+    if (job.key->params.log_domain < 1 || job.key->params.log_domain > 40) {
+        throw std::invalid_argument(
+            "AnswerEngine: key log_domain out of range");
+    }
+    if (job.key->params.out_words != 1) {
+        throw std::invalid_argument("AnswerEngine: key out_words must be 1");
+    }
+    if (job.row_begin + job.num_rows > table.num_entries()) {
+        throw std::out_of_range("AnswerEngine: job rows outside table");
+    }
+    const std::uint64_t domain = std::uint64_t{1}
+                                 << job.key->params.log_domain;
+    if (domain < job.num_rows) {
+        throw std::invalid_argument(
+            "AnswerEngine: key domain smaller than job rows");
+    }
+}
+
+}  // namespace
+
+AnswerEngine::AnswerEngine(ShardingOptions options) : options_(options) {
+    if (options_.num_shards == 0) options_.num_shards = 1;
+}
+
+PirResponse AnswerEngine::Answer(const PirTable& table, const DpfKey& key,
+                                 std::uint64_t row_begin,
+                                 std::uint64_t num_rows) const {
+    Job job{&key, row_begin, num_rows};
+    ValidateJob(table, job);
+    const std::size_t w = table.words_per_entry();
+    if (options_.num_shards == 1) {
+        // Sequential reference path: one DPF range expansion, one mat-vec.
+        const Dpf dpf(key.params);
+        std::vector<u128> shares;
+        dpf.EvalRange(key, 0, num_rows, &shares);
+        PirResponse resp(w, 0);
+        AccumulateRows(table, shares.data(), row_begin, 0, num_rows,
+                       resp.data());
+        return resp;
+    }
+    return AnswerBatch(table, {job})[0];
+}
+
+std::vector<PirResponse> AnswerEngine::AnswerBatch(
+    const PirTable& table, const std::vector<Job>& jobs) const {
+    for (const Job& job : jobs) ValidateJob(table, job);
+
+    const std::size_t w = table.words_per_entry();
+    const std::size_t shards = options_.num_shards;
+    // Keys of one batch usually share DpfParams, but each job carries its
+    // own; build each job's evaluator once, outside the shard tasks.
+    std::vector<Dpf> dpfs;
+    dpfs.reserve(jobs.size());
+    for (const Job& job : jobs) dpfs.emplace_back(job.key->params);
+
+    // partials[job * shards + shard]; an empty vector is a zero partial.
+    std::vector<PirResponse> partials(jobs.size() * shards);
+    auto run_task = [&](std::size_t t) {
+        const std::size_t q = t / shards;
+        const std::size_t s = t % shards;
+        const Job& job = jobs[q];
+        const std::uint64_t chunk = (job.num_rows + shards - 1) / shards;
+        const std::uint64_t lo = std::min<std::uint64_t>(job.num_rows,
+                                                         s * chunk);
+        const std::uint64_t hi = std::min<std::uint64_t>(job.num_rows,
+                                                         lo + chunk);
+        if (lo >= hi) return;
+        std::vector<u128> shares;
+        dpfs[q].EvalRange(*job.key, lo, hi, &shares);
+        PirResponse resp(w, 0);
+        AccumulateRows(table, shares.data(), job.row_begin, lo, hi,
+                       resp.data());
+        partials[t] = std::move(resp);
+    };
+    ThreadPool& pool =
+        options_.pool != nullptr ? *options_.pool : ThreadPool::Shared();
+    pool.ParallelFor(0, jobs.size() * shards, run_task);
+
+    // Reduce shard partials in shard order. Addition in Z_2^128 commutes,
+    // so the result is bit-identical to the sequential path.
+    std::vector<PirResponse> out(jobs.size());
+    for (std::size_t q = 0; q < jobs.size(); ++q) {
+        PirResponse resp(w, 0);
+        for (std::size_t s = 0; s < shards; ++s) {
+            const PirResponse& part = partials[q * shards + s];
+            for (std::size_t k = 0; k < part.size(); ++k) resp[k] += part[k];
+        }
+        out[q] = std::move(resp);
+    }
+    return out;
+}
+
+}  // namespace gpudpf

@@ -1,0 +1,70 @@
+// Sharded, batched server-side answer engine.
+//
+// The dominant server cost in two-server DPF-PIR is the full-domain DPF
+// expansion plus the table mat-vec (paper Section 3), and both are
+// embarrassingly parallel over contiguous row ranges. The engine partitions
+// each answer job's rows into `num_shards` shards, evaluates the DPF leaf
+// range (Dpf::EvalRange) and the shard's slice of the mat-vec as one
+// ThreadPool task, and reduces the partial responses into the job's share.
+//
+// Batching submits every (job, shard) task of a request at once, so the
+// pool stays saturated even when individual jobs are narrow — e.g. the many
+// small per-bin queries of a PBR batched retrieval. Addition in Z_2^128 is
+// commutative, so the sharded reduction is bit-identical to the sequential
+// reference path for any shard count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/dpf/dpf.h"
+#include "src/pir/table.h"
+
+namespace gpudpf {
+
+// One server's response share: one u128 per entry word. (Canonical
+// definition; src/pir/protocol.h aliases it.)
+using PirResponse = std::vector<u128>;
+
+struct ShardingOptions {
+    // Contiguous row shards each job is split into. 1 = answer each job's
+    // rows in a single task (jobs of a batch still run concurrently).
+    std::size_t num_shards = 1;
+    // Pool running the shard tasks; nullptr = ThreadPool::Shared().
+    ThreadPool* pool = nullptr;
+};
+
+class AnswerEngine {
+  public:
+    AnswerEngine() = default;
+    explicit AnswerEngine(ShardingOptions options);
+
+    const ShardingOptions& options() const { return options_; }
+
+    // One answer job: evaluate `key` against the table rows
+    // [row_begin, row_begin + num_rows), DPF leaf j selecting row
+    // row_begin + j. The key's domain must cover num_rows.
+    struct Job {
+        const DpfKey* key = nullptr;
+        std::uint64_t row_begin = 0;
+        std::uint64_t num_rows = 0;
+    };
+
+    // Answers one job, sharded across the pool (sequential when
+    // num_shards == 1).
+    PirResponse Answer(const PirTable& table, const DpfKey& key,
+                       std::uint64_t row_begin, std::uint64_t num_rows) const;
+
+    // Answers a batch of jobs: all (job, shard) tasks are submitted
+    // together and reduced per job. Returns one response per job,
+    // index-aligned with `jobs`.
+    std::vector<PirResponse> AnswerBatch(const PirTable& table,
+                                         const std::vector<Job>& jobs) const;
+
+  private:
+    ShardingOptions options_;
+};
+
+}  // namespace gpudpf

@@ -36,22 +36,27 @@ PirResponse PirServer::Answer(const std::uint8_t* key_bytes,
 }
 
 PirResponse PirServer::Answer(const DpfKey& key) const {
-    const Dpf dpf(key.params);
-    if (dpf.domain_size() < table_->num_entries()) {
-        throw std::invalid_argument("PirServer: key domain smaller than table");
-    }
-    std::vector<u128> shares;
-    dpf.EvalFullDomain(key, &shares);
+    return engine_.Answer(*table_, key, 0, table_->num_entries());
+}
 
-    const std::size_t w = table_->words_per_entry();
-    PirResponse resp(w, 0);
-    for (std::uint64_t j = 0; j < table_->num_entries(); ++j) {
-        const u128 v = shares[j];
-        if (v == 0) continue;
-        const u128* row = table_->Entry(j);
-        for (std::size_t k = 0; k < w; ++k) resp[k] += v * row[k];
+std::vector<PirResponse> PirServer::BatchAnswer(
+    const std::vector<std::vector<std::uint8_t>>& keys) const {
+    std::vector<DpfKey> parsed;
+    parsed.reserve(keys.size());
+    for (const auto& k : keys) {
+        parsed.push_back(DpfKey::Deserialize(k.data(), k.size()));
     }
-    return resp;
+    return BatchAnswer(parsed);
+}
+
+std::vector<PirResponse> PirServer::BatchAnswer(
+    const std::vector<DpfKey>& keys) const {
+    std::vector<AnswerEngine::Job> jobs;
+    jobs.reserve(keys.size());
+    for (const DpfKey& key : keys) {
+        jobs.push_back({&key, 0, table_->num_entries()});
+    }
+    return engine_.AnswerBatch(*table_, jobs);
 }
 
 namespace naive_pir {

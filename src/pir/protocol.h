@@ -15,6 +15,7 @@
 
 #include "src/common/rng.h"
 #include "src/dpf/dpf.h"
+#include "src/pir/answer_engine.h"
 #include "src/pir/table.h"
 
 namespace gpudpf {
@@ -28,8 +29,7 @@ struct PirQuery {
 };
 
 // One server's response: additive share of the selected entry, one u128 per
-// entry word.
-using PirResponse = std::vector<u128>;
+// entry word (defined in src/pir/answer_engine.h).
 
 class PirClient {
   public:
@@ -53,18 +53,31 @@ class PirClient {
 
 class PirServer {
   public:
-    explicit PirServer(const PirTable* table) : table_(table) {}
+    // With default sharding (num_shards == 1) Answer is the sequential
+    // reference path every kernel is validated against; num_shards > 1
+    // splits the DPF expansion + mat-vec into row-range shards evaluated on
+    // the sharding pool, bit-identical to the reference.
+    explicit PirServer(const PirTable* table, ShardingOptions sharding = {})
+        : table_(table), engine_(sharding) {}
 
-    // Reference answer path: full-domain DPF expansion + integer mat-vec.
+    // Answer path: full-domain DPF expansion + integer mat-vec.
     PirResponse Answer(const std::uint8_t* key_bytes, std::size_t key_len) const;
 
     // Same, from a parsed key (used by tests).
     PirResponse Answer(const DpfKey& key) const;
 
+    // Batched path: answers a batch of queries in one engine submission, so
+    // every (query, shard) task runs concurrently. Index-aligned with keys.
+    std::vector<PirResponse> BatchAnswer(
+        const std::vector<std::vector<std::uint8_t>>& keys) const;
+    std::vector<PirResponse> BatchAnswer(const std::vector<DpfKey>& keys) const;
+
     const PirTable& table() const { return *table_; }
+    const AnswerEngine& engine() const { return engine_; }
 
   private:
     const PirTable* table_;
+    AnswerEngine engine_;
 };
 
 // Naive PIR baseline (Section 3.1): the client uploads additive shares of

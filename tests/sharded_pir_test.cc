@@ -1,0 +1,261 @@
+// Sharded/batched answer engine tests: the sharded Answer/BatchAnswer paths
+// must be bit-identical to the sequential reference (full-domain DPF
+// expansion + mat-vec) for every shard count and batch size, from the DPF
+// range primitive up through the end-to-end service.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/batchpir/pbr.h"
+#include "src/batchpir/pbr_session.h"
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/core/service.h"
+#include "src/dpf/dpf.h"
+#include "src/ml/embedding.h"
+#include "src/pir/answer_engine.h"
+#include "src/pir/protocol.h"
+#include "src/pir/table.h"
+#include "src/workloads/dataset.h"
+
+namespace gpudpf {
+namespace {
+
+constexpr std::size_t kShardCounts[] = {1, 3, 8};
+constexpr std::size_t kBatchSizes[] = {1, 4, 32};
+
+// Independent sequential reference: the seed's original answer path.
+PirResponse ReferenceAnswer(const PirTable& table, const DpfKey& key) {
+    const Dpf dpf(key.params);
+    std::vector<u128> shares;
+    dpf.EvalFullDomain(key, &shares);
+    const std::size_t w = table.words_per_entry();
+    PirResponse resp(w, 0);
+    for (std::uint64_t j = 0; j < table.num_entries(); ++j) {
+        const u128 v = shares[j];
+        const u128* row = table.Entry(j);
+        for (std::size_t k = 0; k < w; ++k) resp[k] += v * row[k];
+    }
+    return resp;
+}
+
+TEST(DpfEvalRangeTest, MatchesFullDomainSlices) {
+    const Dpf dpf(DpfParams{8, PrfKind::kChacha20, 2});
+    Rng rng(31);
+    auto [k0, k1] = dpf.GenIndicator(97, rng);
+    std::vector<u128> full;
+    dpf.EvalFullDomain(k0, &full);
+    const int w = dpf.params().out_words;
+    const std::uint64_t ranges[][2] = {
+        {0, 256}, {0, 1}, {255, 256}, {13, 77}, {96, 99}, {128, 128}};
+    for (const auto& r : ranges) {
+        std::vector<u128> part;
+        dpf.EvalRange(k0, r[0], r[1], &part);
+        ASSERT_EQ(part.size(), (r[1] - r[0]) * w);
+        for (std::uint64_t x = r[0]; x < r[1]; ++x) {
+            for (int j = 0; j < w; ++j) {
+                EXPECT_EQ(part[(x - r[0]) * w + j], full[x * w + j])
+                    << "x=" << x << " word=" << j;
+            }
+        }
+    }
+    EXPECT_THROW(dpf.EvalRange(k0, 2, 1, &full), std::invalid_argument);
+    EXPECT_THROW(dpf.EvalRange(k0, 0, 257, &full), std::invalid_argument);
+}
+
+class ShardedAnswerTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardedAnswerTest, BitIdenticalToSequentialReference) {
+    const std::size_t shards = GetParam();
+    Rng rng(41);
+    // Non-power-of-two table smaller than the 2^9 key domain.
+    PirTable table(389, 48);
+    table.FillRandom(rng);
+    PirClient client(9, PrfKind::kChacha20, /*seed=*/5);
+    ThreadPool pool(4);
+    PirServer server(&table, ShardingOptions{shards, &pool});
+
+    for (std::uint64_t index : {std::uint64_t{0}, std::uint64_t{200},
+                                std::uint64_t{388}}) {
+        PirQuery q = client.Query(index);
+        for (const auto& key_bytes : {q.key_for_server0, q.key_for_server1}) {
+            const DpfKey key =
+                DpfKey::Deserialize(key_bytes.data(), key_bytes.size());
+            EXPECT_EQ(server.Answer(key), ReferenceAnswer(table, key))
+                << "shards=" << shards << " index=" << index;
+        }
+    }
+}
+
+TEST_P(ShardedAnswerTest, EndToEndRetrieval) {
+    const std::size_t shards = GetParam();
+    Rng rng(42);
+    PirTable table(1 << 8, 64);
+    table.FillRandom(rng);
+    PirClient client(8, PrfKind::kAes128, /*seed=*/7);
+    PirServer s0(&table, ShardingOptions{shards});
+    PirServer s1(&table, ShardingOptions{shards});
+    PirQuery q = client.Query(211);
+    const PirResponse r0 =
+        s0.Answer(q.key_for_server0.data(), q.key_for_server0.size());
+    const PirResponse r1 =
+        s1.Answer(q.key_for_server1.data(), q.key_for_server1.size());
+    EXPECT_EQ(client.Reconstruct(r0, r1, 64), table.EntryBytes(211));
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedAnswerTest,
+                         ::testing::ValuesIn(kShardCounts));
+
+TEST(BatchAnswerTest, MatchesPerQueryReferenceForAllShapes) {
+    Rng rng(43);
+    PirTable table(300, 32);
+    table.FillRandom(rng);
+    PirClient client(9, PrfKind::kChacha20, /*seed=*/9);
+    ThreadPool pool(4);
+
+    for (const std::size_t shards : kShardCounts) {
+        PirServer server(&table, ShardingOptions{shards, &pool});
+        for (const std::size_t batch : kBatchSizes) {
+            std::vector<std::vector<std::uint8_t>> keys;
+            std::vector<DpfKey> parsed;
+            for (std::size_t i = 0; i < batch; ++i) {
+                PirQuery q = client.Query((i * 97) % table.num_entries());
+                parsed.push_back(DpfKey::Deserialize(
+                    q.key_for_server0.data(), q.key_for_server0.size()));
+                keys.push_back(std::move(q.key_for_server0));
+            }
+            const auto responses = server.BatchAnswer(keys);
+            ASSERT_EQ(responses.size(), batch);
+            for (std::size_t i = 0; i < batch; ++i) {
+                EXPECT_EQ(responses[i], ReferenceAnswer(table, parsed[i]))
+                    << "shards=" << shards << " batch=" << batch
+                    << " query=" << i;
+            }
+        }
+    }
+}
+
+TEST(BatchAnswerTest, BatchedReconstructionRetrievesEntries) {
+    Rng rng(44);
+    const std::uint64_t n = 1 << 7;
+    PirTable table(n, 40);
+    table.FillRandom(rng);
+    PirClient client(7, PrfKind::kChacha20, /*seed=*/11);
+    PirServer s0(&table, ShardingOptions{3});
+    PirServer s1(&table, ShardingOptions{8});
+
+    std::vector<std::uint64_t> wanted = {0, 1, 63, 64, 126, 127};
+    std::vector<std::vector<std::uint8_t>> keys0;
+    std::vector<std::vector<std::uint8_t>> keys1;
+    for (std::uint64_t idx : wanted) {
+        PirQuery q = client.Query(idx);
+        keys0.push_back(std::move(q.key_for_server0));
+        keys1.push_back(std::move(q.key_for_server1));
+    }
+    const auto r0 = s0.BatchAnswer(keys0);
+    const auto r1 = s1.BatchAnswer(keys1);
+    for (std::size_t i = 0; i < wanted.size(); ++i) {
+        EXPECT_EQ(client.Reconstruct(r0[i], r1[i], 40),
+                  table.EntryBytes(wanted[i]))
+            << "wanted=" << wanted[i];
+    }
+}
+
+TEST(AnswerEngineTest, RejectsBadJobs) {
+    Rng rng(45);
+    PirTable table(64, 16);
+    PirClient client(6, PrfKind::kChacha20);
+    PirQuery q = client.Query(3);
+    const DpfKey key =
+        DpfKey::Deserialize(q.key_for_server0.data(), q.key_for_server0.size());
+    AnswerEngine engine(ShardingOptions{4});
+    // Job rows outside the table.
+    EXPECT_THROW(engine.Answer(table, key, 32, 64), std::out_of_range);
+    // Key domain (2^6) smaller than the job's row count.
+    PirTable big(200, 16);
+    EXPECT_THROW(engine.Answer(big, key, 0, big.num_entries()),
+                 std::invalid_argument);
+    EXPECT_THROW(engine.AnswerBatch(table, {{nullptr, 0, 1}}),
+                 std::invalid_argument);
+    // Hostile headers: Deserialize accepts any log_domain/out_words byte,
+    // so the engine must reject them before evaluating.
+    DpfKey hostile = key;
+    hostile.params.log_domain = 65;  // would shift-overflow the domain
+    EXPECT_THROW(engine.Answer(table, hostile, 0, table.num_entries()),
+                 std::invalid_argument);
+    hostile = key;
+    hostile.params.out_words = 4;  // would mis-stride the mat-vec
+    EXPECT_THROW(engine.Answer(table, hostile, 0, table.num_entries()),
+                 std::invalid_argument);
+}
+
+TEST(ShardedPbrSessionTest, BitIdenticalToSequentialSession) {
+    Rng rng(46);
+    const std::uint64_t n = 500;
+    PirTable table(n, 48);
+    table.FillRandom(rng);
+    Pbr pbr(n, /*bin_size=*/64);
+    ThreadPool pool(4);
+
+    PbrSession sequential(&pbr, PrfKind::kChacha20, /*client_seed=*/21);
+    Rng plan_rng(47);
+    const Pbr::Plan plan = pbr.PlanBatch({5, 70, 300, 499}, plan_rng);
+    const PbrSession::Request req = sequential.BuildRequest(plan);
+
+    const auto ref0 = sequential.Answer(table, req.keys_for_server0);
+    const auto ref1 = sequential.Answer(table, req.keys_for_server1);
+    for (const std::size_t shards : kShardCounts) {
+        PbrSession sharded(&pbr, PrfKind::kChacha20, /*client_seed=*/21,
+                           ShardingOptions{shards, &pool});
+        EXPECT_EQ(sharded.Answer(table, req.keys_for_server0), ref0)
+            << "shards=" << shards;
+        EXPECT_EQ(sharded.Answer(table, req.keys_for_server1), ref1)
+            << "shards=" << shards;
+    }
+    // And the reconstruction retrieves the planned entries.
+    PbrSession sharded(&pbr, PrfKind::kChacha20, /*client_seed=*/21,
+                       ShardingOptions{8, &pool});
+    const auto rows = sharded.Reconstruct(
+        sharded.Answer(table, req.keys_for_server0),
+        sharded.Answer(table, req.keys_for_server1), 48);
+    for (std::size_t b = 0; b < plan.queries.size(); ++b) {
+        if (!plan.queries[b].real) continue;
+        EXPECT_EQ(rows[b], table.EntryBytes(plan.queries[b].global_index));
+    }
+}
+
+TEST(ShardedServiceTest, LookupMatchesSequentialConfig) {
+    RecWorkloadSpec spec;
+    spec.name = "sharded-test";
+    spec.vocab = 512;
+    spec.num_train = 1'000;
+    spec.num_test = 100;
+    spec.min_history = 4;
+    spec.max_history = 10;
+    spec.num_clusters = 8;
+    spec.seed = 13;
+    const RecDataset dataset = GenerateRecDataset(spec);
+    const AccessStats stats = ComputeRecStats(dataset, 4);
+    EmbeddingTable emb(spec.vocab, spec.dim);
+    Rng rng(49);
+    emb.InitRandom(rng, 0.2f);
+
+    const std::vector<std::uint64_t> wanted = {3, 17, 400, 511, 17};
+    std::vector<std::vector<std::vector<float>>> results;
+    for (const std::size_t shards : kShardCounts) {
+        ServiceConfig config;
+        config.codesign.q_full = 8;
+        config.server_shards = shards;
+        config.server_threads = shards > 1 ? 4 : 0;
+        PrivateEmbeddingService service(emb, stats, config);
+        auto result = service.client().Lookup(wanted);
+        results.push_back(std::move(result.embeddings));
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_EQ(results[i], results[0]) << "shard config " << i;
+    }
+}
+
+}  // namespace
+}  // namespace gpudpf
