@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batchpir_test.dir/tests/batchpir_test.cc.o"
+  "CMakeFiles/batchpir_test.dir/tests/batchpir_test.cc.o.d"
+  "tests/batchpir_test"
+  "tests/batchpir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batchpir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_gen_vs_eval.dir/bench/bench_fig03_gen_vs_eval.cc.o"
+  "CMakeFiles/bench_fig03_gen_vs_eval.dir/bench/bench_fig03_gen_vs_eval.cc.o.d"
+  "bench/bench_fig03_gen_vs_eval"
+  "bench/bench_fig03_gen_vs_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_gen_vs_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_membound_memory_k.dir/bench/bench_fig08_membound_memory_k.cc.o"
+  "CMakeFiles/bench_fig08_membound_memory_k.dir/bench/bench_fig08_membound_memory_k.cc.o.d"
+  "bench/bench_fig08_membound_memory_k"
+  "bench/bench_fig08_membound_memory_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_membound_memory_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_membound_memory_k.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_batch_table_util.dir/bench/bench_fig09_batch_table_util.cc.o"
+  "CMakeFiles/bench_fig09_batch_table_util.dir/bench/bench_fig09_batch_table_util.cc.o.d"
+  "bench/bench_fig09_batch_table_util"
+  "bench/bench_fig09_batch_table_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_batch_table_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_end_to_end_throughput.dir/bench/bench_fig11_end_to_end_throughput.cc.o"
+  "CMakeFiles/bench_fig11_end_to_end_throughput.dir/bench/bench_fig11_end_to_end_throughput.cc.o.d"
+  "bench/bench_fig11_end_to_end_throughput"
+  "bench/bench_fig11_end_to_end_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_end_to_end_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_entry_size_fusion.dir/bench/bench_fig14_entry_size_fusion.cc.o"
+  "CMakeFiles/bench_fig14_entry_size_fusion.dir/bench/bench_fig14_entry_size_fusion.cc.o.d"
+  "bench/bench_fig14_entry_size_fusion"
+  "bench/bench_fig14_entry_size_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_entry_size_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

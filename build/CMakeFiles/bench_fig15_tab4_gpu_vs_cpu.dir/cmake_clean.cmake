@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_tab4_gpu_vs_cpu.dir/bench/bench_fig15_tab4_gpu_vs_cpu.cc.o"
+  "CMakeFiles/bench_fig15_tab4_gpu_vs_cpu.dir/bench/bench_fig15_tab4_gpu_vs_cpu.cc.o.d"
+  "bench/bench_fig15_tab4_gpu_vs_cpu"
+  "bench/bench_fig15_tab4_gpu_vs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_tab4_gpu_vs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

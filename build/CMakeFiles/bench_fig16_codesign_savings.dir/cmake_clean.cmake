@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_codesign_savings.dir/bench/bench_fig16_codesign_savings.cc.o"
+  "CMakeFiles/bench_fig16_codesign_savings.dir/bench/bench_fig16_codesign_savings.cc.o.d"
+  "bench/bench_fig16_codesign_savings"
+  "bench/bench_fig16_codesign_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_codesign_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

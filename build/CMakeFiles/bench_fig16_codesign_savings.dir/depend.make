@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig16_codesign_savings.
+# This may be replaced when dependencies are built.

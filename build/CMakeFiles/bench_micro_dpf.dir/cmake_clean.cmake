@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dpf.dir/bench/bench_micro_dpf.cc.o"
+  "CMakeFiles/bench_micro_dpf.dir/bench/bench_micro_dpf.cc.o.d"
+  "bench/bench_micro_dpf"
+  "bench/bench_micro_dpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_prf.dir/bench/bench_micro_prf.cc.o"
+  "CMakeFiles/bench_micro_prf.dir/bench/bench_micro_prf.cc.o.d"
+  "bench/bench_micro_prf"
+  "bench/bench_micro_prf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_prf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

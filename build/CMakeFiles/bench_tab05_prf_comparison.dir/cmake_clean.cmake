@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab05_prf_comparison.dir/bench/bench_tab05_prf_comparison.cc.o"
+  "CMakeFiles/bench_tab05_prf_comparison.dir/bench/bench_tab05_prf_comparison.cc.o.d"
+  "bench/bench_tab05_prf_comparison"
+  "bench/bench_tab05_prf_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_prf_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpf_test.dir/tests/dpf_test.cc.o"
+  "CMakeFiles/dpf_test.dir/tests/dpf_test.cc.o.d"
+  "tests/dpf_test"
+  "tests/dpf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

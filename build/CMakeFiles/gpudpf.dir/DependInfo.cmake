@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/batchpir/pbr.cc" "CMakeFiles/gpudpf.dir/src/batchpir/pbr.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/batchpir/pbr.cc.o.d"
+  "/root/repo/src/batchpir/pbr_session.cc" "CMakeFiles/gpudpf.dir/src/batchpir/pbr_session.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/batchpir/pbr_session.cc.o.d"
+  "/root/repo/src/codesign/layout.cc" "CMakeFiles/gpudpf.dir/src/codesign/layout.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/codesign/layout.cc.o.d"
+  "/root/repo/src/codesign/planner.cc" "CMakeFiles/gpudpf.dir/src/codesign/planner.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/codesign/planner.cc.o.d"
+  "/root/repo/src/codesign/sweep.cc" "CMakeFiles/gpudpf.dir/src/codesign/sweep.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/codesign/sweep.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/gpudpf.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/gpudpf.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "CMakeFiles/gpudpf.dir/src/common/table_printer.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/common/table_printer.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/gpudpf.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/u128.cc" "CMakeFiles/gpudpf.dir/src/common/u128.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/common/u128.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "CMakeFiles/gpudpf.dir/src/common/zipf.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/common/zipf.cc.o.d"
+  "/root/repo/src/core/service.cc" "CMakeFiles/gpudpf.dir/src/core/service.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/core/service.cc.o.d"
+  "/root/repo/src/crypto/aes128.cc" "CMakeFiles/gpudpf.dir/src/crypto/aes128.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/crypto/aes128.cc.o.d"
+  "/root/repo/src/crypto/chacha20.cc" "CMakeFiles/gpudpf.dir/src/crypto/chacha20.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/crypto/chacha20.cc.o.d"
+  "/root/repo/src/crypto/highwayhash.cc" "CMakeFiles/gpudpf.dir/src/crypto/highwayhash.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/crypto/highwayhash.cc.o.d"
+  "/root/repo/src/crypto/prf.cc" "CMakeFiles/gpudpf.dir/src/crypto/prf.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/crypto/prf.cc.o.d"
+  "/root/repo/src/crypto/prg.cc" "CMakeFiles/gpudpf.dir/src/crypto/prg.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/crypto/prg.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "CMakeFiles/gpudpf.dir/src/crypto/sha256.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/siphash.cc" "CMakeFiles/gpudpf.dir/src/crypto/siphash.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/crypto/siphash.cc.o.d"
+  "/root/repo/src/dpf/dpf.cc" "CMakeFiles/gpudpf.dir/src/dpf/dpf.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/dpf/dpf.cc.o.d"
+  "/root/repo/src/gpusim/cost_model.cc" "CMakeFiles/gpudpf.dir/src/gpusim/cost_model.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/gpusim/cost_model.cc.o.d"
+  "/root/repo/src/gpusim/device.cc" "CMakeFiles/gpudpf.dir/src/gpusim/device.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/gpusim/device.cc.o.d"
+  "/root/repo/src/kernels/branch_parallel.cc" "CMakeFiles/gpudpf.dir/src/kernels/branch_parallel.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/kernels/branch_parallel.cc.o.d"
+  "/root/repo/src/kernels/coop_groups.cc" "CMakeFiles/gpudpf.dir/src/kernels/coop_groups.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/kernels/coop_groups.cc.o.d"
+  "/root/repo/src/kernels/cpu_eval.cc" "CMakeFiles/gpudpf.dir/src/kernels/cpu_eval.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/kernels/cpu_eval.cc.o.d"
+  "/root/repo/src/kernels/level_by_level.cc" "CMakeFiles/gpudpf.dir/src/kernels/level_by_level.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/kernels/level_by_level.cc.o.d"
+  "/root/repo/src/kernels/membound_tree.cc" "CMakeFiles/gpudpf.dir/src/kernels/membound_tree.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/kernels/membound_tree.cc.o.d"
+  "/root/repo/src/kernels/scheduler.cc" "CMakeFiles/gpudpf.dir/src/kernels/scheduler.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/kernels/scheduler.cc.o.d"
+  "/root/repo/src/kernels/strategy.cc" "CMakeFiles/gpudpf.dir/src/kernels/strategy.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/kernels/strategy.cc.o.d"
+  "/root/repo/src/ml/embedding.cc" "CMakeFiles/gpudpf.dir/src/ml/embedding.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/ml/embedding.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "CMakeFiles/gpudpf.dir/src/ml/metrics.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/models.cc" "CMakeFiles/gpudpf.dir/src/ml/models.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/ml/models.cc.o.d"
+  "/root/repo/src/net/comm_model.cc" "CMakeFiles/gpudpf.dir/src/net/comm_model.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/net/comm_model.cc.o.d"
+  "/root/repo/src/pir/answer_engine.cc" "CMakeFiles/gpudpf.dir/src/pir/answer_engine.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/pir/answer_engine.cc.o.d"
+  "/root/repo/src/pir/protocol.cc" "CMakeFiles/gpudpf.dir/src/pir/protocol.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/pir/protocol.cc.o.d"
+  "/root/repo/src/pir/table.cc" "CMakeFiles/gpudpf.dir/src/pir/table.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/pir/table.cc.o.d"
+  "/root/repo/src/workloads/dataset.cc" "CMakeFiles/gpudpf.dir/src/workloads/dataset.cc.o" "gcc" "CMakeFiles/gpudpf.dir/src/workloads/dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

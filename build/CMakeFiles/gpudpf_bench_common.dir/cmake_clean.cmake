@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpudpf_bench_common.dir/bench/bench_common.cc.o"
+  "CMakeFiles/gpudpf_bench_common.dir/bench/bench_common.cc.o.d"
+  "libgpudpf_bench_common.a"
+  "libgpudpf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpudpf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpudpf_bench_common.a"
+)

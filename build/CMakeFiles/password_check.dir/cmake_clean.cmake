@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/password_check.dir/examples/password_check.cc.o"
+  "CMakeFiles/password_check.dir/examples/password_check.cc.o.d"
+  "examples/password_check"
+  "examples/password_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/password_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

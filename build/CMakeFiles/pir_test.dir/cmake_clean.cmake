@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pir_test.dir/tests/pir_test.cc.o"
+  "CMakeFiles/pir_test.dir/tests/pir_test.cc.o.d"
+  "tests/pir_test"
+  "tests/pir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

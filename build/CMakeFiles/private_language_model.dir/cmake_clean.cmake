@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_language_model.dir/examples/private_language_model.cc.o"
+  "CMakeFiles/private_language_model.dir/examples/private_language_model.cc.o.d"
+  "examples/private_language_model"
+  "examples/private_language_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_language_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_recommendation.dir/examples/private_recommendation.cc.o"
+  "CMakeFiles/private_recommendation.dir/examples/private_recommendation.cc.o.d"
+  "examples/private_recommendation"
+  "examples/private_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_pir_test.dir/tests/sharded_pir_test.cc.o"
+  "CMakeFiles/sharded_pir_test.dir/tests/sharded_pir_test.cc.o.d"
+  "tests/sharded_pir_test"
+  "tests/sharded_pir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_pir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(batchpir_test "/root/repo/build/tests/batchpir_test")
+set_tests_properties(batchpir_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;82;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(codesign_test "/root/repo/build/tests/codesign_test")
+set_tests_properties(codesign_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;82;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;82;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;82;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(crypto_test "/root/repo/build/tests/crypto_test")
+set_tests_properties(crypto_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;82;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(dpf_test "/root/repo/build/tests/dpf_test")
+set_tests_properties(dpf_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;82;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(gpusim_test "/root/repo/build/tests/gpusim_test")
+set_tests_properties(gpusim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;82;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(kernels_test "/root/repo/build/tests/kernels_test")
+set_tests_properties(kernels_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;82;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(ml_test "/root/repo/build/tests/ml_test")
+set_tests_properties(ml_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;82;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(pir_test "/root/repo/build/tests/pir_test")
+set_tests_properties(pir_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;82;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sharded_pir_test "/root/repo/build/tests/sharded_pir_test")
+set_tests_properties(sharded_pir_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;82;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;82;add_test;/root/repo/CMakeLists.txt;0;")
