@@ -1,0 +1,59 @@
+// Minimal machine-readable bench output for CI perf-regression tracking:
+// each bench that supports `--json=PATH` writes a flat name -> QPS map that
+// scripts/check_bench_regression.py diffs against the previous run.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gpudpf {
+namespace bench {
+
+struct JsonResult {
+    std::string name;
+    double qps = 0.0;
+};
+
+// Extracts the PATH of a `--json=PATH` argument, if present; other
+// arguments are left to the bench's own positional parsing.
+inline const char* JsonPathFromArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0) return argv[i] + 7;
+    }
+    return nullptr;
+}
+
+// The arguments that are not `--json=PATH`, in order, for the bench's own
+// positional parsing.
+inline std::vector<const char*> PositionalArgs(int argc, char** argv) {
+    std::vector<const char*> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--json=", 0) != 0) {
+            positional.push_back(argv[i]);
+        }
+    }
+    return positional;
+}
+
+inline bool WriteBenchJson(const char* path, const std::string& bench,
+                           const std::vector<JsonResult>& results) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "failed to open %s for writing\n", path);
+        return false;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"results\":[", bench.c_str());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        std::fprintf(f, "%s{\"name\":\"%s\",\"qps\":%.6g}",
+                     i == 0 ? "" : ",", results[i].name.c_str(),
+                     results[i].qps);
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    return true;
+}
+
+}  // namespace bench
+}  // namespace gpudpf

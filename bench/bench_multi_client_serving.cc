@@ -1,0 +1,216 @@
+// Serialized per-client Lookup vs the pooled async serving front-end.
+//
+//   build/bench/bench_multi_client_serving [max_clients] [lookups_per_client]
+//                                          [--json=path]
+//
+// Stands up one PrivateEmbeddingService (hot + full table) and issues the
+// same per-client lookup sequences two ways at growing client counts:
+//
+//   serialized  one request at a time through the synchronous
+//               Client::Lookup wrapper — every request pays its own
+//               batcher linger and its own answer-pool submission.
+//   pooled      every client submits asynchronously from its own thread;
+//               the front-end batches all in-flight requests' full- and
+//               hot-table jobs into single cross-table AnswerBatch calls.
+//
+// Both modes run against freshly-built services with identical seeds, so
+// the results must be bit-identical — the bench fails (exit 1) if not.
+// Aggregate throughput with the pooled front-end should exceed the
+// serialized path once enough clients are in flight (>= 8).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/core/service.h"
+#include "src/core/serving.h"
+#include "src/ml/embedding.h"
+#include "src/workloads/dataset.h"
+
+using namespace gpudpf;
+
+namespace {
+
+constexpr std::uint64_t kVocab = 2'048;
+constexpr std::size_t kWantedPerLookup = 5;
+
+ServiceConfig MakeConfig() {
+    ServiceConfig config;
+    config.codesign.hot_size = 256;
+    config.codesign.q_hot = 16;
+    config.codesign.q_full = 8;
+    config.server_shards = 1;
+    config.server_threads = 0;
+    config.max_inflight_requests = 256;
+    // The dynamic-batching window: how long the batcher waits for more
+    // requests to pool. Serialized callers pay it per request; concurrent
+    // submitters share it per batch.
+    config.batcher_linger_us = 200;
+    return config;
+}
+
+std::vector<std::uint64_t> WantedFor(std::size_t client, std::size_t lookup) {
+    std::vector<std::uint64_t> wanted(kWantedPerLookup);
+    for (std::size_t i = 0; i < kWantedPerLookup; ++i) {
+        wanted[i] = (client * 131 + lookup * 17 + i * 263) % kVocab;
+    }
+    return wanted;
+}
+
+using LookupResult = PrivateEmbeddingService::LookupResult;
+
+bool SameResults(const LookupResult& a, const LookupResult& b) {
+    return a.retrieved == b.retrieved && a.embeddings == b.embeddings &&
+           a.upload_bytes == b.upload_bytes &&
+           a.download_bytes == b.download_bytes;
+}
+
+struct World {
+    World() {
+        RecWorkloadSpec spec;
+        spec.name = "multi-client-bench";
+        spec.vocab = kVocab;
+        spec.num_train = 4'000;
+        spec.num_test = 200;
+        spec.min_history = 4;
+        spec.max_history = 10;
+        spec.num_clusters = 12;
+        spec.seed = 5;
+        const RecDataset dataset = GenerateRecDataset(spec);
+        stats = ComputeRecStats(dataset, 4);
+        emb = std::make_unique<EmbeddingTable>(kVocab, spec.dim);
+        Rng rng(9);
+        emb->InitRandom(rng, 0.1f);
+    }
+
+    std::unique_ptr<PrivateEmbeddingService> MakeService() const {
+        auto service = std::make_unique<PrivateEmbeddingService>(
+            *emb, stats, MakeConfig());
+        // Untimed warm-up through a throwaway client (symmetric in both
+        // modes, so the measured clients' seeds line up).
+        service->MakeClient()->Lookup({1, 2, 3});
+        return service;
+    }
+
+    AccessStats stats;
+    std::unique_ptr<EmbeddingTable> emb;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const char* json_path = bench::JsonPathFromArgs(argc, argv);
+    const std::vector<const char*> positional =
+        bench::PositionalArgs(argc, argv);
+    const long long max_clients_arg =
+        positional.size() > 0 ? std::atoll(positional[0]) : 8;
+    const long long lookups_arg =
+        positional.size() > 1 ? std::atoll(positional[1]) : 6;
+    if (max_clients_arg < 1 || max_clients_arg > 1'024 || lookups_arg < 1 ||
+        lookups_arg > 100'000) {
+        std::fprintf(stderr,
+                     "usage: %s [max_clients 1..1024] "
+                     "[lookups_per_client 1..100000] [--json=path]\n",
+                     argv[0]);
+        return 2;
+    }
+    const std::size_t max_clients = static_cast<std::size_t>(max_clients_arg);
+    const std::size_t lookups_per_client =
+        static_cast<std::size_t>(lookups_arg);
+
+    const ServiceConfig config = MakeConfig();
+    std::printf("== multi-client serving throughput ==\n");
+    std::printf(
+        "vocab=%llu, hot=%llu, q_full=%llu, q_hot=%llu, linger=%llu us, "
+        "%zu lookups/client, host cores=%u\n",
+        static_cast<unsigned long long>(kVocab),
+        static_cast<unsigned long long>(config.codesign.hot_size),
+        static_cast<unsigned long long>(config.codesign.q_full),
+        static_cast<unsigned long long>(config.codesign.q_hot),
+        static_cast<unsigned long long>(config.batcher_linger_us),
+        lookups_per_client, std::thread::hardware_concurrency());
+
+    World world;
+    std::vector<bench::JsonResult> json;
+    bool all_identical = true;
+
+    std::printf("\n%-10s %14s %14s %9s\n", "clients", "serialized q/s",
+                "pooled q/s", "speedup");
+    for (std::size_t clients = 1; clients <= max_clients; clients *= 2) {
+        const std::size_t total = clients * lookups_per_client;
+
+        // Serialized: one synchronous Lookup at a time, client by client.
+        auto serial_service = world.MakeService();
+        std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> sc;
+        for (std::size_t c = 0; c < clients; ++c) {
+            sc.push_back(serial_service->MakeClient());
+        }
+        std::vector<std::vector<LookupResult>> serial(clients);
+        Timer serial_timer;
+        for (std::size_t c = 0; c < clients; ++c) {
+            for (std::size_t l = 0; l < lookups_per_client; ++l) {
+                serial[c].push_back(sc[c]->Lookup(WantedFor(c, l)));
+            }
+        }
+        const double serial_sec = serial_timer.ElapsedSeconds();
+
+        // Pooled: every client submits from its own thread; the batcher
+        // answers all in-flight requests in shared cross-table batches.
+        auto pooled_service = world.MakeService();
+        std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> pc;
+        for (std::size_t c = 0; c < clients; ++c) {
+            pc.push_back(pooled_service->MakeClient());
+        }
+        std::vector<std::vector<LookupResult>> pooled(clients);
+        Timer pooled_timer;
+        {
+            std::vector<std::thread> threads;
+            for (std::size_t c = 0; c < clients; ++c) {
+                threads.emplace_back([&, c] {
+                    std::vector<ServingFrontEnd::Ticket> tickets;
+                    for (std::size_t l = 0; l < lookups_per_client; ++l) {
+                        tickets.push_back(
+                            pooled_service->front_end().SubmitOrWait(
+                                {pc[c].get(), WantedFor(c, l)}));
+                    }
+                    for (auto& t : tickets) {
+                        pooled[c].push_back(t.future.get());
+                    }
+                });
+            }
+            for (auto& t : threads) t.join();
+        }
+        const double pooled_sec = pooled_timer.ElapsedSeconds();
+
+        for (std::size_t c = 0; c < clients; ++c) {
+            for (std::size_t l = 0; l < lookups_per_client; ++l) {
+                if (!SameResults(serial[c][l], pooled[c][l])) {
+                    all_identical = false;
+                    std::fprintf(stderr,
+                                 "MISMATCH: client %zu lookup %zu\n", c, l);
+                }
+            }
+        }
+
+        const double serial_qps = total / serial_sec;
+        const double pooled_qps = total / pooled_sec;
+        std::printf("%-10zu %14.1f %14.1f %8.2fx\n", clients, serial_qps,
+                    pooled_qps, pooled_qps / serial_qps);
+        json.push_back({"serialized_c" + std::to_string(clients),
+                        serial_qps});
+        json.push_back({"pooled_c" + std::to_string(clients), pooled_qps});
+    }
+
+    std::printf("\npooled results bit-identical to serialized: %s\n",
+                all_identical ? "YES" : "NO");
+    if (json_path != nullptr &&
+        !bench::WriteBenchJson(json_path, "bench_multi_client_serving",
+                               json)) {
+        return 2;
+    }
+    return all_identical ? 0 : 1;
+}

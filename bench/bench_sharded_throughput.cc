@@ -1,6 +1,7 @@
 // Sequential vs sharded/batched server answer throughput.
 //
-//   build/bench/bench_sharded_throughput [log_entries] [entry_bytes] [batch] [iters]
+//   build/bench/bench_sharded_throughput [log_entries] [entry_bytes] [batch]
+//                                        [iters] [--json=path]
 //
 // Answers a batch of PIR queries against one table three ways — the
 // sequential reference loop, per-query sharded Answer, and the batched
@@ -10,9 +11,11 @@
 // overhead; run on >= 8 cores to reproduce the >2x-at-8-threads result.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/common/timer.h"
@@ -33,12 +36,16 @@ double MeasureSeconds(int iters, const std::function<void()>& body) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    const int log_entries = argc > 1 ? std::atoi(argv[1]) : 14;
+    const char* json_path = bench::JsonPathFromArgs(argc, argv);
+    const std::vector<const char*> positional =
+        bench::PositionalArgs(argc, argv);
+    const std::size_t nargs = positional.size();
+    const int log_entries = nargs > 0 ? std::atoi(positional[0]) : 14;
     const std::size_t entry_bytes =
-        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 256;
+        nargs > 1 ? static_cast<std::size_t>(std::atoll(positional[1])) : 256;
     const std::size_t batch =
-        argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 8;
-    const int iters = argc > 4 ? std::atoi(argv[4]) : 3;
+        nargs > 2 ? static_cast<std::size_t>(std::atoll(positional[2])) : 8;
+    const int iters = nargs > 3 ? std::atoi(positional[3]) : 3;
     if (log_entries < 1 || log_entries > 30 || entry_bytes == 0 ||
         batch == 0 || iters < 1) {
         std::fprintf(stderr,
@@ -73,6 +80,8 @@ int main(int argc, char** argv) {
         for (const auto& k : keys) sequential.Answer(k.data(), k.size());
     });
     const double seq_qps = batch / seq_sec;
+    std::vector<bench::JsonResult> json;
+    json.push_back({"sequential", seq_qps});
     std::printf("\n%-28s %12s %12s %9s\n", "config", "batch ms", "queries/s",
                 "speedup");
     std::printf("%-28s %12.2f %12.1f %9s\n", "sequential", seq_sec * 1e3,
@@ -99,6 +108,14 @@ int main(int argc, char** argv) {
                       threads, 2 * threads);
         std::printf("%-28s %12.2f %12.1f %8.2fx\n", label, batch_sec * 1e3,
                     batch / batch_sec, seq_sec / batch_sec);
+        json.push_back({"sharded_t" + std::to_string(threads),
+                        batch / shard_sec});
+        json.push_back({"batched_t" + std::to_string(threads),
+                        batch / batch_sec});
+    }
+    if (json_path != nullptr &&
+        !bench::WriteBenchJson(json_path, "bench_sharded_throughput", json)) {
+        return 2;
     }
     return 0;
 }

@@ -45,12 +45,13 @@ int main() {
     config.codesign.q_full = 4;
     config.dnn_flops = lm.ForwardFlops();
     PrivateEmbeddingService service(emb, stats, config);
+    auto client = service.MakeClient();
 
     std::printf("\nprivate next-word predictions:\n");
     std::vector<float> logits;
     for (int q = 0; q < 5; ++q) {
         const LmSample& s = dataset.test[q];
-        auto lookup = service.client().Lookup(s.context);
+        auto lookup = client->Lookup(s.context);
         std::vector<float> pooled(spec.dim, 0.0f);
         for (std::size_t i = 0; i < s.context.size(); ++i) {
             if (!lookup.retrieved[i]) continue;

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "src/core/service.h"
+#include "src/core/serving.h"
 #include "src/ml/models.h"
 
 using namespace gpudpf;
@@ -51,13 +52,28 @@ int main() {
     config.dnn_flops = model.ForwardFlops();
     PrivateEmbeddingService service(emb, stats, config);
 
-    // Run private inference on a few users.
-    std::printf("\nprivate inferences (PIR-served embeddings):\n");
+    // Run private inference on a few users. Each user device is its own
+    // client; the lookups are submitted asynchronously so the serving
+    // front-end pools all five requests' answer work into one batch.
+    std::printf("\nprivate inferences (PIR-served embeddings, %d async clients):\n",
+                5);
+    std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> clients;
+    std::vector<ServingFrontEnd::Ticket> tickets;
+    for (int u = 0; u < 5; ++u) {
+        clients.push_back(service.MakeClient());
+        tickets.push_back(service.front_end().Submit(
+            {clients.back().get(), dataset.test[u].history}));
+        if (!tickets.back().ok()) {
+            std::fprintf(stderr, "request %d rejected: %s\n", u,
+                         AdmissionStatusName(tickets.back().status));
+            return 1;
+        }
+    }
     double retrieved_total = 0;
     double wanted_total = 0;
     for (int u = 0; u < 5; ++u) {
         const RecSample& s = dataset.test[u];
-        auto lookup = service.client().Lookup(s.history);
+        auto lookup = tickets[u].future.get();
         std::vector<float> user(spec.dim, 0.0f);
         int got = 0;
         for (std::size_t i = 0; i < s.history.size(); ++i) {

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Flags throughput regressions between two bench-result directories.
+
+Usage: check_bench_regression.py BASELINE_DIR CURRENT_DIR [--threshold 0.20]
+
+Each directory holds one JSON file per bench, written by the benches'
+--json=PATH flag: {"bench": "...", "results": [{"name": ..., "qps": ...}]}.
+Results are matched by (bench, name); a current QPS more than `threshold`
+below its baseline counterpart is a regression. Missing baselines (first
+run, renamed rows) are skipped with a note. Exits 1 if any regression was
+flagged, so CI can surface the step while keeping it non-blocking via
+continue-on-error.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_results(directory):
+    """Returns {(bench, result_name): qps} over every *.json in directory."""
+    results = {}
+    for path in sorted(pathlib.Path(directory).glob("*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"note: skipping unreadable {path}: {err}")
+            continue
+        bench = doc.get("bench", path.stem)
+        for entry in doc.get("results", []):
+            if "name" in entry and "qps" in entry:
+                results[(bench, entry["name"])] = float(entry["qps"])
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir")
+    parser.add_argument("current_dir")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="fractional QPS drop that counts as a "
+                             "regression (default 0.20)")
+    args = parser.parse_args()
+
+    if not pathlib.Path(args.baseline_dir).is_dir():
+        print(f"no baseline at {args.baseline_dir} (first run?) — "
+              "nothing to compare")
+        return 0
+    baseline = load_results(args.baseline_dir)
+    current = load_results(args.current_dir)
+    if not current:
+        print(f"error: no bench results found in {args.current_dir}")
+        return 2
+
+    regressions = []
+    for key, qps in sorted(current.items()):
+        base = baseline.get(key)
+        if base is None:
+            print(f"note: no baseline for {key[0]}/{key[1]} — skipped")
+            continue
+        if base <= 0:
+            continue
+        delta = (qps - base) / base
+        marker = ""
+        if delta < -args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((key, base, qps, delta))
+        print(f"{key[0]}/{key[1]}: {base:.1f} -> {qps:.1f} qps "
+              f"({delta:+.1%}){marker}")
+
+    if regressions:
+        print(f"\n{len(regressions)} result(s) regressed more than "
+              f"{args.threshold:.0%} vs the previous run:")
+        for (bench, name), base, qps, delta in regressions:
+            print(f"  {bench}/{name}: {base:.1f} -> {qps:.1f} ({delta:+.1%})")
+        return 1
+    print("\nno throughput regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,24 +33,32 @@ PbrSession::Request PbrSession::BuildRequest(const Pbr::Plan& plan) {
     return req;
 }
 
+PbrSession::BinJobs PbrSession::ParseJobs(
+    const std::vector<std::vector<std::uint8_t>>& keys) const {
+    if (keys.size() != pbr_->num_bins()) {
+        throw std::invalid_argument("PbrSession: key count mismatch");
+    }
+    BinJobs parsed;
+    parsed.keys.resize(keys.size());
+    parsed.jobs.resize(keys.size());
+    for (std::uint64_t b = 0; b < keys.size(); ++b) {
+        parsed.keys[b] = DpfKey::Deserialize(keys[b].data(), keys[b].size());
+        if (parsed.keys[b].params.log_domain != pbr_->bin_log_domain()) {
+            throw std::invalid_argument("PbrSession: bad key domain");
+        }
+        parsed.jobs[b] = {&parsed.keys[b], b * pbr_->bin_size(),
+                          pbr_->BinEntries(b)};
+    }
+    return parsed;
+}
+
 std::vector<PirResponse> PbrSession::Answer(
     const PirTable& table,
     const std::vector<std::vector<std::uint8_t>>& keys) const {
-    if (keys.size() != pbr_->num_bins()) {
-        throw std::invalid_argument("PbrSession::Answer: key count mismatch");
-    }
     // One engine job per bin; the whole batched retrieval is answered in a
     // single pool submission (every (bin, shard) task runs concurrently).
-    std::vector<DpfKey> parsed(keys.size());
-    std::vector<AnswerEngine::Job> jobs(keys.size());
-    for (std::uint64_t b = 0; b < keys.size(); ++b) {
-        parsed[b] = DpfKey::Deserialize(keys[b].data(), keys[b].size());
-        if (parsed[b].params.log_domain != pbr_->bin_log_domain()) {
-            throw std::invalid_argument("PbrSession::Answer: bad key domain");
-        }
-        jobs[b] = {&parsed[b], b * pbr_->bin_size(), pbr_->BinEntries(b)};
-    }
-    return engine_.AnswerBatch(table, jobs);
+    const BinJobs parsed = ParseJobs(keys);
+    return engine_.AnswerBatch(table, parsed.jobs);
 }
 
 std::vector<std::vector<std::uint8_t>> PbrSession::Reconstruct(

@@ -36,6 +36,20 @@ class PbrSession {
     // Client: keys for every bin query in the plan (real and dummy alike).
     Request BuildRequest(const Pbr::Plan& plan);
 
+    // One server's parsed per-bin answer jobs. `jobs` point into `keys`, so
+    // the struct is movable but the keys vector must not be resized.
+    struct BinJobs {
+        std::vector<DpfKey> keys;
+        std::vector<AnswerEngine::Job> jobs;
+    };
+
+    // Server: deserializes and validates one key per bin, binding each to
+    // its bin's row range. Lets a serving front-end pool the jobs of many
+    // requests (and tables) into one AnswerEngine::AnswerBatch call instead
+    // of answering per session.
+    BinJobs ParseJobs(
+        const std::vector<std::vector<std::uint8_t>>& keys) const;
+
     // Server: evaluates each bin key against the bin's slice of `table`;
     // returns one entry share per bin.
     std::vector<PirResponse> Answer(

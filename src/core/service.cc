@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/core/serving.h"
 #include "src/kernels/strategy.h"
 
 namespace gpudpf {
@@ -62,8 +63,7 @@ PrivateEmbeddingService::PrivateEmbeddingService(
           }())),
       server_pool_(config.server_threads > 0
                        ? std::make_unique<ThreadPool>(config.server_threads)
-                       : nullptr),
-      client_(this) {
+                       : nullptr) {
     if (hot_pbr_ != nullptr) {
         std::vector<std::uint64_t> owners(layout_.hot_size());
         for (std::uint64_t s = 0; s < layout_.hot_size(); ++s) {
@@ -72,6 +72,21 @@ PrivateEmbeddingService::PrivateEmbeddingService(
         hot_table_ =
             std::make_unique<PirTable>(BuildPhysicalTable(embeddings, owners));
     }
+    front_end_ = std::make_unique<ServingFrontEnd>(
+        this, ServingFrontEnd::Options{config_.max_inflight_requests,
+                                       config_.batcher_linger_us});
+}
+
+PrivateEmbeddingService::~PrivateEmbeddingService() = default;
+
+std::unique_ptr<PrivateEmbeddingService::Client>
+PrivateEmbeddingService::MakeClient() {
+    // Three seeds per client (device RNG + the two session key streams),
+    // assigned by creation order so runs are reproducible.
+    const std::uint64_t k =
+        clients_made_.fetch_add(1, std::memory_order_relaxed);
+    return std::unique_ptr<Client>(
+        new Client(this, config_.client_seed + 3 * k));
 }
 
 PirTable PrivateEmbeddingService::BuildPhysicalTable(
@@ -94,104 +109,119 @@ PirTable PrivateEmbeddingService::BuildPhysicalTable(
     return table;
 }
 
-PrivateEmbeddingService::Client::Client(PrivateEmbeddingService* service)
+PrivateEmbeddingService::Client::Client(PrivateEmbeddingService* service,
+                                        std::uint64_t seed)
     : service_(service),
-      rng_(service->config_.client_seed),
-      full_session_(&service->full_pbr_, service->config_.prf,
-                    service->config_.client_seed + 1,
+      rng_(seed),
+      full_session_(&service->full_pbr_, service->config_.prf, seed + 1,
                     service->server_sharding()) {
     if (service_->hot_pbr_ != nullptr) {
         hot_session_ = std::make_unique<PbrSession>(
-            service_->hot_pbr_.get(), service_->config_.prf,
-            service_->config_.client_seed + 2, service_->server_sharding());
+            service_->hot_pbr_.get(), service_->config_.prf, seed + 2,
+            service_->server_sharding());
     }
+}
+
+PrivateEmbeddingService::PreparedLookup
+PrivateEmbeddingService::Client::Prepare(
+    const std::vector<std::uint64_t>& wanted) {
+    PreparedLookup prep;
+    prep.wanted = wanted;
+    prep.plan = service_->planner_.Plan(wanted, rng_);
+
+    PbrSession::Request full_req =
+        full_session_.BuildRequest(prep.plan.full_plan);
+    prep.upload_bytes += full_req.UploadBytesPerServer();
+    prep.full_server0 = full_session_.ParseJobs(full_req.keys_for_server0);
+    prep.full_server1 = full_session_.ParseJobs(full_req.keys_for_server1);
+
+    if (hot_session_ != nullptr) {
+        PbrSession::Request hot_req =
+            hot_session_->BuildRequest(prep.plan.hot_plan);
+        prep.upload_bytes += hot_req.UploadBytesPerServer();
+        prep.hot_server0 = hot_session_->ParseJobs(hot_req.keys_for_server0);
+        prep.hot_server1 = hot_session_->ParseJobs(hot_req.keys_for_server1);
+    }
+    return prep;
 }
 
 PrivateEmbeddingService::LookupResult
 PrivateEmbeddingService::Client::Lookup(
     const std::vector<std::uint64_t>& wanted) {
-    const auto& layout = service_->layout_;
-    const std::size_t base = service_->base_entry_bytes_;
-    const int dim = service_->dim_;
+    ServingFrontEnd::Ticket ticket =
+        service_->front_end().SubmitOrWait({this, wanted});
+    if (!ticket.ok()) {
+        throw std::runtime_error(
+            "PrivateEmbeddingService::Client::Lookup: front-end is shut down");
+    }
+    return ticket.future.get();
+}
+
+PrivateEmbeddingService::LookupResult
+PrivateEmbeddingService::AssembleLookupResult(
+    const PreparedLookup& prep,
+    const std::vector<std::vector<std::uint8_t>>& full_rows,
+    const std::vector<std::vector<std::uint8_t>>& hot_rows) const {
+    const std::size_t base = base_entry_bytes_;
+    const std::vector<std::uint64_t>& wanted = prep.wanted;
 
     LookupResult result;
-    const InferencePlan plan = service_->planner_.Plan(wanted, rng_);
-    result.retrieved = plan.retrieved;
-    result.embeddings.assign(wanted.size(), std::vector<float>(dim, 0.0f));
+    result.retrieved = prep.plan.retrieved;
+    result.embeddings.assign(wanted.size(), std::vector<float>(dim_, 0.0f));
+    result.upload_bytes = prep.upload_bytes;
 
     // Positions served per owner index.
     auto deliver_row = [&](std::uint64_t owner,
                            const std::vector<std::uint8_t>& row) {
         auto copy_slot = [&](std::uint64_t index, std::size_t slot) {
             for (std::size_t i = 0; i < wanted.size(); ++i) {
-                if (wanted[i] != index || !plan.retrieved[i]) continue;
+                if (wanted[i] != index || !prep.plan.retrieved[i]) continue;
                 std::memcpy(result.embeddings[i].data(),
                             row.data() + slot * base, base);
             }
         };
         copy_slot(owner, 0);
-        const auto& partners = layout.Partners(owner);
+        const auto& partners = layout_.Partners(owner);
         for (std::size_t j = 0; j < partners.size(); ++j) {
             copy_slot(partners[j], j + 1);
         }
     };
 
-    // Full-table round trip.
-    {
-        PbrSession::Request req = full_session_.BuildRequest(plan.full_plan);
-        result.upload_bytes += req.UploadBytesPerServer();
-        const auto r0 =
-            full_session_.Answer(service_->full_table_, req.keys_for_server0);
-        const auto r1 =
-            full_session_.Answer(service_->full_table_, req.keys_for_server1);
-        const auto rows = full_session_.Reconstruct(
-            r0, r1, layout.RowBytes(base));
-        result.download_bytes +=
-            service_->full_pbr_.DownloadBytes(layout.RowBytes(base));
-        for (std::size_t b = 0; b < plan.full_plan.queries.size(); ++b) {
-            const auto& q = plan.full_plan.queries[b];
-            if (q.real) deliver_row(q.global_index, rows[b]);
-        }
+    for (std::size_t b = 0; b < prep.plan.full_plan.queries.size(); ++b) {
+        const auto& q = prep.plan.full_plan.queries[b];
+        if (q.real) deliver_row(q.global_index, full_rows[b]);
     }
-    // Hot-table round trip.
-    if (hot_session_ != nullptr) {
-        PbrSession::Request req = hot_session_->BuildRequest(plan.hot_plan);
-        result.upload_bytes += req.UploadBytesPerServer();
-        const auto r0 =
-            hot_session_->Answer(*service_->hot_table_, req.keys_for_server0);
-        const auto r1 =
-            hot_session_->Answer(*service_->hot_table_, req.keys_for_server1);
-        const auto rows =
-            hot_session_->Reconstruct(r0, r1, layout.RowBytes(base));
-        result.download_bytes +=
-            service_->hot_pbr_->DownloadBytes(layout.RowBytes(base));
-        for (std::size_t b = 0; b < plan.hot_plan.queries.size(); ++b) {
-            const auto& q = plan.hot_plan.queries[b];
+    result.download_bytes +=
+        full_pbr_.DownloadBytes(layout_.RowBytes(base));
+    if (hot_pbr_ != nullptr) {
+        for (std::size_t b = 0; b < prep.plan.hot_plan.queries.size(); ++b) {
+            const auto& q = prep.plan.hot_plan.queries[b];
             if (q.real) {
-                deliver_row(layout.HotContent(q.global_index), rows[b]);
+                deliver_row(layout_.HotContent(q.global_index), hot_rows[b]);
             }
         }
+        result.download_bytes +=
+            hot_pbr_->DownloadBytes(layout_.RowBytes(base));
     }
 
     // Latency breakdown (Figure 12 composition).
-    const auto& cfg = service_->config_;
-    std::uint64_t keys = service_->full_pbr_.num_bins();
-    double gen = KeyGenLatency(cfg.client_device, keys,
-                               service_->full_pbr_.bin_log_domain());
-    double pir = ServerPirLatency(service_->full_pbr_,
-                                  layout.RowBytes(base), cfg.prf);
-    if (service_->hot_pbr_ != nullptr) {
-        gen += KeyGenLatency(cfg.client_device,
-                             service_->hot_pbr_->num_bins(),
-                             service_->hot_pbr_->bin_log_domain());
-        pir += ServerPirLatency(*service_->hot_pbr_, layout.RowBytes(base),
-                                cfg.prf);
+    std::uint64_t keys = full_pbr_.num_bins();
+    double gen = KeyGenLatency(config_.client_device, keys,
+                               full_pbr_.bin_log_domain());
+    double pir = ServerPirLatency(full_pbr_, layout_.RowBytes(base),
+                                  config_.prf);
+    if (hot_pbr_ != nullptr) {
+        gen += KeyGenLatency(config_.client_device, hot_pbr_->num_bins(),
+                             hot_pbr_->bin_log_domain());
+        pir += ServerPirLatency(*hot_pbr_, layout_.RowBytes(base),
+                                config_.prf);
     }
     result.latency.gen_sec = gen;
     result.latency.pir_sec = pir;
     result.latency.network_sec = NetworkLatency(
-        cfg.network, result.upload_bytes, result.download_bytes);
-    result.latency.dnn_sec = DnnLatency(cfg.client_device, cfg.dnn_flops);
+        config_.network, result.upload_bytes, result.download_bytes);
+    result.latency.dnn_sec = DnnLatency(config_.client_device,
+                                        config_.dnn_flops);
     return result;
 }
 

@@ -3,19 +3,30 @@
 //
 // A PrivateEmbeddingService owns the server-side state: the physical full
 // (and optional hot) PIR tables laid out by the co-design layer, replicated
-// across two non-colluding logical servers. Its Client runs on the user
-// device: it plans an oblivious query set for each inference, generates DPF
-// keys, contacts both servers, reconstructs the embeddings, and reports the
-// exact communication plus a modeled end-to-end latency breakdown.
+// across two non-colluding logical servers, plus a ServingFrontEnd that
+// batches the answer work of every in-flight request (src/core/serving.h).
+// Each end-user device is a Client created with MakeClient(): it owns its
+// own RNG and PBR sessions, plans an oblivious query set per inference,
+// generates DPF keys, contacts both servers, reconstructs the embeddings,
+// and reports the exact communication plus a modeled latency breakdown.
+// Arbitrarily many clients may run concurrently against one service; a
+// single Client must be driven from one thread at a time.
 //
-// Quickstart (see examples/quickstart.cc):
+// Quickstart (see examples/quickstart.cc, examples/private_recommendation.cc):
 //   EmbeddingTable emb(...);              // the model's embedding weights
 //   AccessStats stats = ...;              // from the training trace
-//   ServiceConfig config;                 // PRF, co-design parameters
+//   ServiceConfig config;                 // PRF, co-design, front-end knobs
 //   PrivateEmbeddingService service(emb, stats, config);
-//   auto result = service.client().Lookup({idx0, idx1, ...});
+//   auto client = service.MakeClient();   // one per device
+//   auto result = client->Lookup({idx0, idx1, ...});   // synchronous
+//
+// Asynchronous path (cross-request batching, admission control):
+//   auto ticket = service.front_end().Submit({client.get(), {idx0, idx1}});
+//   if (ticket.ok()) auto result = ticket.future.get();
+//   else /* ticket.status: queue full (backpressure) or shut down */;
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -31,6 +42,8 @@
 
 namespace gpudpf {
 
+class ServingFrontEnd;
+
 struct ServiceConfig {
     PrfKind prf = PrfKind::kChacha20;
     CodesignConfig codesign;
@@ -45,6 +58,14 @@ struct ServiceConfig {
     // the host). server_shards == 1 keeps the sequential reference path.
     std::size_t server_shards = 1;
     std::size_t server_threads = 0;
+    // Serving front-end admission control: requests admitted but not yet
+    // completed are capped at `max_inflight_requests`; beyond that,
+    // ServingFrontEnd::Submit rejects with kQueueFull (backpressure).
+    std::size_t max_inflight_requests = 64;
+    // After the first pending request arrives, the batcher lingers this
+    // long so concurrent submitters can join the same pooled answer batch
+    // (the classic dynamic-batching latency/throughput knob).
+    std::uint64_t batcher_linger_us = 50;
 };
 
 class PrivateEmbeddingService {
@@ -52,6 +73,10 @@ class PrivateEmbeddingService {
     PrivateEmbeddingService(const EmbeddingTable& embeddings,
                             const AccessStats& stats,
                             const ServiceConfig& config);
+    ~PrivateEmbeddingService();
+
+    PrivateEmbeddingService(const PrivateEmbeddingService&) = delete;
+    PrivateEmbeddingService& operator=(const PrivateEmbeddingService&) = delete;
 
     struct LookupResult {
         // Aligned with the wanted vector.
@@ -65,19 +90,52 @@ class PrivateEmbeddingService {
         LatencyBreakdown latency;
     };
 
+    // Client-side phase of one lookup, produced by Client and consumed by
+    // the ServingFrontEnd batcher: the oblivious plan plus both servers'
+    // per-bin DPF keys parsed into engine jobs.
+    struct PreparedLookup {
+        std::vector<std::uint64_t> wanted;
+        InferencePlan plan;
+        std::size_t upload_bytes = 0;
+        PbrSession::BinJobs full_server0;
+        PbrSession::BinJobs full_server1;
+        PbrSession::BinJobs hot_server0;
+        PbrSession::BinJobs hot_server1;
+    };
+
     class Client {
       public:
-        explicit Client(PrivateEmbeddingService* service);
+        // Thin synchronous wrapper over the async serving path: submits to
+        // the service's front-end (waiting for an admission slot if the
+        // queue is full) and blocks on the result. Throws std::runtime_error
+        // if the front-end has been shut down.
         LookupResult Lookup(const std::vector<std::uint64_t>& wanted);
 
       private:
+        friend class PrivateEmbeddingService;
+        friend class ServingFrontEnd;
+
+        Client(PrivateEmbeddingService* service, std::uint64_t seed);
+
+        // Plans the inference and generates/parses both servers' keys,
+        // advancing this client's RNG (hence: one thread at a time).
+        PreparedLookup Prepare(const std::vector<std::uint64_t>& wanted);
+
         PrivateEmbeddingService* service_;
         Rng rng_;
         PbrSession full_session_;
         std::unique_ptr<PbrSession> hot_session_;
     };
 
-    Client& client() { return client_; }
+    // Creates an independent client device handle with its own RNG and PBR
+    // sessions, seeded deterministically from config.client_seed and the
+    // creation order. Clients may submit concurrently; each must not
+    // outlive the service.
+    std::unique_ptr<Client> MakeClient();
+
+    // The async request/future serving front-end (see src/core/serving.h).
+    ServingFrontEnd& front_end() { return *front_end_; }
+
     // Sharding configuration handed to the server-side answer engines.
     ShardingOptions server_sharding() const {
         return ShardingOptions{config_.server_shards, server_pool_.get()};
@@ -91,11 +149,20 @@ class PrivateEmbeddingService {
 
   private:
     friend class Client;
+    friend class ServingFrontEnd;
 
     // Builds a physical PIR table with co-located rows for the given row
     // owners (identity for the full table, hot contents for the hot table).
     PirTable BuildPhysicalTable(const EmbeddingTable& embeddings,
                                 const std::vector<std::uint64_t>& owners) const;
+
+    // Turns a prepared lookup plus the reconstructed full/hot rows into the
+    // caller-facing result (embedding delivery, communication accounting,
+    // modeled latency). `hot_rows` is empty when there is no hot table.
+    LookupResult AssembleLookupResult(
+        const PreparedLookup& prep,
+        const std::vector<std::vector<std::uint8_t>>& full_rows,
+        const std::vector<std::vector<std::uint8_t>>& hot_rows) const;
 
     ServiceConfig config_;
     int dim_;
@@ -111,7 +178,10 @@ class PrivateEmbeddingService {
     // Dedicated answer pool when config.server_threads > 0; the engines
     // fall back to ThreadPool::Shared() otherwise.
     std::unique_ptr<ThreadPool> server_pool_;
-    Client client_;
+    std::atomic<std::uint64_t> clients_made_{0};
+    // Declared last: its destructor joins the batcher thread while the
+    // tables and pool above are still alive.
+    std::unique_ptr<ServingFrontEnd> front_end_;
 };
 
 }  // namespace gpudpf

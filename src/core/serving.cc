@@ -1,0 +1,210 @@
+#include "src/core/serving.h"
+
+#include <chrono>
+#include <utility>
+
+namespace gpudpf {
+
+const char* AdmissionStatusName(AdmissionStatus status) {
+    switch (status) {
+        case AdmissionStatus::kAccepted:
+            return "accepted";
+        case AdmissionStatus::kQueueFull:
+            return "queue-full";
+        case AdmissionStatus::kShutdown:
+            return "shutdown";
+    }
+    return "unknown";
+}
+
+ServingFrontEnd::ServingFrontEnd(PrivateEmbeddingService* service,
+                                 Options options)
+    : service_(service),
+      options_(options),
+      engine_(service->server_sharding()) {
+    if (options_.max_inflight_requests == 0) {
+        options_.max_inflight_requests = 1;
+    }
+    batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+ServingFrontEnd::~ServingFrontEnd() { Shutdown(); }
+
+ServingFrontEnd::Ticket ServingFrontEnd::Submit(LookupRequest request) {
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (stop_) return Ticket{AdmissionStatus::kShutdown, {}};
+        if (inflight_ >= options_.max_inflight_requests) {
+            return Ticket{AdmissionStatus::kQueueFull, {}};
+        }
+        ++inflight_;
+        ++preparing_;
+    }
+    return Enqueue(std::move(request));
+}
+
+ServingFrontEnd::Ticket ServingFrontEnd::SubmitOrWait(LookupRequest request) {
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        slot_cv_.wait(lock, [this] {
+            return stop_ || inflight_ < options_.max_inflight_requests;
+        });
+        if (stop_) return Ticket{AdmissionStatus::kShutdown, {}};
+        ++inflight_;
+        ++preparing_;
+    }
+    return Enqueue(std::move(request));
+}
+
+ServingFrontEnd::Ticket ServingFrontEnd::Enqueue(LookupRequest request) {
+    // Client-side phase outside the lock: concurrent submitters generate
+    // their DPF keys in parallel while the batcher answers previous work.
+    // The admission slot is already held, so the batcher cannot exit (and
+    // shutdown cannot complete) before this request is enqueued.
+    Pending pending;
+    pending.client = request.client;
+    try {
+        pending.prep = request.client->Prepare(request.wanted);
+    } catch (...) {
+        // Release the slot or the batcher would wait for this request
+        // forever (shutdown requires preparing_ == 0).
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            --inflight_;
+            --preparing_;
+        }
+        slot_cv_.notify_all();
+        queue_cv_.notify_all();
+        throw;
+    }
+    Ticket ticket;
+    ticket.status = AdmissionStatus::kAccepted;
+    ticket.future = pending.promise.get_future();
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        queue_.push_back(std::move(pending));
+        --preparing_;
+    }
+    queue_cv_.notify_one();
+    return ticket;
+}
+
+void ServingFrontEnd::Shutdown() {
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    queue_cv_.notify_all();
+    slot_cv_.notify_all();
+    if (batcher_.joinable()) batcher_.join();
+}
+
+std::size_t ServingFrontEnd::inflight() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return inflight_;
+}
+
+void ServingFrontEnd::BatcherLoop() {
+    for (;;) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            queue_cv_.wait(lock, [this] {
+                return !queue_.empty() || (stop_ && preparing_ == 0);
+            });
+            if (queue_.empty()) return;  // stopped and fully drained
+            if (options_.batcher_linger_us > 0 && !stop_ &&
+                queue_.size() < options_.max_inflight_requests) {
+                // Give concurrent submitters a window to join this batch.
+                queue_cv_.wait_for(
+                    lock,
+                    std::chrono::microseconds(options_.batcher_linger_us),
+                    [this] { return stop_; });
+            }
+            batch.swap(queue_);
+        }
+        ProcessBatch(batch);
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            inflight_ -= batch.size();
+        }
+        slot_cv_.notify_all();
+        // Fulfill promises only after releasing the admission slots, so a
+        // caller woken by its future can submit again without bouncing off
+        // a stale queue-full.
+        for (Pending& p : batch) {
+            if (p.error != nullptr) {
+                p.promise.set_exception(p.error);
+            } else {
+                p.promise.set_value(std::move(p.result));
+            }
+        }
+    }
+}
+
+void ServingFrontEnd::ProcessBatch(std::vector<Pending>& batch) {
+    try {
+        // Pool every request's (table, server, bin) jobs into one
+        // cross-table engine submission: full and hot answers of all
+        // in-flight requests run concurrently on the answer pool.
+        std::vector<AnswerEngine::TableJob> jobs;
+        for (const Pending& p : batch) {
+            const std::size_t per_table = p.prep.full_server0.jobs.size() +
+                                          p.prep.full_server1.jobs.size() +
+                                          p.prep.hot_server0.jobs.size() +
+                                          p.prep.hot_server1.jobs.size();
+            jobs.reserve(jobs.size() + per_table);
+            for (const auto& j : p.prep.full_server0.jobs) {
+                jobs.push_back({&service_->full_table_, j});
+            }
+            for (const auto& j : p.prep.full_server1.jobs) {
+                jobs.push_back({&service_->full_table_, j});
+            }
+            for (const auto& j : p.prep.hot_server0.jobs) {
+                jobs.push_back({service_->hot_table_.get(), j});
+            }
+            for (const auto& j : p.prep.hot_server1.jobs) {
+                jobs.push_back({service_->hot_table_.get(), j});
+            }
+        }
+        std::vector<PirResponse> responses = engine_.AnswerBatch(jobs);
+
+        // Slice the pooled responses back per request, reconstruct with the
+        // owning client's sessions, and fulfill the futures.
+        const std::size_t row_bytes =
+            service_->layout_.RowBytes(service_->base_entry_bytes_);
+        std::size_t off = 0;
+        auto take = [&](std::size_t n) {
+            std::vector<PirResponse> out(
+                std::make_move_iterator(responses.begin() + off),
+                std::make_move_iterator(responses.begin() + off + n));
+            off += n;
+            return out;
+        };
+        for (Pending& p : batch) {
+            const auto f0 = take(p.prep.full_server0.jobs.size());
+            const auto f1 = take(p.prep.full_server1.jobs.size());
+            const auto full_rows =
+                p.client->full_session_.Reconstruct(f0, f1, row_bytes);
+            std::vector<std::vector<std::uint8_t>> hot_rows;
+            if (p.client->hot_session_ != nullptr) {
+                const auto h0 = take(p.prep.hot_server0.jobs.size());
+                const auto h1 = take(p.prep.hot_server1.jobs.size());
+                hot_rows =
+                    p.client->hot_session_->Reconstruct(h0, h1, row_bytes);
+            }
+            p.result = service_->AssembleLookupResult(p.prep, full_rows,
+                                                      hot_rows);
+            p.has_result = true;
+        }
+    } catch (...) {
+        // Propagate the failure to every request of the batch that has no
+        // result yet instead of dropping promises (which would surface as
+        // opaque broken_promise errors at the callers).
+        for (Pending& p : batch) {
+            if (!p.has_result) p.error = std::current_exception();
+        }
+    }
+}
+
+}  // namespace gpudpf

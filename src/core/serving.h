@@ -1,0 +1,128 @@
+// Async request/future serving front-end (the multi-client half of the
+// paper's Figure 1b service).
+//
+// Many independent Clients submit LookupRequests concurrently; the
+// front-end admits up to `max_inflight_requests` of them (rejecting the
+// rest with a backpressure status) and a single batcher thread drains the
+// queue, pooling EVERY pending request's answer jobs — full and hot table,
+// both logical servers — into one cross-table AnswerEngine::AnswerBatch
+// submission. Pooling keeps the answer pool saturated even when individual
+// requests are narrow, amortizes the per-batch synchronization, and
+// overlaps the hot- and full-table answers that the old synchronous path
+// ran back to back.
+//
+// The client-side phase (oblivious planning + DPF key generation) runs on
+// the submitting thread inside Submit/SubmitOrWait, so each client's RNG
+// advances in its own submission order: results are bit-identical to
+// serialized sequential Lookups for any client interleaving and any shard
+// count.
+//
+// Shutdown() (also run by the destructor) stops admitting, drains every
+// already-admitted request so no future is left dangling, and joins the
+// batcher thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/service.h"
+#include "src/pir/answer_engine.h"
+
+namespace gpudpf {
+
+// Admission-control outcome of one submission.
+enum class AdmissionStatus {
+    kAccepted,   // future is valid and will be fulfilled
+    kQueueFull,  // backpressure: max_inflight_requests already admitted
+    kShutdown,   // front-end no longer accepts work
+};
+
+const char* AdmissionStatusName(AdmissionStatus status);
+
+// One client's lookup, addressed to the front-end. The client pointer must
+// stay valid until the request's future resolves.
+struct LookupRequest {
+    PrivateEmbeddingService::Client* client = nullptr;
+    std::vector<std::uint64_t> wanted;
+};
+
+class ServingFrontEnd {
+  public:
+    struct Options {
+        std::size_t max_inflight_requests = 64;
+        std::uint64_t batcher_linger_us = 50;
+    };
+
+    // Admission decision plus the result future (valid iff accepted).
+    struct Ticket {
+        AdmissionStatus status = AdmissionStatus::kShutdown;
+        std::future<PrivateEmbeddingService::LookupResult> future;
+
+        bool ok() const { return status == AdmissionStatus::kAccepted; }
+    };
+
+    ServingFrontEnd(PrivateEmbeddingService* service, Options options);
+    ~ServingFrontEnd();
+
+    ServingFrontEnd(const ServingFrontEnd&) = delete;
+    ServingFrontEnd& operator=(const ServingFrontEnd&) = delete;
+
+    // Non-blocking admission: rejects with kQueueFull when
+    // max_inflight_requests are already admitted but not completed.
+    Ticket Submit(LookupRequest request);
+
+    // Blocking admission: waits for a free slot instead of rejecting.
+    // Only returns a non-ok ticket (kShutdown) after Shutdown(). Used by
+    // the synchronous Client::Lookup wrapper; do not call from the batcher
+    // thread (i.e. from code completing another request).
+    Ticket SubmitOrWait(LookupRequest request);
+
+    // Stops admitting, drains every admitted request, joins the batcher.
+    // Idempotent; runs in the destructor if not called explicitly.
+    void Shutdown();
+
+    // Requests admitted but not yet completed (queued + being answered).
+    std::size_t inflight() const;
+
+    const Options& options() const { return options_; }
+
+  private:
+    struct Pending {
+        PrivateEmbeddingService::Client* client = nullptr;
+        PrivateEmbeddingService::PreparedLookup prep;
+        std::promise<PrivateEmbeddingService::LookupResult> promise;
+        // Filled by ProcessBatch; the promise is only fulfilled after the
+        // admission slot is released, so a caller unblocked by the future
+        // can immediately submit again.
+        PrivateEmbeddingService::LookupResult result;
+        bool has_result = false;
+        std::exception_ptr error;
+    };
+
+    // Client-side phase + enqueue, called with an admission slot held.
+    Ticket Enqueue(LookupRequest request);
+    void BatcherLoop();
+    // Answers one drained batch through a single cross-table engine
+    // submission, filling each pending's result or error.
+    void ProcessBatch(std::vector<Pending>& batch);
+
+    PrivateEmbeddingService* service_;
+    Options options_;
+    AnswerEngine engine_;
+
+    mutable std::mutex mu_;
+    std::condition_variable queue_cv_;  // batcher wake-up
+    std::condition_variable slot_cv_;   // SubmitOrWait wake-up
+    std::vector<Pending> queue_;
+    std::size_t inflight_ = 0;   // admitted, not yet completed
+    std::size_t preparing_ = 0;  // admitted, not yet enqueued
+    bool stop_ = false;
+    std::thread batcher_;
+};
+
+}  // namespace gpudpf

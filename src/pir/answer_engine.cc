@@ -73,22 +73,36 @@ PirResponse AnswerEngine::Answer(const PirTable& table, const DpfKey& key,
 
 std::vector<PirResponse> AnswerEngine::AnswerBatch(
     const PirTable& table, const std::vector<Job>& jobs) const {
-    for (const Job& job : jobs) ValidateJob(table, job);
+    std::vector<TableJob> bound(jobs.size());
+    for (std::size_t q = 0; q < jobs.size(); ++q) {
+        bound[q] = TableJob{&table, jobs[q]};
+    }
+    return AnswerBatch(bound);
+}
 
-    const std::size_t w = table.words_per_entry();
+std::vector<PirResponse> AnswerEngine::AnswerBatch(
+    const std::vector<TableJob>& jobs) const {
+    for (const TableJob& tj : jobs) {
+        if (tj.table == nullptr) {
+            throw std::invalid_argument("AnswerEngine: null table in job");
+        }
+        ValidateJob(*tj.table, tj.job);
+    }
+
     const std::size_t shards = options_.num_shards;
     // Keys of one batch usually share DpfParams, but each job carries its
     // own; build each job's evaluator once, outside the shard tasks.
     std::vector<Dpf> dpfs;
     dpfs.reserve(jobs.size());
-    for (const Job& job : jobs) dpfs.emplace_back(job.key->params);
+    for (const TableJob& tj : jobs) dpfs.emplace_back(tj.job.key->params);
 
     // partials[job * shards + shard]; an empty vector is a zero partial.
     std::vector<PirResponse> partials(jobs.size() * shards);
     auto run_task = [&](std::size_t t) {
         const std::size_t q = t / shards;
         const std::size_t s = t % shards;
-        const Job& job = jobs[q];
+        const TableJob& tj = jobs[q];
+        const Job& job = tj.job;
         const std::uint64_t chunk = (job.num_rows + shards - 1) / shards;
         const std::uint64_t lo = std::min<std::uint64_t>(job.num_rows,
                                                          s * chunk);
@@ -97,8 +111,8 @@ std::vector<PirResponse> AnswerEngine::AnswerBatch(
         if (lo >= hi) return;
         std::vector<u128> shares;
         dpfs[q].EvalRange(*job.key, lo, hi, &shares);
-        PirResponse resp(w, 0);
-        AccumulateRows(table, shares.data(), job.row_begin, lo, hi,
+        PirResponse resp(tj.table->words_per_entry(), 0);
+        AccumulateRows(*tj.table, shares.data(), job.row_begin, lo, hi,
                        resp.data());
         partials[t] = std::move(resp);
     };
@@ -110,7 +124,7 @@ std::vector<PirResponse> AnswerEngine::AnswerBatch(
     // so the result is bit-identical to the sequential path.
     std::vector<PirResponse> out(jobs.size());
     for (std::size_t q = 0; q < jobs.size(); ++q) {
-        PirResponse resp(w, 0);
+        PirResponse resp(jobs[q].table->words_per_entry(), 0);
         for (std::size_t s = 0; s < shards; ++s) {
             const PirResponse& part = partials[q * shards + s];
             for (std::size_t k = 0; k < part.size(); ++k) resp[k] += part[k];

@@ -63,6 +63,21 @@ class AnswerEngine {
     std::vector<PirResponse> AnswerBatch(const PirTable& table,
                                          const std::vector<Job>& jobs) const;
 
+    // A job bound to its table, so one batch can mix jobs against several
+    // tables (e.g. the hot and full tables of every in-flight request of
+    // the serving front-end) in a single pool submission.
+    struct TableJob {
+        const PirTable* table = nullptr;
+        Job job;
+    };
+
+    // Cross-table batch: answers every (job, shard) task of `jobs`
+    // concurrently regardless of which table each job reads. Each job's
+    // response is reduced independently, so results are bit-identical to
+    // answering the jobs one at a time against their own tables.
+    std::vector<PirResponse> AnswerBatch(
+        const std::vector<TableJob>& jobs) const;
+
   private:
     ShardingOptions options_;
 };

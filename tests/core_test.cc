@@ -32,17 +32,19 @@ struct TestWorld {
         config.dnn_flops = 10'000;
         service = std::make_unique<PrivateEmbeddingService>(*emb, stats,
                                                             config);
+        client = service->MakeClient();
     }
 
     RecDataset dataset;
     AccessStats stats;
     std::unique_ptr<EmbeddingTable> emb;
     std::unique_ptr<PrivateEmbeddingService> service;
+    std::unique_ptr<PrivateEmbeddingService::Client> client;
 };
 
 void ExpectRetrievedMatchesTable(const TestWorld& world,
                                  const std::vector<std::uint64_t>& wanted) {
-    auto result = world.service->client().Lookup(wanted);
+    auto result = world.client->Lookup(wanted);
     ASSERT_EQ(result.retrieved.size(), wanted.size());
     ASSERT_EQ(result.embeddings.size(), wanted.size());
     for (std::size_t i = 0; i < wanted.size(); ++i) {
@@ -67,7 +69,7 @@ TEST(ServiceTest, SpreadLookupsAllRetrieved) {
     codesign.q_full = 8;  // 8 bins of 64
     TestWorld world(codesign);
     const std::vector<std::uint64_t> wanted{1, 65, 129, 193, 257, 321};
-    auto result = world.service->client().Lookup(wanted);
+    auto result = world.client->Lookup(wanted);
     for (std::size_t i = 0; i < wanted.size(); ++i) {
         EXPECT_TRUE(result.retrieved[i]) << i;
     }
@@ -102,7 +104,7 @@ TEST(ServiceTest, CommunicationMatchesPlannerAccounting) {
     codesign.q_hot = 8;
     codesign.q_full = 4;
     TestWorld world(codesign);
-    auto result = world.service->client().Lookup({1, 2, 3});
+    auto result = world.client->Lookup({1, 2, 3});
     EXPECT_EQ(result.upload_bytes,
               world.service->planner().UploadBytesPerServer());
     EXPECT_EQ(result.download_bytes, world.service->planner().DownloadBytes(
@@ -113,7 +115,7 @@ TEST(ServiceTest, LatencyBreakdownIsPopulated) {
     CodesignConfig codesign;
     codesign.q_full = 8;
     TestWorld world(codesign);
-    auto result = world.service->client().Lookup({5, 6});
+    auto result = world.client->Lookup({5, 6});
     EXPECT_GT(result.latency.gen_sec, 0.0);
     EXPECT_GT(result.latency.pir_sec, 0.0);
     EXPECT_GT(result.latency.network_sec, 0.0);
@@ -130,7 +132,7 @@ TEST(ServiceTest, DroppedLookupsAreZeroFilled) {
     CodesignConfig codesign;
     codesign.q_full = 1;  // single bin: heavy collisions
     TestWorld world(codesign);
-    auto result = world.service->client().Lookup({10, 20, 30, 40});
+    auto result = world.client->Lookup({10, 20, 30, 40});
     bool any_dropped = false;
     for (std::size_t i = 0; i < result.retrieved.size(); ++i) {
         if (result.retrieved[i]) continue;

@@ -1,0 +1,267 @@
+// Serving front-end tests: interleaved async submissions from many clients
+// must be bit-identical to serialized sequential Lookups, admission control
+// must reject over-capacity submissions with a clean status, and shutdown
+// must drain in-flight work without deadlocking.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/service.h"
+#include "src/core/serving.h"
+#include "src/ml/embedding.h"
+#include "src/workloads/dataset.h"
+
+namespace gpudpf {
+namespace {
+
+struct ServingWorld {
+    explicit ServingWorld(const ServiceConfig& config,
+                          std::uint64_t vocab = 512) {
+        RecWorkloadSpec spec;
+        spec.name = "serving-test";
+        spec.vocab = vocab;
+        spec.num_train = 1'200;
+        spec.num_test = 100;
+        spec.min_history = 4;
+        spec.max_history = 10;
+        spec.num_clusters = 8;
+        spec.seed = 17;
+        const RecDataset dataset = GenerateRecDataset(spec);
+        const AccessStats stats = ComputeRecStats(dataset, 4);
+        emb = std::make_unique<EmbeddingTable>(vocab, spec.dim);
+        Rng rng(7);
+        emb->InitRandom(rng, 0.2f);
+        service = std::make_unique<PrivateEmbeddingService>(*emb, stats,
+                                                            config);
+    }
+
+    std::unique_ptr<EmbeddingTable> emb;
+    std::unique_ptr<PrivateEmbeddingService> service;
+};
+
+// Co-design on, so the front-end pools hot- and full-table jobs together.
+ServiceConfig BaseConfig() {
+    ServiceConfig config;
+    config.codesign.hot_size = 64;
+    config.codesign.colocate_c = 2;
+    config.codesign.q_hot = 16;
+    config.codesign.q_full = 8;
+    return config;
+}
+
+using LookupResult = PrivateEmbeddingService::LookupResult;
+
+void ExpectSameResult(const LookupResult& a, const LookupResult& b,
+                      std::size_t client, std::size_t lookup) {
+    EXPECT_EQ(a.retrieved, b.retrieved)
+        << "client " << client << " lookup " << lookup;
+    EXPECT_EQ(a.embeddings, b.embeddings)
+        << "client " << client << " lookup " << lookup;
+    EXPECT_EQ(a.upload_bytes, b.upload_bytes);
+    EXPECT_EQ(a.download_bytes, b.download_bytes);
+}
+
+TEST(ServingFrontEndTest, InterleavedAsyncMatchesSerializedSequential) {
+    constexpr std::size_t kClients = 4;
+    constexpr std::size_t kLookups = 3;
+    std::vector<std::vector<std::vector<std::uint64_t>>> wanted(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+        for (std::size_t l = 0; l < kLookups; ++l) {
+            wanted[c].push_back(
+                {c + l, 65 + 3 * c, 200 + 10 * l, 511 - 7 * c, 300});
+        }
+    }
+
+    // Reference: sequential-engine config, one client at a time, each
+    // lookup completing before the next is issued.
+    ServingWorld ref_world(BaseConfig());
+    std::vector<std::vector<LookupResult>> ref(kClients);
+    {
+        std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> clients;
+        for (std::size_t c = 0; c < kClients; ++c) {
+            clients.push_back(ref_world.service->MakeClient());
+        }
+        for (std::size_t c = 0; c < kClients; ++c) {
+            for (std::size_t l = 0; l < kLookups; ++l) {
+                ref[c].push_back(clients[c]->Lookup(wanted[c][l]));
+            }
+        }
+    }
+
+    // Async: sharded multi-threaded config, every client submitting from
+    // its own thread so requests interleave arbitrarily in the batcher.
+    ServiceConfig async_config = BaseConfig();
+    async_config.server_shards = 3;
+    async_config.server_threads = 2;
+    async_config.batcher_linger_us = 300;
+    ServingWorld async_world(async_config);
+    std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.push_back(async_world.service->MakeClient());
+    }
+    std::vector<std::vector<LookupResult>> got(kClients);
+    {
+        std::vector<std::thread> threads;
+        for (std::size_t c = 0; c < kClients; ++c) {
+            threads.emplace_back([&, c] {
+                std::vector<ServingFrontEnd::Ticket> tickets;
+                for (std::size_t l = 0; l < kLookups; ++l) {
+                    tickets.push_back(async_world.service->front_end()
+                                          .SubmitOrWait({clients[c].get(),
+                                                         wanted[c][l]}));
+                    ASSERT_TRUE(tickets.back().ok());
+                }
+                for (auto& t : tickets) got[c].push_back(t.future.get());
+            });
+        }
+        for (auto& t : threads) t.join();
+    }
+
+    for (std::size_t c = 0; c < kClients; ++c) {
+        ASSERT_EQ(got[c].size(), kLookups);
+        for (std::size_t l = 0; l < kLookups; ++l) {
+            ExpectSameResult(got[c][l], ref[c][l], c, l);
+        }
+    }
+    // And the reference itself matches direct table reads.
+    for (std::size_t c = 0; c < kClients; ++c) {
+        for (std::size_t l = 0; l < kLookups; ++l) {
+            for (std::size_t i = 0; i < wanted[c][l].size(); ++i) {
+                if (!ref[c][l].retrieved[i]) continue;
+                const float* expected =
+                    ref_world.emb->Row(wanted[c][l][i]);
+                for (int d = 0; d < ref_world.emb->dim(); ++d) {
+                    EXPECT_FLOAT_EQ(ref[c][l].embeddings[i][d], expected[d]);
+                }
+            }
+        }
+    }
+}
+
+TEST(ServingFrontEndTest, QueueFullRejectsWithCleanStatus) {
+    ServiceConfig config = BaseConfig();
+    config.max_inflight_requests = 2;
+    // Long linger so admitted requests stay in flight while we over-submit.
+    config.batcher_linger_us = 100'000;
+    ServingWorld world(config);
+    auto client = world.service->MakeClient();
+    ServingFrontEnd& fe = world.service->front_end();
+
+    auto t1 = fe.Submit({client.get(), {1, 2}});
+    ASSERT_TRUE(t1.ok());
+    // Let the batcher enter its linger window before filling the queue, so
+    // the remaining submissions deterministically land inside it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    auto t2 = fe.Submit({client.get(), {3, 4}});
+    ASSERT_TRUE(t2.ok());
+    EXPECT_EQ(fe.inflight(), 2u);
+
+    auto rejected = fe.Submit({client.get(), {5, 6}});
+    EXPECT_EQ(rejected.status, AdmissionStatus::kQueueFull);
+    EXPECT_FALSE(rejected.ok());
+    EXPECT_FALSE(rejected.future.valid());
+    EXPECT_STREQ(AdmissionStatusName(rejected.status), "queue-full");
+
+    // The rejected submission must not consume client randomness: once the
+    // admitted work completes, a resubmission still succeeds and resolves.
+    auto r1 = t1.future.get();
+    auto r2 = t2.future.get();
+    EXPECT_EQ(r1.retrieved.size(), 2u);
+    EXPECT_EQ(r2.retrieved.size(), 2u);
+    auto t3 = fe.Submit({client.get(), {5, 6}});
+    ASSERT_TRUE(t3.ok());
+    EXPECT_EQ(t3.future.get().retrieved.size(), 2u);
+}
+
+TEST(ServingFrontEndTest, RejectionDoesNotAdvanceClientRng) {
+    // Two identical worlds; one experiences a queue-full rejection between
+    // lookups. Accepted results must stay bit-identical.
+    ServiceConfig config = BaseConfig();
+    config.max_inflight_requests = 2;
+    // Long linger: the first submission opens a batching window the later
+    // ones deterministically land in (the window is not cut short when the
+    // queue fills, only skipped for the NEXT batch).
+    config.batcher_linger_us = 100'000;
+    ServingWorld plain(BaseConfig());
+    ServingWorld pressured(config);
+    auto pc = plain.service->MakeClient();
+    auto qc = pressured.service->MakeClient();
+
+    const std::vector<std::uint64_t> first{1, 70, 200};
+    const std::vector<std::uint64_t> second{2, 80, 300};
+    const std::vector<std::uint64_t> third{3, 90, 400};
+    auto p1 = pc->Lookup(first);
+    auto p2 = pc->Lookup(second);
+
+    auto t1 = pressured.service->front_end().Submit({qc.get(), first});
+    ASSERT_TRUE(t1.ok());
+    // As above: make sure the batcher is lingering before the queue fills.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    auto t2 = pressured.service->front_end().Submit({qc.get(), second});
+    ASSERT_TRUE(t2.ok());
+    // Over-capacity submission is rejected before any client-side work.
+    auto rejected = pressured.service->front_end().Submit({qc.get(), third});
+    EXPECT_EQ(rejected.status, AdmissionStatus::kQueueFull);
+    ExpectSameResult(t1.future.get(), p1, 0, 0);
+    ExpectSameResult(t2.future.get(), p2, 0, 1);
+
+    // Had the rejected submission consumed client randomness, this third
+    // lookup would diverge from the serialized reference.
+    auto p3 = pc->Lookup(third);
+    auto q3 = qc->Lookup(third);
+    ExpectSameResult(q3, p3, 0, 2);
+}
+
+TEST(ServingFrontEndTest, FailedPreparationReleasesItsAdmissionSlot) {
+    ServiceConfig config = BaseConfig();
+    config.max_inflight_requests = 1;
+    ServingWorld world(config);
+    auto client = world.service->MakeClient();
+    ServingFrontEnd& fe = world.service->front_end();
+
+    // Out-of-vocab index: the planner throws during the client-side phase,
+    // on the submitting thread.
+    EXPECT_THROW(fe.Submit({client.get(), {1u << 20}}),
+                 std::invalid_argument);
+    // The slot must have been released: the next lookup is admitted and
+    // completes, and shutdown (service destruction) does not deadlock.
+    EXPECT_EQ(fe.inflight(), 0u);
+    EXPECT_EQ(client->Lookup({1, 2}).retrieved.size(), 2u);
+}
+
+TEST(ServingFrontEndTest, ShutdownDrainsInflightWorkWithoutDeadlock) {
+    ServiceConfig config = BaseConfig();
+    config.max_inflight_requests = 8;
+    config.batcher_linger_us = 50'000;
+    ServingWorld world(config);
+    auto client = world.service->MakeClient();
+    ServingFrontEnd& fe = world.service->front_end();
+
+    std::vector<ServingFrontEnd::Ticket> tickets;
+    for (int i = 0; i < 5; ++i) {
+        tickets.push_back(fe.Submit({client.get(), {1ull + i, 100ull + i}}));
+        ASSERT_TRUE(tickets[i].ok());
+    }
+    // Shutdown with all five still lingering in the queue: every admitted
+    // future must still resolve.
+    fe.Shutdown();
+    for (auto& t : tickets) {
+        auto result = t.future.get();
+        EXPECT_EQ(result.retrieved.size(), 2u);
+    }
+    EXPECT_EQ(fe.inflight(), 0u);
+
+    auto after = fe.Submit({client.get(), {7}});
+    EXPECT_EQ(after.status, AdmissionStatus::kShutdown);
+    auto blocking = fe.SubmitOrWait({client.get(), {7}});
+    EXPECT_EQ(blocking.status, AdmissionStatus::kShutdown);
+    EXPECT_THROW(client->Lookup({7}), std::runtime_error);
+    // Idempotent: a second shutdown (and the destructor's) is a no-op.
+    fe.Shutdown();
+}
+
+}  // namespace
+}  // namespace gpudpf

@@ -249,7 +249,7 @@ TEST(ShardedServiceTest, LookupMatchesSequentialConfig) {
         config.server_shards = shards;
         config.server_threads = shards > 1 ? 4 : 0;
         PrivateEmbeddingService service(emb, stats, config);
-        auto result = service.client().Lookup(wanted);
+        auto result = service.MakeClient()->Lookup(wanted);
         results.push_back(std::move(result.embeddings));
     }
     for (std::size_t i = 1; i < results.size(); ++i) {
