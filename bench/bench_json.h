@@ -13,7 +13,22 @@ namespace bench {
 struct JsonResult {
     std::string name;
     double qps = 0.0;
+    // Optional per-request latency percentiles in milliseconds; written
+    // only when has_latency is set (the regression checker flags p99
+    // increases like it flags QPS drops).
+    bool has_latency = false;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
 };
+
+// Nearest-rank percentile (p in [0, 1]) of an ascending-sorted sample.
+inline double PercentileSorted(const std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    std::size_t rank = static_cast<std::size_t>(p * sorted.size());
+    if (rank >= sorted.size()) rank = sorted.size() - 1;
+    return sorted[rank];
+}
 
 // Extracts the PATH of a `--json=PATH` argument, if present; other
 // arguments are left to the bench's own positional parsing.
@@ -46,9 +61,15 @@ inline bool WriteBenchJson(const char* path, const std::string& bench,
     }
     std::fprintf(f, "{\"bench\":\"%s\",\"results\":[", bench.c_str());
     for (std::size_t i = 0; i < results.size(); ++i) {
-        std::fprintf(f, "%s{\"name\":\"%s\",\"qps\":%.6g}",
+        std::fprintf(f, "%s{\"name\":\"%s\",\"qps\":%.6g",
                      i == 0 ? "" : ",", results[i].name.c_str(),
                      results[i].qps);
+        if (results[i].has_latency) {
+            std::fprintf(f, ",\"p50_ms\":%.6g,\"p95_ms\":%.6g,\"p99_ms\":%.6g",
+                         results[i].p50_ms, results[i].p95_ms,
+                         results[i].p99_ms);
+        }
+        std::fprintf(f, "}");
     }
     std::fprintf(f, "]}\n");
     std::fclose(f);

@@ -16,10 +16,15 @@
 // Both modes run against freshly-built services with identical seeds, so
 // the results must be bit-identical — the bench fails (exit 1) if not.
 // Aggregate throughput with the pooled front-end should exceed the
-// serialized path once enough clients are in flight (>= 8).
+// serialized path once enough clients are in flight (>= 8). Per-request
+// latency percentiles (p50/p95/p99, submission to result) are reported
+// per mode and included in the --json output so CI can flag p99
+// regressions alongside QPS.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -67,6 +72,20 @@ bool SameResults(const LookupResult& a, const LookupResult& b) {
     return a.retrieved == b.retrieved && a.embeddings == b.embeddings &&
            a.upload_bytes == b.upload_bytes &&
            a.download_bytes == b.download_bytes;
+}
+
+// Per-request latency percentiles of one mode at one client count.
+struct LatencyStats {
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+};
+
+LatencyStats Percentiles(std::vector<double>& latencies_ms) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    return {bench::PercentileSorted(latencies_ms, 0.50),
+            bench::PercentileSorted(latencies_ms, 0.95),
+            bench::PercentileSorted(latencies_ms, 0.99)};
 }
 
 struct World {
@@ -138,8 +157,8 @@ int main(int argc, char** argv) {
     std::vector<bench::JsonResult> json;
     bool all_identical = true;
 
-    std::printf("\n%-10s %14s %14s %9s\n", "clients", "serialized q/s",
-                "pooled q/s", "speedup");
+    std::printf("\n%-10s %14s %14s %9s   %s\n", "clients", "serialized q/s",
+                "pooled q/s", "speedup", "pooled latency");
     for (std::size_t clients = 1; clients <= max_clients; clients *= 2) {
         const std::size_t total = clients * lookups_per_client;
 
@@ -150,10 +169,14 @@ int main(int argc, char** argv) {
             sc.push_back(serial_service->MakeClient());
         }
         std::vector<std::vector<LookupResult>> serial(clients);
+        std::vector<double> serial_lat_ms;
+        serial_lat_ms.reserve(total);
         Timer serial_timer;
         for (std::size_t c = 0; c < clients; ++c) {
             for (std::size_t l = 0; l < lookups_per_client; ++l) {
+                Timer request_timer;
                 serial[c].push_back(sc[c]->Lookup(WantedFor(c, l)));
+                serial_lat_ms.push_back(request_timer.ElapsedMillis());
             }
         }
         const double serial_sec = serial_timer.ElapsedSeconds();
@@ -166,20 +189,33 @@ int main(int argc, char** argv) {
             pc.push_back(pooled_service->MakeClient());
         }
         std::vector<std::vector<LookupResult>> pooled(clients);
+        std::vector<double> pooled_lat_ms;
+        pooled_lat_ms.reserve(total);
+        std::mutex lat_mu;
         Timer pooled_timer;
         {
             std::vector<std::thread> threads;
             for (std::size_t c = 0; c < clients; ++c) {
                 threads.emplace_back([&, c] {
+                    // Submission-to-result latency per request; futures are
+                    // consumed in submission order, matching the order the
+                    // single batcher completes them.
                     std::vector<ServingFrontEnd::Ticket> tickets;
+                    std::vector<Timer> submitted;
+                    std::vector<double> lat_ms;
                     for (std::size_t l = 0; l < lookups_per_client; ++l) {
+                        submitted.emplace_back();
                         tickets.push_back(
                             pooled_service->front_end().SubmitOrWait(
                                 {pc[c].get(), WantedFor(c, l)}));
                     }
-                    for (auto& t : tickets) {
-                        pooled[c].push_back(t.future.get());
+                    for (std::size_t l = 0; l < tickets.size(); ++l) {
+                        pooled[c].push_back(tickets[l].future.get());
+                        lat_ms.push_back(submitted[l].ElapsedMillis());
                     }
+                    std::lock_guard<std::mutex> lock(lat_mu);
+                    pooled_lat_ms.insert(pooled_lat_ms.end(),
+                                         lat_ms.begin(), lat_ms.end());
                 });
             }
             for (auto& t : threads) t.join();
@@ -198,11 +234,19 @@ int main(int argc, char** argv) {
 
         const double serial_qps = total / serial_sec;
         const double pooled_qps = total / pooled_sec;
-        std::printf("%-10zu %14.1f %14.1f %8.2fx\n", clients, serial_qps,
-                    pooled_qps, pooled_qps / serial_qps);
-        json.push_back({"serialized_c" + std::to_string(clients),
-                        serial_qps});
-        json.push_back({"pooled_c" + std::to_string(clients), pooled_qps});
+        const LatencyStats serial_lat = Percentiles(serial_lat_ms);
+        const LatencyStats pooled_lat = Percentiles(pooled_lat_ms);
+        std::printf("%-10zu %14.1f %14.1f %8.2fx   p50/p95/p99 "
+                    "%.1f/%.1f/%.1f ms (pooled)\n",
+                    clients, serial_qps, pooled_qps,
+                    pooled_qps / serial_qps, pooled_lat.p50_ms,
+                    pooled_lat.p95_ms, pooled_lat.p99_ms);
+        json.push_back({"serialized_c" + std::to_string(clients), serial_qps,
+                        true, serial_lat.p50_ms, serial_lat.p95_ms,
+                        serial_lat.p99_ms});
+        json.push_back({"pooled_c" + std::to_string(clients), pooled_qps,
+                        true, pooled_lat.p50_ms, pooled_lat.p95_ms,
+                        pooled_lat.p99_ms});
     }
 
     std::printf("\npooled results bit-identical to serialized: %s\n",

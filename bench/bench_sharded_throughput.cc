@@ -1,16 +1,21 @@
-// Sequential vs sharded/batched server answer throughput.
+// Sequential vs sharded/batched server answer throughput, across table
+// storage layouts.
 //
 //   build/bench/bench_sharded_throughput [log_entries] [entry_bytes] [batch]
 //                                        [iters] [--json=path]
 //
-// Answers a batch of PIR queries against one table three ways — the
+// Answers a batch of PIR queries against one table several ways — the
 // sequential reference loop, per-query sharded Answer, and the batched
-// BatchAnswer path — at several thread counts, and reports queries/sec plus
-// speedup over the sequential baseline. Speedup tracks the physical core
-// count: on a 1-core host the sharded rows only measure the engine's
-// overhead; run on >= 8 cores to reproduce the >2x-at-8-threads result.
+// BatchAnswer path on the row-major table, plus BatchAnswer against a
+// tiled-layout copy with pinned shard placement — at several thread
+// counts, and reports queries/sec plus speedup over the sequential
+// baseline. Both tables hold identical logical rows and the bench fails
+// (exit 1) if their batched responses differ. Speedup tracks the physical
+// core count: on a 1-core host the sharded rows only measure the engine's
+// overhead; run on >= 8 cores to see the tiled+pinned layout pull ahead.
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +26,7 @@
 #include "src/common/timer.h"
 #include "src/pir/protocol.h"
 #include "src/pir/table.h"
+#include "src/pir/table_layout.h"
 
 using namespace gpudpf;
 
@@ -63,9 +69,16 @@ int main(int argc, char** argv) {
                 static_cast<double>(n) * entry_bytes / (1024.0 * 1024.0),
                 batch, std::thread::hardware_concurrency());
 
-    Rng rng(1);
-    PirTable table(n, entry_bytes);
-    table.FillRandom(rng);
+    // Identical logical rows in both layouts (same fill seed).
+    Rng rng_row(1);
+    Rng rng_tiled(1);
+    PirTable table(n, entry_bytes, TableLayout::kRowMajor);
+    PirTable tiled_table(n, entry_bytes, TableLayout::kTiled);
+    table.FillRandom(rng_row);
+    tiled_table.FillRandom(rng_tiled);
+    std::printf("tiled layout: %llu rows/tile, %.1f MiB allocated\n",
+                static_cast<unsigned long long>(tiled_table.rows_per_tile()),
+                tiled_table.size_bytes() / (1024.0 * 1024.0));
     PirClient client(log_entries, PrfKind::kChacha20, /*seed=*/2);
 
     std::vector<std::vector<std::uint8_t>> keys;
@@ -82,40 +95,78 @@ int main(int argc, char** argv) {
     const double seq_qps = batch / seq_sec;
     std::vector<bench::JsonResult> json;
     json.push_back({"sequential", seq_qps});
-    std::printf("\n%-28s %12s %12s %9s\n", "config", "batch ms", "queries/s",
+    std::printf("\n%-30s %12s %12s %9s\n", "config", "batch ms", "queries/s",
                 "speedup");
-    std::printf("%-28s %12.2f %12.1f %9s\n", "sequential", seq_sec * 1e3,
+    std::printf("%-30s %12.2f %12.1f %9s\n", "sequential", seq_sec * 1e3,
                 seq_qps, "1.00x");
 
+    bool responses_identical = true;
     for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                       std::size_t{4}, std::size_t{8}}) {
-        ThreadPool pool(threads);
+        // Core-pinned workers, matching how a service pool runs under
+        // ShardPlacement::kPinned (shared by every config at this thread
+        // count, so the comparison stays fair).
+        ThreadPool pool(threads, /*pin_to_cores=*/true);
         // 2 shards per thread keeps every worker busy through the ragged
         // tail of the row ranges.
-        PirServer server(&table, ShardingOptions{2 * threads, &pool});
+        const std::size_t shards = 2 * threads;
+        PirServer server(&table, ShardingOptions{shards, &pool});
+        // The tiled configuration pairs the cache-aware layout with pinned
+        // shard placement: shard s always runs on worker s % threads, so
+        // repeated batches stream each tile from the same core's cache.
+        PirServer tiled_server(
+            &tiled_table,
+            ShardingOptions{shards, &pool, ShardPlacement::kPinned});
+
         const double shard_sec = MeasureSeconds(iters, [&] {
             for (const auto& k : keys) server.Answer(k.data(), k.size());
         });
         const double batch_sec = MeasureSeconds(iters, [&] {
             server.BatchAnswer(keys);
         });
+        const double tiled_sec = MeasureSeconds(iters, [&] {
+            tiled_server.BatchAnswer(keys);
+        });
+        if (tiled_server.BatchAnswer(keys) != server.BatchAnswer(keys)) {
+            responses_identical = false;
+            std::fprintf(stderr, "MISMATCH: tiled responses at t=%zu\n",
+                         threads);
+        }
+
         char label[64];
-        std::snprintf(label, sizeof(label), "sharded   t=%zu shards=%zu",
-                      threads, 2 * threads);
-        std::printf("%-28s %12.2f %12.1f %8.2fx\n", label, shard_sec * 1e3,
+        std::snprintf(label, sizeof(label), "sharded     t=%zu shards=%zu",
+                      threads, shards);
+        std::printf("%-30s %12.2f %12.1f %8.2fx\n", label, shard_sec * 1e3,
                     batch / shard_sec, seq_sec / shard_sec);
-        std::snprintf(label, sizeof(label), "batched   t=%zu shards=%zu",
-                      threads, 2 * threads);
-        std::printf("%-28s %12.2f %12.1f %8.2fx\n", label, batch_sec * 1e3,
+        std::snprintf(label, sizeof(label), "batched     t=%zu shards=%zu",
+                      threads, shards);
+        std::printf("%-30s %12.2f %12.1f %8.2fx\n", label, batch_sec * 1e3,
                     batch / batch_sec, seq_sec / batch_sec);
+        std::snprintf(label, sizeof(label), "tiled+pin   t=%zu shards=%zu",
+                      threads, shards);
+        std::printf("%-30s %12.2f %12.1f %8.2fx  (%.2fx vs row-major)\n",
+                    label, tiled_sec * 1e3, batch / tiled_sec,
+                    seq_sec / tiled_sec, batch_sec / tiled_sec);
         json.push_back({"sharded_t" + std::to_string(threads),
                         batch / shard_sec});
         json.push_back({"batched_t" + std::to_string(threads),
                         batch / batch_sec});
+        json.push_back({"tiled_t" + std::to_string(threads),
+                        batch / tiled_sec});
     }
+    std::printf("\ntiled responses bit-identical to row-major: %s\n",
+                responses_identical ? "YES" : "NO");
+    // The bench name carries the table configuration: several CI runs of
+    // this binary (main + tiled smoke) land in one results directory, and
+    // the regression checker keys on (bench, row) — identical names would
+    // silently overwrite each other.
+    char bench_name[64];
+    std::snprintf(bench_name, sizeof(bench_name),
+                  "bench_sharded_throughput_%dx%zu", log_entries,
+                  entry_bytes);
     if (json_path != nullptr &&
-        !bench::WriteBenchJson(json_path, "bench_sharded_throughput", json)) {
+        !bench::WriteBenchJson(json_path, bench_name, json)) {
         return 2;
     }
-    return 0;
+    return responses_identical ? 0 : 1;
 }

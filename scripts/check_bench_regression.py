@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
-"""Flags throughput regressions between two bench-result directories.
+"""Flags throughput and tail-latency regressions between two bench-result
+directories.
 
 Usage: check_bench_regression.py BASELINE_DIR CURRENT_DIR [--threshold 0.20]
 
 Each directory holds one JSON file per bench, written by the benches'
---json=PATH flag: {"bench": "...", "results": [{"name": ..., "qps": ...}]}.
-Results are matched by (bench, name); a current QPS more than `threshold`
-below its baseline counterpart is a regression. Missing baselines (first
-run, renamed rows) are skipped with a note. Exits 1 if any regression was
-flagged, so CI can surface the step while keeping it non-blocking via
-continue-on-error.
+--json=PATH flag: {"bench": "...", "results": [{"name": ..., "qps": ...,
+optionally "p50_ms"/"p95_ms"/"p99_ms"}]}. Results are matched by
+(bench, name); a current QPS more than `threshold` below its baseline
+counterpart — or a current p99 latency more than `threshold` above it —
+is a regression. Missing baselines (first run, renamed rows) are skipped
+with a note. Exits 1 if any regression was flagged, so CI can surface the
+step while keeping it non-blocking via continue-on-error.
 """
 
 import argparse
@@ -19,7 +21,8 @@ import sys
 
 
 def load_results(directory):
-    """Returns {(bench, result_name): qps} over every *.json in directory."""
+    """Returns {(bench, result_name): {"qps": float, "p99_ms": float|None}}
+    over every *.json in directory."""
     results = {}
     for path in sorted(pathlib.Path(directory).glob("*.json")):
         try:
@@ -30,7 +33,11 @@ def load_results(directory):
         bench = doc.get("bench", path.stem)
         for entry in doc.get("results", []):
             if "name" in entry and "qps" in entry:
-                results[(bench, entry["name"])] = float(entry["qps"])
+                results[(bench, entry["name"])] = {
+                    "qps": float(entry["qps"]),
+                    "p99_ms": (float(entry["p99_ms"])
+                               if "p99_ms" in entry else None),
+                }
     return results
 
 
@@ -39,8 +46,8 @@ def main():
     parser.add_argument("baseline_dir")
     parser.add_argument("current_dir")
     parser.add_argument("--threshold", type=float, default=0.20,
-                        help="fractional QPS drop that counts as a "
-                             "regression (default 0.20)")
+                        help="fractional QPS drop (or p99 latency rise) "
+                             "that counts as a regression (default 0.20)")
     args = parser.parse_args()
 
     if not pathlib.Path(args.baseline_dir).is_dir():
@@ -54,28 +61,40 @@ def main():
         return 2
 
     regressions = []
-    for key, qps in sorted(current.items()):
+    for key, cur in sorted(current.items()):
         base = baseline.get(key)
         if base is None:
             print(f"note: no baseline for {key[0]}/{key[1]} — skipped")
             continue
-        if base <= 0:
-            continue
-        delta = (qps - base) / base
-        marker = ""
-        if delta < -args.threshold:
-            marker = "  <-- REGRESSION"
-            regressions.append((key, base, qps, delta))
-        print(f"{key[0]}/{key[1]}: {base:.1f} -> {qps:.1f} qps "
-              f"({delta:+.1%}){marker}")
+        line = f"{key[0]}/{key[1]}:"
+        flagged = []
+        if base["qps"] > 0:
+            delta = (cur["qps"] - base["qps"]) / base["qps"]
+            line += (f" {base['qps']:.1f} -> {cur['qps']:.1f} qps "
+                     f"({delta:+.1%})")
+            if delta < -args.threshold:
+                flagged.append(("qps", base["qps"], cur["qps"], delta))
+        if (base.get("p99_ms") and cur.get("p99_ms")
+                and base["p99_ms"] > 0):
+            delta = (cur["p99_ms"] - base["p99_ms"]) / base["p99_ms"]
+            line += (f", p99 {base['p99_ms']:.1f} -> {cur['p99_ms']:.1f} ms "
+                     f"({delta:+.1%})")
+            if delta > args.threshold:
+                flagged.append(("p99", base["p99_ms"], cur["p99_ms"], delta))
+        if flagged:
+            line += "  <-- REGRESSION"
+            for metric, b, c, delta in flagged:
+                regressions.append((key, metric, b, c, delta))
+        print(line)
 
     if regressions:
         print(f"\n{len(regressions)} result(s) regressed more than "
               f"{args.threshold:.0%} vs the previous run:")
-        for (bench, name), base, qps, delta in regressions:
-            print(f"  {bench}/{name}: {base:.1f} -> {qps:.1f} ({delta:+.1%})")
+        for (bench, name), metric, b, c, delta in regressions:
+            print(f"  {bench}/{name} [{metric}]: {b:.1f} -> {c:.1f} "
+                  f"({delta:+.1%})")
         return 1
-    print("\nno throughput regressions beyond threshold")
+    print("\nno throughput or tail-latency regressions beyond threshold")
     return 0
 
 

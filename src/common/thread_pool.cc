@@ -2,14 +2,37 @@
 
 #include <algorithm>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace gpudpf {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, bool pin_to_cores) {
     if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    pinned_.resize(threads);
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i) {
-        workers_.emplace_back([this] { WorkerLoop(); });
+        workers_.emplace_back([this, i] { WorkerLoop(i); });
     }
+#ifdef __linux__
+    if (pin_to_cores) {
+        const unsigned cores =
+            std::max(1u, std::thread::hardware_concurrency());
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+            cpu_set_t set;
+            CPU_ZERO(&set);
+            CPU_SET(i % cores, &set);
+            // Best effort: a restricted cpuset just leaves the worker
+            // unpinned.
+            (void)pthread_setaffinity_np(workers_[i].native_handle(),
+                                         sizeof(set), &set);
+        }
+    }
+#else
+    (void)pin_to_cores;
+#endif
 }
 
 ThreadPool::~ThreadPool() {
@@ -28,6 +51,18 @@ void ThreadPool::Submit(std::function<void()> fn) {
         ++in_flight_;
     }
     task_cv_.notify_one();
+}
+
+void ThreadPool::SubmitTo(std::size_t worker, std::function<void()> fn) {
+    worker %= workers_.size();
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        pinned_[worker].push(std::move(fn));
+        ++in_flight_;
+    }
+    // The single condition variable is shared by all workers, so wake them
+    // all; the non-target workers re-check their predicates and sleep.
+    task_cv_.notify_all();
 }
 
 void ThreadPool::Wait() {
@@ -58,15 +93,23 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
     Wait();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(std::size_t index) {
     for (;;) {
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mu_);
-            task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-            if (stop_ && tasks_.empty()) return;
-            task = std::move(tasks_.front());
-            tasks_.pop();
+            task_cv_.wait(lock, [this, index] {
+                return stop_ || !tasks_.empty() || !pinned_[index].empty();
+            });
+            if (!pinned_[index].empty()) {
+                task = std::move(pinned_[index].front());
+                pinned_[index].pop();
+            } else if (!tasks_.empty()) {
+                task = std::move(tasks_.front());
+                tasks_.pop();
+            } else {
+                return;  // stop_ and nothing left for this worker
+            }
         }
         task();
         {

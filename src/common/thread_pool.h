@@ -1,7 +1,10 @@
 // Work-sharing thread pool.
 //
 // Backs both the simulated-GPU block scheduler (each thread block becomes a
-// pool task) and the multi-threaded CPU DPF baseline.
+// pool task) and the multi-threaded CPU DPF baseline. Besides the shared
+// work queue, each worker has a pinned queue fed by SubmitTo(): the sharded
+// answer engine routes a table shard's tasks to a stable worker so repeated
+// batches re-touch the same rows from the same core's warm cache.
 #pragma once
 
 #include <atomic>
@@ -18,7 +21,10 @@ namespace gpudpf {
 class ThreadPool {
   public:
     // Creates a pool with `threads` workers (0 = hardware concurrency).
-    explicit ThreadPool(std::size_t threads = 0);
+    // With pin_to_cores, worker i is best-effort bound to CPU core
+    // i % hardware_concurrency (Linux only; ignored elsewhere), so pinned
+    // task streams keep their cache working set on one physical core.
+    explicit ThreadPool(std::size_t threads = 0, bool pin_to_cores = false);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -28,6 +34,11 @@ class ThreadPool {
 
     // Enqueues a task; tasks may not block on other pool tasks.
     void Submit(std::function<void()> fn);
+
+    // Enqueues a task that only worker `worker % thread_count()` will run.
+    // Pinned tasks of one worker run in submission order, before it takes
+    // from the shared queue.
+    void SubmitTo(std::size_t worker, std::function<void()> fn);
 
     // Blocks until every submitted task has finished.
     void Wait();
@@ -42,10 +53,12 @@ class ThreadPool {
     static ThreadPool& Shared();
 
   private:
-    void WorkerLoop();
+    void WorkerLoop(std::size_t index);
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;
+    // One pinned queue per worker, guarded by mu_ like the shared queue.
+    std::vector<std::queue<std::function<void()>>> pinned_;
     std::mutex mu_;
     std::condition_variable task_cv_;
     std::condition_variable done_cv_;

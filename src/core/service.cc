@@ -62,7 +62,10 @@ PrivateEmbeddingService::PrivateEmbeddingService(
               return owners;
           }())),
       server_pool_(config.server_threads > 0
-                       ? std::make_unique<ThreadPool>(config.server_threads)
+                       ? std::make_unique<ThreadPool>(
+                             config.server_threads,
+                             /*pin_to_cores=*/config.shard_placement ==
+                                 ShardPlacement::kPinned)
                        : nullptr) {
     if (hot_pbr_ != nullptr) {
         std::vector<std::uint64_t> owners(layout_.hot_size());
@@ -93,7 +96,7 @@ PirTable PrivateEmbeddingService::BuildPhysicalTable(
     const EmbeddingTable& embeddings,
     const std::vector<std::uint64_t>& owners) const {
     const std::size_t row_bytes = layout_.RowBytes(base_entry_bytes_);
-    PirTable table(owners.size(), row_bytes);
+    PirTable table(owners.size(), row_bytes, config_.table_layout);
     std::vector<std::uint8_t> row(row_bytes, 0);
     for (std::uint64_t r = 0; r < owners.size(); ++r) {
         std::fill(row.begin(), row.end(), 0);

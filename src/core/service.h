@@ -37,7 +37,9 @@
 #include "src/codesign/planner.h"
 #include "src/ml/embedding.h"
 #include "src/net/comm_model.h"
+#include "src/pir/answer_engine.h"
 #include "src/pir/table.h"
+#include "src/pir/table_layout.h"
 #include "src/workloads/dataset.h"
 
 namespace gpudpf {
@@ -58,6 +60,15 @@ struct ServiceConfig {
     // the host). server_shards == 1 keeps the sequential reference path.
     std::size_t server_shards = 1;
     std::size_t server_threads = 0;
+    // Physical layout of the full/hot PIR tables (src/pir/table_layout.h):
+    // row-major (the reference) or tiled cache-aware blocks. Defaults to
+    // the process default, which honors GPUDPF_TABLE_LAYOUT.
+    TableLayout table_layout = DefaultTableLayout();
+    // Shard-to-worker placement (src/pir/answer_engine.h): kPinned keeps
+    // each table shard's rows on a stable worker (and, with a dedicated
+    // server pool, pins workers to cores), so repeated batches reuse warm
+    // caches. kDynamic is the seed's work-sharing behavior.
+    ShardPlacement shard_placement = ShardPlacement::kDynamic;
     // Serving front-end admission control: requests admitted but not yet
     // completed are capped at `max_inflight_requests`; beyond that,
     // ServingFrontEnd::Submit rejects with kQueueFull (backpressure).
@@ -138,7 +149,8 @@ class PrivateEmbeddingService {
 
     // Sharding configuration handed to the server-side answer engines.
     ShardingOptions server_sharding() const {
-        return ShardingOptions{config_.server_shards, server_pool_.get()};
+        return ShardingOptions{config_.server_shards, server_pool_.get(),
+                               config_.shard_placement};
     }
     const EmbeddingLayout& layout() const { return layout_; }
     const Pbr& full_pbr() const { return full_pbr_; }

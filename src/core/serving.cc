@@ -146,20 +146,32 @@ void ServingFrontEnd::ProcessBatch(std::vector<Pending>& batch) {
     try {
         // Pool every request's (table, server, bin) jobs into one
         // cross-table engine submission: full and hot answers of all
-        // in-flight requests run concurrently on the answer pool.
+        // in-flight requests run concurrently on the answer pool. The long
+        // full-table jobs of EVERY request go in before any of the short
+        // hot-table jobs: the pool drains the submission in order, so
+        // fronting the long jobs shrinks the ragged tail at high thread
+        // counts (a hot job scheduled last finishes almost immediately; a
+        // full job scheduled last leaves the other workers idle for its
+        // whole duration).
         std::vector<AnswerEngine::TableJob> jobs;
+        std::size_t total = 0;
         for (const Pending& p : batch) {
-            const std::size_t per_table = p.prep.full_server0.jobs.size() +
-                                          p.prep.full_server1.jobs.size() +
-                                          p.prep.hot_server0.jobs.size() +
-                                          p.prep.hot_server1.jobs.size();
-            jobs.reserve(jobs.size() + per_table);
+            total += p.prep.full_server0.jobs.size() +
+                     p.prep.full_server1.jobs.size() +
+                     p.prep.hot_server0.jobs.size() +
+                     p.prep.hot_server1.jobs.size();
+        }
+        jobs.reserve(total);
+        for (const Pending& p : batch) {
             for (const auto& j : p.prep.full_server0.jobs) {
                 jobs.push_back({&service_->full_table_, j});
             }
             for (const auto& j : p.prep.full_server1.jobs) {
                 jobs.push_back({&service_->full_table_, j});
             }
+        }
+        const std::size_t hot_base = jobs.size();
+        for (const Pending& p : batch) {
             for (const auto& j : p.prep.hot_server0.jobs) {
                 jobs.push_back({service_->hot_table_.get(), j});
             }
@@ -169,12 +181,14 @@ void ServingFrontEnd::ProcessBatch(std::vector<Pending>& batch) {
         }
         std::vector<PirResponse> responses = engine_.AnswerBatch(jobs);
 
-        // Slice the pooled responses back per request, reconstruct with the
-        // owning client's sessions, and fulfill the futures.
+        // Slice the pooled responses back per request — full responses from
+        // the front segment, hot responses from hot_base on — reconstruct
+        // with the owning client's sessions, and fulfill the futures.
         const std::size_t row_bytes =
             service_->layout_.RowBytes(service_->base_entry_bytes_);
-        std::size_t off = 0;
-        auto take = [&](std::size_t n) {
+        std::size_t full_off = 0;
+        std::size_t hot_off = hot_base;
+        auto take = [&](std::size_t& off, std::size_t n) {
             std::vector<PirResponse> out(
                 std::make_move_iterator(responses.begin() + off),
                 std::make_move_iterator(responses.begin() + off + n));
@@ -182,14 +196,14 @@ void ServingFrontEnd::ProcessBatch(std::vector<Pending>& batch) {
             return out;
         };
         for (Pending& p : batch) {
-            const auto f0 = take(p.prep.full_server0.jobs.size());
-            const auto f1 = take(p.prep.full_server1.jobs.size());
+            const auto f0 = take(full_off, p.prep.full_server0.jobs.size());
+            const auto f1 = take(full_off, p.prep.full_server1.jobs.size());
             const auto full_rows =
                 p.client->full_session_.Reconstruct(f0, f1, row_bytes);
             std::vector<std::vector<std::uint8_t>> hot_rows;
             if (p.client->hot_session_ != nullptr) {
-                const auto h0 = take(p.prep.hot_server0.jobs.size());
-                const auto h1 = take(p.prep.hot_server1.jobs.size());
+                const auto h0 = take(hot_off, p.prep.hot_server0.jobs.size());
+                const auto h1 = take(hot_off, p.prep.hot_server1.jobs.size());
                 hot_rows =
                     p.client->hot_session_->Reconstruct(h0, h1, row_bytes);
             }

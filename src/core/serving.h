@@ -108,7 +108,9 @@ class ServingFrontEnd {
     Ticket Enqueue(LookupRequest request);
     void BatcherLoop();
     // Answers one drained batch through a single cross-table engine
-    // submission, filling each pending's result or error.
+    // submission — every request's long full-table jobs submitted before
+    // any hot-table jobs, so the pool's ragged tail is made of short jobs —
+    // filling each pending's result or error.
     void ProcessBatch(std::vector<Pending>& batch);
 
     PrivateEmbeddingService* service_;

@@ -6,18 +6,62 @@
 namespace gpudpf {
 namespace {
 
-// shares^T * rows: accumulates shares[j] * table[row_begin + lo + j] over
-// the shard's local leaf range [lo, hi) into resp (words_per_entry words).
-void AccumulateRows(const PirTable& table, const u128* shares,
-                    std::uint64_t row_begin, std::uint64_t lo,
-                    std::uint64_t hi, u128* resp) {
-    const std::size_t w = table.words_per_entry();
-    for (std::uint64_t j = lo; j < hi; ++j) {
-        const u128 v = shares[j - lo];
+// shares^T * rows over one tile-contiguous segment: rows `row` points at
+// `count` consecutive rows of `w` words each with no tile break between
+// them, so the pointer just strides.
+void AccumulateSegment(const u128* row, std::size_t w, const u128* shares,
+                       std::uint64_t count, u128* resp) {
+    for (std::uint64_t j = 0; j < count; ++j, row += w) {
+        const u128 v = shares[j];
         if (v == 0) continue;
-        const u128* row = table.Entry(row_begin + j);
         for (std::size_t k = 0; k < w; ++k) resp[k] += v * row[k];
     }
+}
+
+// Evaluates job rows [lo, hi) (job-relative) against the table, one storage
+// tile at a time: EvalRange + mat-vec fused per tile so the shares buffer
+// and the tile block stay cache-resident. Untiled (row-major) tables take
+// the whole range as a single segment — the seed's reference behavior.
+void AnswerRange(const PirTable& table, const Dpf& dpf,
+                 const AnswerEngine::Job& job, std::uint64_t lo,
+                 std::uint64_t hi, std::vector<u128>* shares, u128* resp) {
+    const std::uint64_t tile_rows = table.rows_per_tile();
+    const std::size_t w = table.words_per_entry();
+    while (lo < hi) {
+        std::uint64_t seg_end = hi;
+        if (tile_rows > 0) {
+            const std::uint64_t abs = job.row_begin + lo;
+            const std::uint64_t tile_end = (abs / tile_rows + 1) * tile_rows;
+            seg_end = std::min<std::uint64_t>(hi, tile_end - job.row_begin);
+        }
+        dpf.EvalRange(*job.key, lo, seg_end, shares);
+        AccumulateSegment(table.Entry(job.row_begin + lo), w, shares->data(),
+                          seg_end - lo, resp);
+        lo = seg_end;
+    }
+}
+
+// Job-relative boundary of shard s out of `shards`: interior boundaries
+// snap down to the table's tile grid (in absolute rows) so no tile is
+// split across two shard tasks; the first and last keep the job's exact
+// ends. Snapping only applies while every shard spans at least one full
+// tile (tile_rows <= chunk) — beyond that, aligning would collapse
+// boundaries and serialize the job, so small jobs fall back to unaligned
+// chunks and accept split tiles. Monotonic in s, so empty shards are
+// possible but never inverted.
+std::uint64_t ShardBoundary(const AnswerEngine::Job& job,
+                            std::uint64_t tile_rows, std::size_t shards,
+                            std::size_t s) {
+    if (s == 0) return 0;
+    if (s >= shards) return job.num_rows;
+    const std::uint64_t chunk = (job.num_rows + shards - 1) / shards;
+    std::uint64_t b = std::min<std::uint64_t>(job.num_rows, s * chunk);
+    if (tile_rows > 0 && tile_rows <= chunk) {
+        const std::uint64_t snapped =
+            (job.row_begin + b) / tile_rows * tile_rows;
+        b = snapped > job.row_begin ? snapped - job.row_begin : 0;
+    }
+    return b;
 }
 
 void ValidateJob(const PirTable& table, const AnswerEngine::Job& job) {
@@ -48,6 +92,16 @@ void ValidateJob(const PirTable& table, const AnswerEngine::Job& job) {
 
 }  // namespace
 
+const char* ShardPlacementName(ShardPlacement placement) {
+    switch (placement) {
+        case ShardPlacement::kDynamic:
+            return "dynamic";
+        case ShardPlacement::kPinned:
+            return "pinned";
+    }
+    return "unknown";
+}
+
 AnswerEngine::AnswerEngine(ShardingOptions options) : options_(options) {
     if (options_.num_shards == 0) options_.num_shards = 1;
 }
@@ -57,15 +111,12 @@ PirResponse AnswerEngine::Answer(const PirTable& table, const DpfKey& key,
                                  std::uint64_t num_rows) const {
     Job job{&key, row_begin, num_rows};
     ValidateJob(table, job);
-    const std::size_t w = table.words_per_entry();
     if (options_.num_shards == 1) {
-        // Sequential reference path: one DPF range expansion, one mat-vec.
+        // Sequential path: one task's worth of work, inline on the caller.
         const Dpf dpf(key.params);
         std::vector<u128> shares;
-        dpf.EvalRange(key, 0, num_rows, &shares);
-        PirResponse resp(w, 0);
-        AccumulateRows(table, shares.data(), row_begin, 0, num_rows,
-                       resp.data());
+        PirResponse resp(table.words_per_entry(), 0);
+        AnswerRange(table, dpf, job, 0, num_rows, &shares, resp.data());
         return resp;
     }
     return AnswerBatch(table, {job})[0];
@@ -98,27 +149,56 @@ std::vector<PirResponse> AnswerEngine::AnswerBatch(
 
     // partials[job * shards + shard]; an empty vector is a zero partial.
     std::vector<PirResponse> partials(jobs.size() * shards);
-    auto run_task = [&](std::size_t t) {
+    auto run_task = [&](std::size_t t, std::vector<u128>& shares) {
         const std::size_t q = t / shards;
         const std::size_t s = t % shards;
         const TableJob& tj = jobs[q];
-        const Job& job = tj.job;
-        const std::uint64_t chunk = (job.num_rows + shards - 1) / shards;
-        const std::uint64_t lo = std::min<std::uint64_t>(job.num_rows,
-                                                         s * chunk);
-        const std::uint64_t hi = std::min<std::uint64_t>(job.num_rows,
-                                                         lo + chunk);
+        const std::uint64_t tile_rows = tj.table->rows_per_tile();
+        const std::uint64_t lo = ShardBoundary(tj.job, tile_rows, shards, s);
+        const std::uint64_t hi =
+            ShardBoundary(tj.job, tile_rows, shards, s + 1);
         if (lo >= hi) return;
-        std::vector<u128> shares;
-        dpfs[q].EvalRange(*job.key, lo, hi, &shares);
         PirResponse resp(tj.table->words_per_entry(), 0);
-        AccumulateRows(*tj.table, shares.data(), job.row_begin, lo, hi,
-                       resp.data());
+        AnswerRange(*tj.table, dpfs[q], tj.job, lo, hi, &shares,
+                    resp.data());
         partials[t] = std::move(resp);
     };
     ThreadPool& pool =
         options_.pool != nullptr ? *options_.pool : ThreadPool::Shared();
-    pool.ParallelFor(0, jobs.size() * shards, run_task);
+    const std::size_t threads = pool.thread_count();
+    const std::size_t total = jobs.size() * shards;
+    if (options_.placement == ShardPlacement::kPinned && threads > 1) {
+        // Route shard s of every job to worker s % threads, jobs innermost:
+        // consecutive tasks on one worker re-read the same shard rows, so a
+        // batch streams each row range into exactly one core's cache.
+        for (std::size_t w = 0; w < std::min(threads, shards); ++w) {
+            pool.SubmitTo(w, [&, w] {
+                std::vector<u128> shares;
+                for (std::size_t s = w; s < shards; s += threads) {
+                    for (std::size_t q = 0; q < jobs.size(); ++q) {
+                        run_task(q * shards + s, shares);
+                    }
+                }
+            });
+        }
+        pool.Wait();
+    } else if (threads <= 1 || total <= 1) {
+        std::vector<u128> shares;
+        for (std::size_t t = 0; t < total; ++t) run_task(t, shares);
+    } else {
+        // One pool task per (job, shard), so the shared queue drains in
+        // submission order — callers that front their long jobs (the
+        // serving front-end batcher) leave only short ones for the ragged
+        // tail — and any worker that finishes early keeps pulling tasks
+        // instead of being bound to a static chunk.
+        for (std::size_t t = 0; t < total; ++t) {
+            pool.Submit([&, t] {
+                std::vector<u128> shares;
+                run_task(t, shares);
+            });
+        }
+        pool.Wait();
+    }
 
     // Reduce shard partials in shard order. Addition in Z_2^128 commutes,
     // so the result is bit-identical to the sequential path.

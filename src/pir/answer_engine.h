@@ -7,11 +7,22 @@
 // range (Dpf::EvalRange) and the shard's slice of the mat-vec as one
 // ThreadPool task, and reduces the partial responses into the job's share.
 //
+// The shard kernel is layout-dispatched: it walks the shard's rows one
+// storage tile at a time (src/pir/table_layout.h), fusing the leaf-range
+// expansion with the mat-vec so the shares buffer and the tile block stay
+// cache-resident, and shard boundaries snap to the tile grid so no tile is
+// split across workers. Row-major tables report an unbounded tile and keep
+// the seed's single-expansion reference behavior.
+//
 // Batching submits every (job, shard) task of a request at once, so the
 // pool stays saturated even when individual jobs are narrow — e.g. the many
-// small per-bin queries of a PBR batched retrieval. Addition in Z_2^128 is
-// commutative, so the sharded reduction is bit-identical to the sequential
-// reference path for any shard count.
+// small per-bin queries of a PBR batched retrieval. With
+// ShardPlacement::kPinned, shard s of every job is routed to worker
+// s % thread_count (ThreadPool::SubmitTo), so all jobs of a batch — and
+// repeated batches — stream a given row range from the same core's warm
+// cache instead of migrating rows between cores. Addition in Z_2^128 is
+// commutative and associative, so any sharding, tiling, or placement is
+// bit-identical to the sequential reference path.
 #pragma once
 
 #include <cstddef>
@@ -28,12 +39,23 @@ namespace gpudpf {
 // definition; src/pir/protocol.h aliases it.)
 using PirResponse = std::vector<u128>;
 
+// Where a job's shard tasks run.
+//   kDynamic  shared work queue; any worker takes any task (seed behavior).
+//   kPinned   shard s of every job runs on worker s % thread_count, so a
+//             shard's rows stay resident in one core's cache across the
+//             jobs of a batch and across repeated batches.
+enum class ShardPlacement { kDynamic, kPinned };
+
+const char* ShardPlacementName(ShardPlacement placement);
+
 struct ShardingOptions {
     // Contiguous row shards each job is split into. 1 = answer each job's
     // rows in a single task (jobs of a batch still run concurrently).
     std::size_t num_shards = 1;
     // Pool running the shard tasks; nullptr = ThreadPool::Shared().
     ThreadPool* pool = nullptr;
+    // Shard-to-worker placement policy (see ShardPlacement).
+    ShardPlacement placement = ShardPlacement::kDynamic;
 };
 
 class AnswerEngine {

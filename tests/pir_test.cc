@@ -14,7 +14,13 @@ TEST(PirTableTest, DimensionsAndPadding) {
     EXPECT_EQ(t.num_entries(), 100u);
     EXPECT_EQ(t.entry_bytes(), 100u);
     EXPECT_EQ(t.words_per_entry(), 7u);
-    EXPECT_EQ(t.size_bytes(), 100u * 7 * 16);
+    // Row-major storage is exactly rows x padded words; tiled storage may
+    // add per-tile padding on top (asserted in table_layout_test).
+    if (t.layout() == TableLayout::kRowMajor) {
+        EXPECT_EQ(t.size_bytes(), 100u * 7 * 16);
+    } else {
+        EXPECT_GE(t.size_bytes(), 100u * 7 * 16);
+    }
 }
 
 TEST(PirTableTest, SetAndGetEntry) {

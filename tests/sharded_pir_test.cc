@@ -162,6 +162,83 @@ TEST(BatchAnswerTest, BatchedReconstructionRetrievesEntries) {
     }
 }
 
+TEST(TiledLayoutTest, BitIdenticalToRowMajorAcrossShardsAndBatches) {
+    // Acceptance matrix: the tiled layout must be bit-identical to
+    // row-major for shards {1,3,8} x batch {1,4,32}, under both placement
+    // policies. Both tables are filled from the same seed, so their
+    // logical rows are identical; responses must match word for word.
+    Rng rng_a(48);
+    Rng rng_b(48);
+    const std::uint64_t n = 700;  // spans several tiles at 208 B/row
+    PirTable row_major(n, 208, TableLayout::kRowMajor);
+    PirTable tiled(n, 208, TableLayout::kTiled);
+    row_major.FillRandom(rng_a);
+    tiled.FillRandom(rng_b);
+    PirClient client(10, PrfKind::kChacha20, /*seed=*/15);
+    ThreadPool pool(4);
+
+    for (const std::size_t shards : kShardCounts) {
+        for (const std::size_t batch : kBatchSizes) {
+            std::vector<std::vector<std::uint8_t>> keys;
+            for (std::size_t i = 0; i < batch; ++i) {
+                keys.push_back(
+                    client.Query((i * 131) % n).key_for_server0);
+            }
+            PirServer reference(&row_major,
+                                ShardingOptions{shards, &pool});
+            const auto expected = reference.BatchAnswer(keys);
+            for (const ShardPlacement placement :
+                 {ShardPlacement::kDynamic, ShardPlacement::kPinned}) {
+                PirServer server(
+                    &tiled, ShardingOptions{shards, &pool, placement});
+                const auto responses = server.BatchAnswer(keys);
+                ASSERT_EQ(responses.size(), batch);
+                for (std::size_t i = 0; i < batch; ++i) {
+                    EXPECT_EQ(responses[i], expected[i])
+                        << "shards=" << shards << " batch=" << batch
+                        << " placement="
+                        << ShardPlacementName(placement) << " query=" << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(ShardedServiceTest, TiledLayoutLookupMatchesRowMajor) {
+    RecWorkloadSpec spec;
+    spec.name = "layout-service-test";
+    spec.vocab = 512;
+    spec.num_train = 1'000;
+    spec.num_test = 100;
+    spec.min_history = 4;
+    spec.max_history = 10;
+    spec.num_clusters = 8;
+    spec.seed = 14;
+    const RecDataset dataset = GenerateRecDataset(spec);
+    const AccessStats stats = ComputeRecStats(dataset, 4);
+    EmbeddingTable emb(spec.vocab, spec.dim);
+    Rng rng(50);
+    emb.InitRandom(rng, 0.2f);
+
+    const std::vector<std::uint64_t> wanted = {4, 18, 401, 510, 18};
+    std::vector<std::vector<std::vector<float>>> results;
+    for (const TableLayout layout :
+         {TableLayout::kRowMajor, TableLayout::kTiled}) {
+        ServiceConfig config;
+        config.codesign.q_full = 8;
+        config.server_shards = 4;
+        config.server_threads = 4;
+        config.table_layout = layout;
+        config.shard_placement = layout == TableLayout::kTiled
+                                     ? ShardPlacement::kPinned
+                                     : ShardPlacement::kDynamic;
+        PrivateEmbeddingService service(emb, stats, config);
+        auto result = service.MakeClient()->Lookup(wanted);
+        results.push_back(std::move(result.embeddings));
+    }
+    EXPECT_EQ(results[1], results[0]);
+}
+
 TEST(AnswerEngineTest, RejectsBadJobs) {
     Rng rng(45);
     PirTable table(64, 16);
