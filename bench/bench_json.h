@@ -20,6 +20,14 @@ struct JsonResult {
     double p50_ms = 0.0;
     double p95_ms = 0.0;
     double p99_ms = 0.0;
+    // Optional streaming-serving metrics, written only when has_streaming
+    // is set: submission-to-first-partial latency percentiles (flagged by
+    // the regression checker like p99) and the fraction of requests that
+    // missed their deadline.
+    bool has_streaming = false;
+    double first_partial_p50_ms = 0.0;
+    double first_partial_p99_ms = 0.0;
+    double deadline_miss_rate = 0.0;
 };
 
 // Nearest-rank percentile (p in [0, 1]) of an ascending-sorted sample.
@@ -68,6 +76,15 @@ inline bool WriteBenchJson(const char* path, const std::string& bench,
             std::fprintf(f, ",\"p50_ms\":%.6g,\"p95_ms\":%.6g,\"p99_ms\":%.6g",
                          results[i].p50_ms, results[i].p95_ms,
                          results[i].p99_ms);
+        }
+        if (results[i].has_streaming) {
+            std::fprintf(f,
+                         ",\"first_partial_p50_ms\":%.6g"
+                         ",\"first_partial_p99_ms\":%.6g"
+                         ",\"deadline_miss_rate\":%.6g",
+                         results[i].first_partial_p50_ms,
+                         results[i].first_partial_p99_ms,
+                         results[i].deadline_miss_rate);
         }
         std::fprintf(f, "}");
     }

@@ -1,30 +1,38 @@
-// Serialized per-client Lookup vs the pooled async serving front-end.
+// Serialized per-client Lookup vs the pooled streaming serving front-end.
 //
 //   build/bench/bench_multi_client_serving [max_clients] [lookups_per_client]
 //                                          [--json=path]
 //
 // Stands up one PrivateEmbeddingService (hot + full table) and issues the
-// same per-client lookup sequences two ways at growing client counts:
+// same per-client lookup sequences three ways at growing client counts:
 //
 //   serialized  one request at a time through the synchronous
 //               Client::Lookup wrapper — every request pays its own
 //               batcher linger and its own answer-pool submission.
-//   pooled      every client submits asynchronously from its own thread;
-//               the front-end batches all in-flight requests' full- and
-//               hot-table jobs into single cross-table AnswerBatch calls.
+//   pooled      every client submits a RequestHandle from its own thread
+//               with the fixed batching window; the front-end batches all
+//               in-flight requests' full- and hot-table jobs into single
+//               cross-table engine submissions and streams each request's
+//               hot-table partial as soon as its job group completes.
+//   adaptive    the same, with the batching window sized from the
+//               observed arrival rate and queue depth (adaptive_linger)
+//               instead of the fixed knob.
 //
-// Both modes run against freshly-built services with identical seeds, so
+// All modes run against freshly-built services with identical seeds, so
 // the results must be bit-identical — the bench fails (exit 1) if not.
-// Aggregate throughput with the pooled front-end should exceed the
-// serialized path once enough clients are in flight (>= 8). Per-request
-// latency percentiles (p50/p95/p99, submission to result) are reported
-// per mode and included in the --json output so CI can flag p99
-// regressions alongside QPS.
+// Each streamed request carries a (generous) deadline; the JSON gains
+// submission-to-first-partial percentiles and the deadline-miss rate next
+// to the existing QPS and p50/p95/p99 columns, so CI can flag
+// first-partial latency regressions alongside throughput. At >= 8 clients
+// the bench also fails if time-to-first-partial is not strictly below the
+// full-result latency (streaming must actually deliver early).
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -42,8 +50,12 @@ namespace {
 
 constexpr std::uint64_t kVocab = 2'048;
 constexpr std::size_t kWantedPerLookup = 5;
+// Generous per-request deadline: the miss-rate column exercises the
+// deadline machinery without expiring requests on slow CI runners (an
+// expired request would forfeit the bit-identity check).
+constexpr std::uint64_t kDeadlineUs = 10'000'000;
 
-ServiceConfig MakeConfig() {
+ServiceConfig MakeConfig(bool adaptive) {
     ServiceConfig config;
     config.codesign.hot_size = 256;
     config.codesign.q_hot = 16;
@@ -53,8 +65,11 @@ ServiceConfig MakeConfig() {
     config.max_inflight_requests = 256;
     // The dynamic-batching window: how long the batcher waits for more
     // requests to pool. Serialized callers pay it per request; concurrent
-    // submitters share it per batch.
+    // submitters share it per batch. Adaptive mode treats it as the cap
+    // and shrinks the window when arrivals are fast or the queue is deep.
     config.batcher_linger_us = 200;
+    config.adaptive_linger = adaptive;
+    config.linger_ewma_half_life_us = 1'000;
     return config;
 }
 
@@ -106,10 +121,10 @@ struct World {
         emb->InitRandom(rng, 0.1f);
     }
 
-    std::unique_ptr<PrivateEmbeddingService> MakeService() const {
+    std::unique_ptr<PrivateEmbeddingService> MakeService(bool adaptive) const {
         auto service = std::make_unique<PrivateEmbeddingService>(
-            *emb, stats, MakeConfig());
-        // Untimed warm-up through a throwaway client (symmetric in both
+            *emb, stats, MakeConfig(adaptive));
+        // Untimed warm-up through a throwaway client (symmetric in all
         // modes, so the measured clients' seeds line up).
         service->MakeClient()->Lookup({1, 2, 3});
         return service;
@@ -118,6 +133,161 @@ struct World {
     AccessStats stats;
     std::unique_ptr<EmbeddingTable> emb;
 };
+
+// One streamed request's probes. First-partial arrival is stamped by the
+// on_partial callback on a pool worker; completion time by on_complete on
+// the batcher thread — i.e. when the request actually finished, not when
+// the consuming thread got around to Result() behind its predecessors.
+struct RequestProbe {
+    Timer timer;
+    std::atomic<bool> got_first{false};
+    double first_partial_ms = 0.0;
+    std::atomic<bool> done{false};
+    double complete_ms = 0.0;
+    RequestStatus final_status = RequestStatus::kInFlight;
+};
+
+// One pooled mode (fixed or adaptive window) at one client count.
+struct PooledRun {
+    double qps = 0.0;
+    LatencyStats latency;
+    double first_partial_p50_ms = 0.0;
+    double first_partial_p99_ms = 0.0;
+    double deadline_miss_rate = 0.0;
+    // Requests that finished kFailed/kCancelled (never expected): the
+    // bench fails if any occur, instead of miscounting them as misses.
+    std::size_t server_failures = 0;
+    // results[c][l]; have[c][l] is false for deadline-expired requests.
+    std::vector<std::vector<LookupResult>> results;
+    std::vector<std::vector<bool>> have;
+};
+
+PooledRun RunPooled(const World& world, bool adaptive, std::size_t clients,
+                    std::size_t lookups_per_client) {
+    auto service = world.MakeService(adaptive);
+    std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> pc;
+    for (std::size_t c = 0; c < clients; ++c) {
+        pc.push_back(service->MakeClient());
+    }
+    PooledRun run;
+    run.results.assign(clients, {});
+    run.have.assign(clients, {});
+    std::vector<double> full_lat_ms;
+    std::size_t failures = 0;
+    std::mutex agg_mu;
+    // Probes outlive the client threads: on_complete fires on the batcher
+    // thread possibly after Result() has already unblocked the consumer,
+    // so they are only read below, after Shutdown() has joined the
+    // batcher (which guarantees every callback has returned).
+    std::vector<std::vector<RequestProbe>> probes(clients);
+    for (auto& p : probes) {
+        p = std::vector<RequestProbe>(lookups_per_client);
+    }
+    Timer wall;
+    {
+        std::vector<std::thread> threads;
+        for (std::size_t c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                // Submit every lookup, then consume results in submission
+                // order (the order the single batcher completes them).
+                std::vector<ServingFrontEnd::RequestHandle> handles;
+                for (std::size_t l = 0; l < lookups_per_client; ++l) {
+                    RequestProbe* probe = &probes[c][l];
+                    ServingFrontEnd::SubmitOptions options;
+                    options.deadline_us = kDeadlineUs;
+                    options.on_partial =
+                        [probe](const PrivateEmbeddingService::TablePartial&) {
+                            if (!probe->got_first.exchange(true)) {
+                                probe->first_partial_ms =
+                                    probe->timer.ElapsedMillis();
+                            }
+                        };
+                    options.on_complete = [probe](RequestStatus status) {
+                        probe->complete_ms = probe->timer.ElapsedMillis();
+                        probe->final_status = status;
+                        probe->done.store(true);
+                    };
+                    probe->timer.Reset();
+                    handles.push_back(service->front_end().SubmitRequestOrWait(
+                        {pc[c].get(), WantedFor(c, l)}, std::move(options)));
+                    if (!handles.back().ok()) {
+                        std::fprintf(stderr,
+                                     "submission rejected: client %zu "
+                                     "lookup %zu\n",
+                                     c, l);
+                        std::abort();
+                    }
+                }
+                std::vector<double> local_full;
+                std::size_t local_failures = 0;
+                for (std::size_t l = 0; l < handles.size(); ++l) {
+                    bool got = true;
+                    try {
+                        run.results[c].push_back(handles[l].Result());
+                    } catch (const std::exception& e) {
+                        run.results[c].emplace_back();
+                        got = false;
+                        if (handles[l].status() !=
+                            RequestStatus::kDeadlineExpired) {
+                            // kFailed/kCancelled is a serving bug, not a
+                            // miss — fail the bench. (Expiries are counted
+                            // from the probes after shutdown.)
+                            ++local_failures;
+                            std::fprintf(stderr,
+                                         "FAILED: client %zu lookup %zu: "
+                                         "%s\n",
+                                         c, l, e.what());
+                        }
+                    }
+                    run.have[c].push_back(got);
+                    if (got) {
+                        // Submission-to-result as the consumer saw it
+                        // (consume order matches completion order here).
+                        local_full.push_back(
+                            probes[c][l].timer.ElapsedMillis());
+                    }
+                }
+                std::lock_guard<std::mutex> lock(agg_mu);
+                full_lat_ms.insert(full_lat_ms.end(), local_full.begin(),
+                                   local_full.end());
+                failures += local_failures;
+            });
+        }
+        for (auto& t : threads) t.join();
+    }
+    const double sec = wall.ElapsedSeconds();
+    // Join the batcher before reading the probes: every on_partial /
+    // on_complete callback has returned once Shutdown() does.
+    service->front_end().Shutdown();
+    std::vector<double> first_ms;
+    std::size_t misses = 0;
+    for (std::size_t c = 0; c < clients; ++c) {
+        for (std::size_t l = 0; l < lookups_per_client; ++l) {
+            const RequestProbe& probe = probes[c][l];
+            if (probe.got_first.load()) {
+                first_ms.push_back(probe.first_partial_ms);
+            }
+            // A miss is a server-side expiry or a completion past the
+            // deadline (stamped by on_complete on the batcher thread).
+            // kFailed/kCancelled is a bench failure, not a miss.
+            if (probe.done.load() &&
+                (probe.final_status == RequestStatus::kDeadlineExpired ||
+                 (probe.final_status == RequestStatus::kComplete &&
+                  probe.complete_ms > kDeadlineUs / 1e3))) {
+                ++misses;
+            }
+        }
+    }
+    const std::size_t total = clients * lookups_per_client;
+    run.qps = total / sec;
+    run.latency = Percentiles(full_lat_ms);
+    std::sort(first_ms.begin(), first_ms.end());
+    run.first_partial_p50_ms = bench::PercentileSorted(first_ms, 0.50);
+    run.first_partial_p99_ms = bench::PercentileSorted(first_ms, 0.99);
+    run.deadline_miss_rate = static_cast<double>(misses) / total;
+    run.server_failures = failures;
+    return run;
+}
 
 }  // namespace
 
@@ -141,29 +311,34 @@ int main(int argc, char** argv) {
     const std::size_t lookups_per_client =
         static_cast<std::size_t>(lookups_arg);
 
-    const ServiceConfig config = MakeConfig();
-    std::printf("== multi-client serving throughput ==\n");
+    const ServiceConfig config = MakeConfig(false);
+    std::printf("== multi-client streaming serving throughput ==\n");
     std::printf(
-        "vocab=%llu, hot=%llu, q_full=%llu, q_hot=%llu, linger=%llu us, "
-        "%zu lookups/client, host cores=%u\n",
+        "vocab=%llu, hot=%llu, q_full=%llu, q_hot=%llu, linger cap=%llu us, "
+        "deadline=%llu us, %zu lookups/client, host cores=%u\n",
         static_cast<unsigned long long>(kVocab),
         static_cast<unsigned long long>(config.codesign.hot_size),
         static_cast<unsigned long long>(config.codesign.q_full),
         static_cast<unsigned long long>(config.codesign.q_hot),
         static_cast<unsigned long long>(config.batcher_linger_us),
-        lookups_per_client, std::thread::hardware_concurrency());
+        static_cast<unsigned long long>(kDeadlineUs), lookups_per_client,
+        std::thread::hardware_concurrency());
 
     World world;
     std::vector<bench::JsonResult> json;
     bool all_identical = true;
+    bool streaming_beats_full = true;
+    std::size_t skipped_expired = 0;
+    std::size_t server_failures = 0;
 
-    std::printf("\n%-10s %14s %14s %9s   %s\n", "clients", "serialized q/s",
-                "pooled q/s", "speedup", "pooled latency");
+    std::printf("\n%-8s %12s %12s %12s %8s %16s %16s %9s\n", "clients",
+                "serial q/s", "pooled q/s", "adapt q/s", "speedup",
+                "pooled 1st-part", "adapt 1st-part", "miss%");
     for (std::size_t clients = 1; clients <= max_clients; clients *= 2) {
         const std::size_t total = clients * lookups_per_client;
 
         // Serialized: one synchronous Lookup at a time, client by client.
-        auto serial_service = world.MakeService();
+        auto serial_service = world.MakeService(false);
         std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> sc;
         for (std::size_t c = 0; c < clients; ++c) {
             sc.push_back(serial_service->MakeClient());
@@ -180,81 +355,84 @@ int main(int argc, char** argv) {
             }
         }
         const double serial_sec = serial_timer.ElapsedSeconds();
+        const double serial_qps = total / serial_sec;
+        const LatencyStats serial_lat = Percentiles(serial_lat_ms);
 
-        // Pooled: every client submits from its own thread; the batcher
-        // answers all in-flight requests in shared cross-table batches.
-        auto pooled_service = world.MakeService();
-        std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> pc;
-        for (std::size_t c = 0; c < clients; ++c) {
-            pc.push_back(pooled_service->MakeClient());
-        }
-        std::vector<std::vector<LookupResult>> pooled(clients);
-        std::vector<double> pooled_lat_ms;
-        pooled_lat_ms.reserve(total);
-        std::mutex lat_mu;
-        Timer pooled_timer;
-        {
-            std::vector<std::thread> threads;
-            for (std::size_t c = 0; c < clients; ++c) {
-                threads.emplace_back([&, c] {
-                    // Submission-to-result latency per request; futures are
-                    // consumed in submission order, matching the order the
-                    // single batcher completes them.
-                    std::vector<ServingFrontEnd::Ticket> tickets;
-                    std::vector<Timer> submitted;
-                    std::vector<double> lat_ms;
-                    for (std::size_t l = 0; l < lookups_per_client; ++l) {
-                        submitted.emplace_back();
-                        tickets.push_back(
-                            pooled_service->front_end().SubmitOrWait(
-                                {pc[c].get(), WantedFor(c, l)}));
-                    }
-                    for (std::size_t l = 0; l < tickets.size(); ++l) {
-                        pooled[c].push_back(tickets[l].future.get());
-                        lat_ms.push_back(submitted[l].ElapsedMillis());
-                    }
-                    std::lock_guard<std::mutex> lock(lat_mu);
-                    pooled_lat_ms.insert(pooled_lat_ms.end(),
-                                         lat_ms.begin(), lat_ms.end());
-                });
-            }
-            for (auto& t : threads) t.join();
-        }
-        const double pooled_sec = pooled_timer.ElapsedSeconds();
+        // Pooled fixed-window and adaptive-window streaming runs.
+        const PooledRun pooled =
+            RunPooled(world, /*adaptive=*/false, clients, lookups_per_client);
+        const PooledRun adaptive =
+            RunPooled(world, /*adaptive=*/true, clients, lookups_per_client);
+        server_failures += pooled.server_failures + adaptive.server_failures;
 
         for (std::size_t c = 0; c < clients; ++c) {
             for (std::size_t l = 0; l < lookups_per_client; ++l) {
-                if (!SameResults(serial[c][l], pooled[c][l])) {
-                    all_identical = false;
-                    std::fprintf(stderr,
-                                 "MISMATCH: client %zu lookup %zu\n", c, l);
+                for (const PooledRun* run : {&pooled, &adaptive}) {
+                    if (!run->have[c][l]) {
+                        ++skipped_expired;
+                        continue;
+                    }
+                    if (!SameResults(serial[c][l], run->results[c][l])) {
+                        all_identical = false;
+                        std::fprintf(stderr,
+                                     "MISMATCH: client %zu lookup %zu (%s)\n",
+                                     c, l,
+                                     run == &pooled ? "pooled" : "adaptive");
+                    }
                 }
             }
         }
+        // Streaming must deliver the first partial before the full result
+        // once enough clients pool (at low counts both are one batch).
+        if (clients >= 8 &&
+            pooled.first_partial_p50_ms >= pooled.latency.p50_ms) {
+            streaming_beats_full = false;
+        }
 
-        const double serial_qps = total / serial_sec;
-        const double pooled_qps = total / pooled_sec;
-        const LatencyStats serial_lat = Percentiles(serial_lat_ms);
-        const LatencyStats pooled_lat = Percentiles(pooled_lat_ms);
-        std::printf("%-10zu %14.1f %14.1f %8.2fx   p50/p95/p99 "
-                    "%.1f/%.1f/%.1f ms (pooled)\n",
-                    clients, serial_qps, pooled_qps,
-                    pooled_qps / serial_qps, pooled_lat.p50_ms,
-                    pooled_lat.p95_ms, pooled_lat.p99_ms);
+        std::printf(
+            "%-8zu %12.1f %12.1f %12.1f %7.2fx %9.1f/%4.1f ms %9.1f/%4.1f ms "
+            "%8.2f%%\n",
+            clients, serial_qps, pooled.qps, adaptive.qps,
+            pooled.qps / serial_qps, pooled.first_partial_p50_ms,
+            pooled.latency.p50_ms, adaptive.first_partial_p50_ms,
+            adaptive.latency.p50_ms, 100.0 * pooled.deadline_miss_rate);
         json.push_back({"serialized_c" + std::to_string(clients), serial_qps,
                         true, serial_lat.p50_ms, serial_lat.p95_ms,
                         serial_lat.p99_ms});
-        json.push_back({"pooled_c" + std::to_string(clients), pooled_qps,
-                        true, pooled_lat.p50_ms, pooled_lat.p95_ms,
-                        pooled_lat.p99_ms});
+        for (const PooledRun* run : {&pooled, &adaptive}) {
+            bench::JsonResult row;
+            row.name = (run == &pooled ? "pooled_c" : "adaptive_c") +
+                       std::to_string(clients);
+            row.qps = run->qps;
+            row.has_latency = true;
+            row.p50_ms = run->latency.p50_ms;
+            row.p95_ms = run->latency.p95_ms;
+            row.p99_ms = run->latency.p99_ms;
+            row.has_streaming = true;
+            row.first_partial_p50_ms = run->first_partial_p50_ms;
+            row.first_partial_p99_ms = run->first_partial_p99_ms;
+            row.deadline_miss_rate = run->deadline_miss_rate;
+            json.push_back(row);
+        }
     }
 
-    std::printf("\npooled results bit-identical to serialized: %s\n",
+    std::printf("\npooled/adaptive results bit-identical to serialized: %s\n",
                 all_identical ? "YES" : "NO");
+    std::printf("first partial before full result at >=8 clients: %s\n",
+                streaming_beats_full ? "YES" : "NO");
+    if (skipped_expired > 0) {
+        std::printf("note: %zu request(s) expired and were skipped\n",
+                    skipped_expired);
+    }
+    if (server_failures > 0) {
+        std::printf("%zu request(s) FAILED (not deadline expiry)\n",
+                    server_failures);
+    }
     if (json_path != nullptr &&
         !bench::WriteBenchJson(json_path, "bench_multi_client_serving",
                                json)) {
         return 2;
     }
-    return all_identical ? 0 : 1;
+    return all_identical && streaming_beats_full && server_failures == 0 ? 0
+                                                                         : 1;
 }

@@ -53,19 +53,21 @@ int main() {
     PrivateEmbeddingService service(emb, stats, config);
 
     // Run private inference on a few users. Each user device is its own
-    // client; the lookups are submitted asynchronously so the serving
-    // front-end pools all five requests' answer work into one batch.
+    // client; the lookups are submitted as streaming RequestHandles so the
+    // serving front-end pools all five requests' answer work into one
+    // batch and delivers each device's hot-table share the moment it
+    // completes — long before the full-table jobs finish.
     std::printf("\nprivate inferences (PIR-served embeddings, %d async clients):\n",
                 5);
     std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> clients;
-    std::vector<ServingFrontEnd::Ticket> tickets;
+    std::vector<ServingFrontEnd::RequestHandle> handles;
     for (int u = 0; u < 5; ++u) {
         clients.push_back(service.MakeClient());
-        tickets.push_back(service.front_end().Submit(
+        handles.push_back(service.front_end().SubmitRequest(
             {clients.back().get(), dataset.test[u].history}));
-        if (!tickets.back().ok()) {
+        if (!handles.back().ok()) {
             std::fprintf(stderr, "request %d rejected: %s\n", u,
-                         AdmissionStatusName(tickets.back().status));
+                         AdmissionStatusName(handles.back().admission()));
             return 1;
         }
     }
@@ -73,7 +75,22 @@ int main() {
     double wanted_total = 0;
     for (int u = 0; u < 5; ++u) {
         const RecSample& s = dataset.test[u];
-        auto lookup = tickets[u].future.get();
+        // Consume the per-table partials as they stream in (a device could
+        // start ranking hot-served embeddings here), then take the final
+        // assembled result — bit-identical to the one-shot Lookup.
+        PrivateEmbeddingService::TablePartial partial;
+        while (handles[u].WaitPartial(&partial)) {
+            std::size_t served = 0;
+            for (const bool b : partial.served) served += b ? 1 : 0;
+            std::printf(
+                "  user %d: %s partial, %zu/%zu entries, %zu B down\n", u,
+                partial.table ==
+                        PrivateEmbeddingService::TablePartial::Table::kHot
+                    ? "hot "
+                    : "full",
+                served, partial.served.size(), partial.download_bytes);
+        }
+        auto lookup = handles[u].Result();
         std::vector<float> user(spec.dim, 0.0f);
         int got = 0;
         for (std::size_t i = 0; i < s.history.size(); ++i) {

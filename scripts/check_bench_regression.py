@@ -6,10 +6,12 @@ Usage: check_bench_regression.py BASELINE_DIR CURRENT_DIR [--threshold 0.20]
 
 Each directory holds one JSON file per bench, written by the benches'
 --json=PATH flag: {"bench": "...", "results": [{"name": ..., "qps": ...,
-optionally "p50_ms"/"p95_ms"/"p99_ms"}]}. Results are matched by
-(bench, name); a current QPS more than `threshold` below its baseline
-counterpart — or a current p99 latency more than `threshold` above it —
-is a regression. Missing baselines (first run, renamed rows) are skipped
+optionally "p50_ms"/"p95_ms"/"p99_ms" and the streaming metrics
+"first_partial_p50_ms"/"first_partial_p99_ms"/"deadline_miss_rate"}]}.
+Results are matched by (bench, name); a current QPS more than `threshold`
+below its baseline counterpart — or a current p99 latency or
+time-to-first-partial (p50) more than `threshold` above it — is a
+regression. Missing baselines (first run, renamed rows) are skipped
 with a note. Exits 1 if any regression was flagged, so CI can surface the
 step while keeping it non-blocking via continue-on-error.
 """
@@ -21,8 +23,8 @@ import sys
 
 
 def load_results(directory):
-    """Returns {(bench, result_name): {"qps": float, "p99_ms": float|None}}
-    over every *.json in directory."""
+    """Returns {(bench, result_name): {"qps": float, "p99_ms": float|None,
+    "first_partial_p50_ms": float|None}} over every *.json in directory."""
     results = {}
     for path in sorted(pathlib.Path(directory).glob("*.json")):
         try:
@@ -37,6 +39,9 @@ def load_results(directory):
                     "qps": float(entry["qps"]),
                     "p99_ms": (float(entry["p99_ms"])
                                if "p99_ms" in entry else None),
+                    "first_partial_p50_ms": (
+                        float(entry["first_partial_p50_ms"])
+                        if "first_partial_p50_ms" in entry else None),
                 }
     return results
 
@@ -81,6 +86,16 @@ def main():
                      f"({delta:+.1%})")
             if delta > args.threshold:
                 flagged.append(("p99", base["p99_ms"], cur["p99_ms"], delta))
+        if (base.get("first_partial_p50_ms")
+                and cur.get("first_partial_p50_ms")
+                and base["first_partial_p50_ms"] > 0):
+            b_fp = base["first_partial_p50_ms"]
+            c_fp = cur["first_partial_p50_ms"]
+            delta = (c_fp - b_fp) / b_fp
+            line += (f", first-partial {b_fp:.1f} -> {c_fp:.1f} ms "
+                     f"({delta:+.1%})")
+            if delta > args.threshold:
+                flagged.append(("first_partial_p50", b_fp, c_fp, delta))
         if flagged:
             line += "  <-- REGRESSION"
             for metric, b, c, delta in flagged:

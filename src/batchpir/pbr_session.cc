@@ -52,6 +52,16 @@ PbrSession::BinJobs PbrSession::ParseJobs(
     return parsed;
 }
 
+std::vector<AnswerEngine::TableJob> PbrSession::BindJobs(
+    const BinJobs& jobs, const PirTable* table, std::uint64_t tag) {
+    std::vector<AnswerEngine::TableJob> bound;
+    bound.reserve(jobs.jobs.size());
+    for (const AnswerEngine::Job& j : jobs.jobs) {
+        bound.push_back({table, j, tag});
+    }
+    return bound;
+}
+
 std::vector<PirResponse> PbrSession::Answer(
     const PirTable& table,
     const std::vector<std::vector<std::uint8_t>>& keys) const {

@@ -53,6 +53,14 @@ class PbrSession {
     BinJobs ParseJobs(
         const std::vector<std::vector<std::uint8_t>>& keys) const;
 
+    // Binds one server's parsed bin jobs to the physical table they read,
+    // tagging every job with `tag` — the caller's (request, table) group
+    // id — so a streaming front-end can route the engine's per-job
+    // completion notifications back to the owning group. The returned jobs
+    // point into `jobs.keys`; they must not outlive it.
+    static std::vector<AnswerEngine::TableJob> BindJobs(
+        const BinJobs& jobs, const PirTable* table, std::uint64_t tag);
+
     // Server: evaluates each bin key against the bin's slice of `table`;
     // returns one entry share per bin.
     std::vector<PirResponse> Answer(

@@ -75,9 +75,13 @@ PrivateEmbeddingService::PrivateEmbeddingService(
         hot_table_ =
             std::make_unique<PirTable>(BuildPhysicalTable(embeddings, owners));
     }
-    front_end_ = std::make_unique<ServingFrontEnd>(
-        this, ServingFrontEnd::Options{config_.max_inflight_requests,
-                                       config_.batcher_linger_us});
+    ServingFrontEnd::Options fe_options;
+    fe_options.max_inflight_requests = config_.max_inflight_requests;
+    fe_options.batcher_linger_us = config_.batcher_linger_us;
+    fe_options.adaptive_linger = config_.adaptive_linger;
+    fe_options.linger_ewma_half_life_us = config_.linger_ewma_half_life_us;
+    fe_options.default_deadline_us = config_.default_deadline_us;
+    front_end_ = std::make_unique<ServingFrontEnd>(this, fe_options);
 }
 
 PrivateEmbeddingService::~PrivateEmbeddingService() = default;
@@ -151,36 +155,42 @@ PrivateEmbeddingService::Client::Prepare(
 PrivateEmbeddingService::LookupResult
 PrivateEmbeddingService::Client::Lookup(
     const std::vector<std::uint64_t>& wanted) {
-    ServingFrontEnd::Ticket ticket =
-        service_->front_end().SubmitOrWait({this, wanted});
-    if (!ticket.ok()) {
+    ServingFrontEnd::RequestHandle handle =
+        service_->front_end().SubmitRequestOrWait({this, wanted});
+    if (handle.admission() == AdmissionStatus::kInvalidRequest) {
+        throw std::invalid_argument(
+            "PrivateEmbeddingService::Client::Lookup: empty wanted list");
+    }
+    if (!handle.ok()) {
         throw std::runtime_error(
             "PrivateEmbeddingService::Client::Lookup: front-end is shut down");
     }
-    return ticket.future.get();
+    return handle.Result();
 }
 
-PrivateEmbeddingService::LookupResult
-PrivateEmbeddingService::AssembleLookupResult(
-    const PreparedLookup& prep,
-    const std::vector<std::vector<std::uint8_t>>& full_rows,
-    const std::vector<std::vector<std::uint8_t>>& hot_rows) const {
+PrivateEmbeddingService::TablePartial
+PrivateEmbeddingService::AssembleTablePartial(
+    const PreparedLookup& prep, bool hot,
+    const std::vector<std::vector<std::uint8_t>>& rows) const {
     const std::size_t base = base_entry_bytes_;
     const std::vector<std::uint64_t>& wanted = prep.wanted;
 
-    LookupResult result;
-    result.retrieved = prep.plan.retrieved;
-    result.embeddings.assign(wanted.size(), std::vector<float>(dim_, 0.0f));
-    result.upload_bytes = prep.upload_bytes;
+    TablePartial partial;
+    partial.table =
+        hot ? TablePartial::Table::kHot : TablePartial::Table::kFull;
+    partial.served.assign(wanted.size(), false);
+    partial.embeddings.assign(wanted.size(), std::vector<float>(dim_, 0.0f));
 
-    // Positions served per owner index.
+    // Positions served per owner index: a row's base slot holds its owner's
+    // embedding and the following slots the co-located partners'.
     auto deliver_row = [&](std::uint64_t owner,
                            const std::vector<std::uint8_t>& row) {
         auto copy_slot = [&](std::uint64_t index, std::size_t slot) {
             for (std::size_t i = 0; i < wanted.size(); ++i) {
                 if (wanted[i] != index || !prep.plan.retrieved[i]) continue;
-                std::memcpy(result.embeddings[i].data(),
+                std::memcpy(partial.embeddings[i].data(),
                             row.data() + slot * base, base);
+                partial.served[i] = true;
             }
         };
         copy_slot(owner, 0);
@@ -190,33 +200,50 @@ PrivateEmbeddingService::AssembleLookupResult(
         }
     };
 
-    for (std::size_t b = 0; b < prep.plan.full_plan.queries.size(); ++b) {
-        const auto& q = prep.plan.full_plan.queries[b];
-        if (q.real) deliver_row(q.global_index, full_rows[b]);
+    const Pbr::Plan& plan = hot ? prep.plan.hot_plan : prep.plan.full_plan;
+    for (std::size_t b = 0; b < plan.queries.size(); ++b) {
+        const auto& q = plan.queries[b];
+        if (!q.real) continue;
+        deliver_row(hot ? layout_.HotContent(q.global_index) : q.global_index,
+                    rows[b]);
     }
-    result.download_bytes +=
-        full_pbr_.DownloadBytes(layout_.RowBytes(base));
-    if (hot_pbr_ != nullptr) {
-        for (std::size_t b = 0; b < prep.plan.hot_plan.queries.size(); ++b) {
-            const auto& q = prep.plan.hot_plan.queries[b];
-            if (q.real) {
-                deliver_row(layout_.HotContent(q.global_index), hot_rows[b]);
-            }
+    partial.download_bytes = (hot ? *hot_pbr_ : full_pbr_)
+                                 .DownloadBytes(layout_.RowBytes(base));
+    return partial;
+}
+
+PrivateEmbeddingService::LookupResult
+PrivateEmbeddingService::FinalizeLookupResult(const PreparedLookup& prep,
+                                              const TablePartial& full,
+                                              const TablePartial* hot) const {
+    LookupResult result;
+    result.retrieved = prep.plan.retrieved;
+    result.embeddings.assign(prep.wanted.size(),
+                             std::vector<float>(dim_, 0.0f));
+    result.upload_bytes = prep.upload_bytes;
+
+    // An index served by both tables gets the same bytes from either (each
+    // served slot is the exact embedding row of its owner), so the merge
+    // order cannot change the result.
+    auto merge = [&](const TablePartial& part) {
+        for (std::size_t i = 0; i < part.served.size(); ++i) {
+            if (part.served[i]) result.embeddings[i] = part.embeddings[i];
         }
-        result.download_bytes +=
-            hot_pbr_->DownloadBytes(layout_.RowBytes(base));
-    }
+        result.download_bytes += part.download_bytes;
+    };
+    merge(full);
+    if (hot != nullptr) merge(*hot);
 
     // Latency breakdown (Figure 12 composition).
     std::uint64_t keys = full_pbr_.num_bins();
     double gen = KeyGenLatency(config_.client_device, keys,
                                full_pbr_.bin_log_domain());
-    double pir = ServerPirLatency(full_pbr_, layout_.RowBytes(base),
+    double pir = ServerPirLatency(full_pbr_, layout_.RowBytes(base_entry_bytes_),
                                   config_.prf);
     if (hot_pbr_ != nullptr) {
         gen += KeyGenLatency(config_.client_device, hot_pbr_->num_bins(),
                              hot_pbr_->bin_log_domain());
-        pir += ServerPirLatency(*hot_pbr_, layout_.RowBytes(base),
+        pir += ServerPirLatency(*hot_pbr_, layout_.RowBytes(base_entry_bytes_),
                                 config_.prf);
     }
     result.latency.gen_sec = gen;

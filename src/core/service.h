@@ -20,10 +20,17 @@
 //   auto client = service.MakeClient();   // one per device
 //   auto result = client->Lookup({idx0, idx1, ...});   // synchronous
 //
-// Asynchronous path (cross-request batching, admission control):
+// Asynchronous path (streaming, cancellation, deadlines, priorities —
+// see src/core/serving.h):
+//   auto handle = service.front_end().SubmitRequest(
+//       {client.get(), {idx0, idx1}}, {/*priority, deadline, callbacks*/});
+//   PrivateEmbeddingService::TablePartial partial;
+//   while (handle.WaitPartial(&partial)) /* per-table results as they land */;
+//   auto result = handle.Result();       // == the one-shot Lookup, bit-exact
+// The pre-streaming Ticket shim is kept for incremental migration:
 //   auto ticket = service.front_end().Submit({client.get(), {idx0, idx1}});
 //   if (ticket.ok()) auto result = ticket.future.get();
-//   else /* ticket.status: queue full (backpressure) or shut down */;
+//   else /* ticket.status: queue full (backpressure), invalid, shut down */;
 #pragma once
 
 #include <atomic>
@@ -72,11 +79,26 @@ struct ServiceConfig {
     // Serving front-end admission control: requests admitted but not yet
     // completed are capped at `max_inflight_requests`; beyond that,
     // ServingFrontEnd::Submit rejects with kQueueFull (backpressure).
+    // kBatch-priority requests only get the bottom 3/4 of the slots, so a
+    // background flood can never squeeze out interactive traffic.
     std::size_t max_inflight_requests = 64;
     // After the first pending request arrives, the batcher lingers this
     // long so concurrent submitters can join the same pooled answer batch
-    // (the classic dynamic-batching latency/throughput knob).
+    // (the classic dynamic-batching latency/throughput knob). With
+    // adaptive_linger set this is the window's upper bound.
     std::uint64_t batcher_linger_us = 50;
+    // Sizes the batching window from the observed traffic instead of the
+    // fixed knob: the front-end keeps an EWMA of request inter-arrival
+    // time (half-life linger_ewma_half_life_us) and of drained queue
+    // depth, lingering about two expected inter-arrivals — scaled down as
+    // the queue approaches capacity — capped at batcher_linger_us.
+    bool adaptive_linger = false;
+    std::uint64_t linger_ewma_half_life_us = 1'000;
+    // Deadline given to every request that does not carry its own, in
+    // microseconds from submission; 0 = no default deadline. Requests
+    // whose deadline passes before their jobs are dispatched complete
+    // with RequestStatus::kDeadlineExpired instead of occupying a batch.
+    std::uint64_t default_deadline_us = 0;
 };
 
 class PrivateEmbeddingService {
@@ -101,6 +123,21 @@ class PrivateEmbeddingService {
         LatencyBreakdown latency;
     };
 
+    // One table's share of a lookup, streamed to the client as soon as that
+    // table's answer jobs complete (the hot table is small and typically
+    // lands long before the full table). Merging every table's partial
+    // reproduces the one-shot LookupResult bit-for-bit.
+    struct TablePartial {
+        enum class Table { kFull, kHot };
+        Table table = Table::kFull;
+        // Aligned with the wanted vector: served[i] marks the entries this
+        // table delivered; embeddings[i] is zero-filled otherwise.
+        std::vector<bool> served;
+        std::vector<std::vector<float>> embeddings;
+        // This table's download share, one server.
+        std::size_t download_bytes = 0;
+    };
+
     // Client-side phase of one lookup, produced by Client and consumed by
     // the ServingFrontEnd batcher: the oblivious plan plus both servers'
     // per-bin DPF keys parsed into engine jobs.
@@ -118,8 +155,11 @@ class PrivateEmbeddingService {
       public:
         // Thin synchronous wrapper over the async serving path: submits to
         // the service's front-end (waiting for an admission slot if the
-        // queue is full) and blocks on the result. Throws std::runtime_error
-        // if the front-end has been shut down.
+        // queue is full) and blocks on the result. Throws
+        // std::invalid_argument for an empty wanted list (rejected at
+        // admission, before any client-side work) and std::runtime_error if
+        // the front-end has been shut down or the request's deadline
+        // (ServiceConfig::default_deadline_us) expired before dispatch.
         LookupResult Lookup(const std::vector<std::uint64_t>& wanted);
 
       private:
@@ -168,13 +208,23 @@ class PrivateEmbeddingService {
     PirTable BuildPhysicalTable(const EmbeddingTable& embeddings,
                                 const std::vector<std::uint64_t>& owners) const;
 
-    // Turns a prepared lookup plus the reconstructed full/hot rows into the
-    // caller-facing result (embedding delivery, communication accounting,
-    // modeled latency). `hot_rows` is empty when there is no hot table.
-    LookupResult AssembleLookupResult(
-        const PreparedLookup& prep,
-        const std::vector<std::vector<std::uint8_t>>& full_rows,
-        const std::vector<std::vector<std::uint8_t>>& hot_rows) const;
+    // Per-table half of result assembly: decodes one table's reconstructed
+    // rows into the embeddings that table serves, independently of the
+    // other table, so the front-end can stream it the moment the table's
+    // jobs finish. `hot` selects the hot-table decode (row owners mapped
+    // through the layout's hot contents).
+    TablePartial AssembleTablePartial(
+        const PreparedLookup& prep, bool hot,
+        const std::vector<std::vector<std::uint8_t>>& rows) const;
+
+    // Merges the per-table partials into the caller-facing result
+    // (embedding delivery, communication accounting, modeled latency).
+    // `hot` is null when there is no hot table. Bit-identical to decoding
+    // both tables in one pass: every slot a row delivers holds the exact
+    // embedding bytes of its owner, so merge order cannot change bytes.
+    LookupResult FinalizeLookupResult(const PreparedLookup& prep,
+                                      const TablePartial& full,
+                                      const TablePartial* hot) const;
 
     ServiceConfig config_;
     int dim_;

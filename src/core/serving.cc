@@ -1,7 +1,11 @@
 #include "src/core/serving.h"
 
-#include <chrono>
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
 #include <utility>
+
+#include "src/batchpir/pbr_session.h"
 
 namespace gpudpf {
 
@@ -13,9 +17,132 @@ const char* AdmissionStatusName(AdmissionStatus status) {
             return "queue-full";
         case AdmissionStatus::kShutdown:
             return "shutdown";
+        case AdmissionStatus::kInvalidRequest:
+            return "invalid-request";
     }
     return "unknown";
 }
+
+const char* RequestPriorityName(RequestPriority priority) {
+    switch (priority) {
+        case RequestPriority::kInteractive:
+            return "interactive";
+        case RequestPriority::kBatch:
+            return "batch";
+    }
+    return "unknown";
+}
+
+const char* RequestStatusName(RequestStatus status) {
+    switch (status) {
+        case RequestStatus::kInFlight:
+            return "in-flight";
+        case RequestStatus::kComplete:
+            return "complete";
+        case RequestStatus::kCancelled:
+            return "cancelled";
+        case RequestStatus::kDeadlineExpired:
+            return "deadline-expired";
+        case RequestStatus::kFailed:
+            return "failed";
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// RequestHandle
+
+RequestStatus ServingFrontEnd::RequestHandle::status() const {
+    if (req_ == nullptr) return RequestStatus::kFailed;
+    std::unique_lock<std::mutex> lock(req_->mu);
+    return req_->status;
+}
+
+bool ServingFrontEnd::RequestHandle::NextPartial(TablePartial* out) {
+    if (req_ == nullptr) return false;
+    std::unique_lock<std::mutex> lock(req_->mu);
+    if (req_->partials.empty()) return false;
+    *out = *req_->partials.front();
+    req_->partials.pop_front();
+    return true;
+}
+
+bool ServingFrontEnd::RequestHandle::WaitPartial(TablePartial* out) {
+    if (req_ == nullptr) return false;
+    std::unique_lock<std::mutex> lock(req_->mu);
+    req_->cv.wait(lock, [this] {
+        return !req_->partials.empty() ||
+               req_->status != RequestStatus::kInFlight;
+    });
+    if (req_->partials.empty()) return false;  // terminal and fully drained
+    *out = *req_->partials.front();
+    req_->partials.pop_front();
+    return true;
+}
+
+void ServingFrontEnd::RequestHandle::Wait() {
+    if (req_ == nullptr) return;
+    std::unique_lock<std::mutex> lock(req_->mu);
+    req_->cv.wait(lock,
+                  [this] { return req_->status != RequestStatus::kInFlight; });
+}
+
+PrivateEmbeddingService::LookupResult ServingFrontEnd::RequestHandle::Result() {
+    if (req_ == nullptr) {
+        throw std::runtime_error("RequestHandle::Result: request not admitted");
+    }
+    std::unique_lock<std::mutex> lock(req_->mu);
+    req_->cv.wait(lock,
+                  [this] { return req_->status != RequestStatus::kInFlight; });
+    switch (req_->status) {
+        case RequestStatus::kComplete:
+            return std::move(req_->result);
+        case RequestStatus::kCancelled:
+            throw std::runtime_error("RequestHandle::Result: request cancelled");
+        case RequestStatus::kDeadlineExpired:
+            throw std::runtime_error(
+                "RequestHandle::Result: request deadline expired");
+        default:
+            if (req_->error != nullptr) std::rethrow_exception(req_->error);
+            throw std::runtime_error("RequestHandle::Result: request failed");
+    }
+}
+
+bool ServingFrontEnd::RequestHandle::Cancel() {
+    if (req_ == nullptr || admission_ != AdmissionStatus::kAccepted) {
+        return false;
+    }
+    bool was_queued = false;
+    {
+        std::unique_lock<std::mutex> lock(req_->mu);
+        if (req_->status != RequestStatus::kInFlight) return false;
+        // Holding req_->mu with a still-in-flight status pins the
+        // front-end alive for the MarkCancelled call: every completion
+        // path needs this mutex to flip the status (a queued cancel flips
+        // it below, before releasing), so the batcher cannot finish this
+        // request, Shutdown() cannot return, and the front-end cannot be
+        // destroyed — even though handles may outlive it once terminal.
+        if (!front_end_->MarkCancelled(req_, &was_queued)) return false;
+        if (was_queued) {
+            // Ticket shims discard their handle, so a claimed request is
+            // never cancelled in practice; resolve the promise anyway so
+            // no future could ever dangle.
+            if (req_->future_claimed) {
+                req_->promise.set_exception(std::make_exception_ptr(
+                    std::runtime_error("serving request cancelled")));
+            }
+            req_->status = RequestStatus::kCancelled;
+        }
+    }
+    if (was_queued) {
+        req_->cv.notify_all();
+        if (req_->on_complete) req_->on_complete(RequestStatus::kCancelled);
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// ServingFrontEnd
 
 ServingFrontEnd::ServingFrontEnd(PrivateEmbeddingService* service,
                                  Options options)
@@ -30,41 +157,115 @@ ServingFrontEnd::ServingFrontEnd(PrivateEmbeddingService* service,
 
 ServingFrontEnd::~ServingFrontEnd() { Shutdown(); }
 
-ServingFrontEnd::Ticket ServingFrontEnd::Submit(LookupRequest request) {
+std::size_t ServingFrontEnd::SlotCap(RequestPriority priority) const {
+    if (priority == RequestPriority::kInteractive) {
+        return options_.max_inflight_requests;
+    }
+    // Background traffic never gets the top quarter of the slots (at
+    // least one reserved whenever there are two or more), so interactive
+    // requests always find headroom under a kBatch flood. Only a
+    // single-slot front-end has no reservation — reserving its one slot
+    // would shut kBatch out entirely.
+    if (options_.max_inflight_requests < 2) {
+        return options_.max_inflight_requests;
+    }
+    const std::size_t reserve =
+        std::max<std::size_t>(1, options_.max_inflight_requests / 4);
+    return options_.max_inflight_requests - reserve;
+}
+
+ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitImpl(
+    LookupRequest request, SubmitOptions options, bool blocking,
+    bool claim_future) {
+    if (request.client == nullptr || request.wanted.empty()) {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++counters_.rejected_invalid;
+        return RequestHandle{AdmissionStatus::kInvalidRequest, nullptr, this};
+    }
     {
         std::unique_lock<std::mutex> lock(mu_);
-        if (stop_) return Ticket{AdmissionStatus::kShutdown, {}};
-        if (inflight_ >= options_.max_inflight_requests) {
-            return Ticket{AdmissionStatus::kQueueFull, {}};
+        if (blocking) {
+            slot_cv_.wait(lock, [this, &options] {
+                return stop_ || inflight_ < SlotCap(options.priority);
+            });
+        }
+        if (stop_) {
+            return RequestHandle{AdmissionStatus::kShutdown, nullptr, this};
+        }
+        if (inflight_ >= SlotCap(options.priority)) {
+            ++counters_.rejected_queue_full;
+            return RequestHandle{AdmissionStatus::kQueueFull, nullptr, this};
         }
         ++inflight_;
         ++preparing_;
     }
-    return Enqueue(std::move(request));
+    return Enqueue(std::move(request), std::move(options), claim_future);
+}
+
+ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitRequest(
+    LookupRequest request, SubmitOptions options) {
+    return SubmitImpl(std::move(request), std::move(options),
+                      /*blocking=*/false, /*claim_future=*/false);
+}
+
+ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitRequestOrWait(
+    LookupRequest request, SubmitOptions options) {
+    return SubmitImpl(std::move(request), std::move(options),
+                      /*blocking=*/true, /*claim_future=*/false);
+}
+
+ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitRequest(
+    LookupRequest request) {
+    return SubmitRequest(std::move(request), SubmitOptions{});
+}
+
+ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitRequestOrWait(
+    LookupRequest request) {
+    return SubmitRequestOrWait(std::move(request), SubmitOptions{});
+}
+
+ServingFrontEnd::Ticket ServingFrontEnd::Submit(LookupRequest request) {
+    RequestHandle handle = SubmitImpl(std::move(request), SubmitOptions{},
+                                      /*blocking=*/false,
+                                      /*claim_future=*/true);
+    Ticket ticket;
+    ticket.status = handle.admission();
+    if (handle.ok()) ticket.future = handle.req_->promise.get_future();
+    return ticket;
 }
 
 ServingFrontEnd::Ticket ServingFrontEnd::SubmitOrWait(LookupRequest request) {
-    {
-        std::unique_lock<std::mutex> lock(mu_);
-        slot_cv_.wait(lock, [this] {
-            return stop_ || inflight_ < options_.max_inflight_requests;
-        });
-        if (stop_) return Ticket{AdmissionStatus::kShutdown, {}};
-        ++inflight_;
-        ++preparing_;
-    }
-    return Enqueue(std::move(request));
+    RequestHandle handle = SubmitImpl(std::move(request), SubmitOptions{},
+                                      /*blocking=*/true,
+                                      /*claim_future=*/true);
+    Ticket ticket;
+    ticket.status = handle.admission();
+    if (handle.ok()) ticket.future = handle.req_->promise.get_future();
+    return ticket;
 }
 
-ServingFrontEnd::Ticket ServingFrontEnd::Enqueue(LookupRequest request) {
+ServingFrontEnd::RequestHandle ServingFrontEnd::Enqueue(
+    LookupRequest request, SubmitOptions options, bool claim_future) {
+    const auto admitted_at = std::chrono::steady_clock::now();
+    auto req = std::make_shared<Request>();
+    req->client = request.client;
+    req->priority = options.priority;
+    std::uint64_t deadline_us = options.deadline_us;
+    if (deadline_us == 0) deadline_us = options_.default_deadline_us;
+    if (deadline_us != 0 && deadline_us != kNoDeadline) {
+        req->has_deadline = true;
+        req->deadline = admitted_at + std::chrono::microseconds(deadline_us);
+    }
+    req->on_partial = std::move(options.on_partial);
+    req->on_complete = std::move(options.on_complete);
+    req->future_claimed = claim_future;
+
     // Client-side phase outside the lock: concurrent submitters generate
     // their DPF keys in parallel while the batcher answers previous work.
     // The admission slot is already held, so the batcher cannot exit (and
     // shutdown cannot complete) before this request is enqueued.
-    Pending pending;
-    pending.client = request.client;
     try {
-        pending.prep = request.client->Prepare(request.wanted);
+        req->prep = request.client->Prepare(request.wanted);
     } catch (...) {
         // Release the slot or the batcher would wait for this request
         // forever (shutdown requires preparing_ == 0).
@@ -77,16 +278,61 @@ ServingFrontEnd::Ticket ServingFrontEnd::Enqueue(LookupRequest request) {
         queue_cv_.notify_all();
         throw;
     }
-    Ticket ticket;
-    ticket.status = AdmissionStatus::kAccepted;
-    ticket.future = pending.promise.get_future();
     {
         std::unique_lock<std::mutex> lock(mu_);
-        queue_.push_back(std::move(pending));
+        queue_.push_back(req);
+        // Inter-arrival EWMA for the adaptive batching window. The decay
+        // is time-based (half-life linger_ewma_half_life_us), so a long
+        // quiet gap discounts stale history on its own.
+        const auto now = std::chrono::steady_clock::now();
+        if (have_arrival_) {
+            const double dt_us =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    now - last_arrival_)
+                    .count() /
+                1e3;
+            if (options_.linger_ewma_half_life_us > 0) {
+                const double w = std::exp2(
+                    -dt_us /
+                    static_cast<double>(options_.linger_ewma_half_life_us));
+                arrival_ewma_us_ = w * arrival_ewma_us_ + (1.0 - w) * dt_us;
+            } else {
+                arrival_ewma_us_ = dt_us;
+            }
+        }
+        last_arrival_ = now;
+        have_arrival_ = true;
         --preparing_;
     }
     queue_cv_.notify_one();
-    return ticket;
+    return RequestHandle{AdmissionStatus::kAccepted, std::move(req), this};
+}
+
+bool ServingFrontEnd::MarkCancelled(const std::shared_ptr<Request>& req,
+                                    bool* was_queued) {
+    *was_queued = false;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (req->stage == Request::Stage::kQueued) {
+            // Unwind before dispatch: tombstone the queue entry (the
+            // batcher drops it at drain) and hand the slot back now. The
+            // caller completes the request (it holds req->mu), so count
+            // the cancellation here while mu_ is held.
+            req->stage = Request::Stage::kDone;
+            --inflight_;
+            ++counters_.cancelled;
+            *was_queued = true;
+        } else if (req->stage == Request::Stage::kDispatched) {
+            // Mid-batch: the jobs run (yanking them would poison the
+            // pooled submission), but partial delivery stops and the
+            // request completes kCancelled instead of kComplete.
+            req->cancel_requested.store(true, std::memory_order_release);
+        } else {
+            return false;  // batch already finished; completion is racing in
+        }
+    }
+    if (*was_queued) slot_cv_.notify_all();
+    return true;
 }
 
 void ServingFrontEnd::Shutdown() {
@@ -104,121 +350,393 @@ std::size_t ServingFrontEnd::inflight() const {
     return inflight_;
 }
 
+ServingFrontEnd::Counters ServingFrontEnd::counters() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return counters_;
+}
+
+std::uint64_t ServingFrontEnd::ComputeLingerUs() const {
+    std::uint64_t linger = options_.batcher_linger_us;
+    if (options_.adaptive_linger && have_arrival_ && arrival_ewma_us_ > 0.0) {
+        // Linger about two expected inter-arrivals — long enough to catch
+        // the requests that are coming, without charging sparse traffic a
+        // window nobody joins — scaled down as the (smoothed) queue depth
+        // approaches capacity, where dispatching beats waiting.
+        const double cap = static_cast<double>(options_.batcher_linger_us);
+        const double depth =
+            std::max(static_cast<double>(queue_.size()), depth_ewma_);
+        const double frac = std::min(
+            1.0, depth / static_cast<double>(options_.max_inflight_requests));
+        double window = 2.0 * arrival_ewma_us_ * (1.0 - frac);
+        window = std::max(0.0, std::min(cap, window));
+        linger = static_cast<std::uint64_t>(window);
+    }
+    return linger;
+}
+
 void ServingFrontEnd::BatcherLoop() {
     for (;;) {
-        std::vector<Pending> batch;
+        std::vector<std::shared_ptr<Request>> batch;
         {
             std::unique_lock<std::mutex> lock(mu_);
             queue_cv_.wait(lock, [this] {
                 return !queue_.empty() || (stop_ && preparing_ == 0);
             });
             if (queue_.empty()) return;  // stopped and fully drained
-            if (options_.batcher_linger_us > 0 && !stop_ &&
-                queue_.size() < options_.max_inflight_requests) {
-                // Give concurrent submitters a window to join this batch.
-                queue_cv_.wait_for(
-                    lock,
-                    std::chrono::microseconds(options_.batcher_linger_us),
-                    [this] { return stop_; });
+            if (!stop_ && queue_.size() < options_.max_inflight_requests) {
+                // Give concurrent submitters a window to join this batch,
+                // but never sleep past the earliest queued deadline —
+                // recomputed after every wake-up, so a near-deadline
+                // request arriving mid-window still dispatches (or
+                // expires) on time instead of sleeping out the full
+                // window.
+                const auto window_start = std::chrono::steady_clock::now();
+                const std::uint64_t linger = ComputeLingerUs();
+                counters_.last_linger_us = linger;
+                const auto window_end =
+                    window_start + std::chrono::microseconds(linger);
+                // The window deliberately runs to term even if the queue
+                // fills mid-way: cutting it short would make dispatch
+                // timing — and thus kQueueFull backpressure — racy for
+                // the submitter that took the last slot. The dead time is
+                // bounded by the linger cap, and the adaptive policy
+                // already shrinks the window as the queue deepens.
+                while (!stop_) {
+                    auto cap = window_end;
+                    for (const auto& req : queue_) {
+                        if (req->stage != Request::Stage::kQueued ||
+                            !req->has_deadline) {
+                            continue;
+                        }
+                        // +1us: duration_cast truncation must not wake us
+                        // just short of the deadline.
+                        const auto dl =
+                            req->deadline + std::chrono::microseconds(1);
+                        if (dl < cap) cap = dl;
+                    }
+                    if (std::chrono::steady_clock::now() >= cap) break;
+                    // Wakes on arrivals (to recompute the deadline cap and
+                    // the capacity check), stop, timeout, or spuriously;
+                    // the loop re-derives how long is left either way.
+                    queue_cv_.wait_until(lock, cap);
+                }
             }
-            batch.swap(queue_);
+            for (auto& req : queue_) {
+                // Tombstones (queued cancels) already completed and
+                // released their slot; just drop them.
+                if (req->stage != Request::Stage::kQueued) continue;
+                req->stage = Request::Stage::kDispatched;
+                batch.push_back(std::move(req));
+            }
+            queue_.clear();
+            if (!batch.empty()) {
+                ++counters_.batches;
+                depth_ewma_ =
+                    0.5 * depth_ewma_ + 0.5 * static_cast<double>(batch.size());
+            }
         }
-        ProcessBatch(batch);
+        if (batch.empty()) continue;  // the drain was all tombstones
+
+        // Triage before any answer work: cancelled and already-expired
+        // requests complete now — and release their slots now — instead of
+        // occupying the batch.
+        std::vector<std::shared_ptr<Request>> runnable;
+        std::vector<std::shared_ptr<Request>> cancelled;
+        std::vector<std::shared_ptr<Request>> expired;
+        const auto now = std::chrono::steady_clock::now();
+        for (auto& req : batch) {
+            if (req->cancel_requested.load(std::memory_order_acquire)) {
+                cancelled.push_back(std::move(req));
+            } else if (req->has_deadline && req->deadline <= now) {
+                expired.push_back(std::move(req));
+            } else {
+                runnable.push_back(std::move(req));
+            }
+        }
+        if (!cancelled.empty() || !expired.empty()) {
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                for (auto& req : cancelled) req->stage = Request::Stage::kDone;
+                for (auto& req : expired) req->stage = Request::Stage::kDone;
+                inflight_ -= cancelled.size() + expired.size();
+            }
+            slot_cv_.notify_all();
+            for (auto& req : cancelled) {
+                CompleteRequest(req, RequestStatus::kCancelled);
+            }
+            for (auto& req : expired) {
+                CompleteRequest(req, RequestStatus::kDeadlineExpired);
+            }
+        }
+        if (runnable.empty()) continue;
+
+        // Intra-batch priority: interactive requests' jobs go to the
+        // answer pool before batch-class jobs; FIFO within a class.
+        std::stable_sort(runnable.begin(), runnable.end(),
+                         [](const std::shared_ptr<Request>& a,
+                            const std::shared_ptr<Request>& b) {
+                             return static_cast<int>(a->priority) <
+                                    static_cast<int>(b->priority);
+                         });
+        ProcessBatch(runnable);
         {
             std::unique_lock<std::mutex> lock(mu_);
-            inflight_ -= batch.size();
+            for (auto& req : runnable) req->stage = Request::Stage::kDone;
+            inflight_ -= runnable.size();
         }
         slot_cv_.notify_all();
-        // Fulfill promises only after releasing the admission slots, so a
-        // caller woken by its future can submit again without bouncing off
-        // a stale queue-full.
-        for (Pending& p : batch) {
-            if (p.error != nullptr) {
-                p.promise.set_exception(p.error);
-            } else {
-                p.promise.set_value(std::move(p.result));
+        // Complete only after releasing the admission slots, so a caller
+        // unblocked by its handle or future can immediately submit again
+        // without bouncing off a stale queue-full.
+        for (auto& req : runnable) {
+            // result_ready/error were written by pool workers before
+            // AnswerBatchNotify's barrier, so reading them here is safe. A
+            // cancel that arrived mid-batch wins over both outcomes: its
+            // Cancel() already returned true.
+            RequestStatus final = RequestStatus::kComplete;
+            if (req->cancel_requested.load(std::memory_order_acquire)) {
+                final = RequestStatus::kCancelled;
+            } else if (!req->result_ready || req->error != nullptr) {
+                final = RequestStatus::kFailed;
+            }
+            CompleteRequest(req, final);
+        }
+    }
+}
+
+void ServingFrontEnd::ProcessBatch(
+    const std::vector<std::shared_ptr<Request>>& batch) {
+    try {
+        // One job group per (request, table): the unit of streaming. The
+        // group index doubles as the engine job tag, so per-job completion
+        // notifications route straight back to their group.
+        struct Group {
+            Request* req = nullptr;
+            bool hot = false;
+            std::size_t s0_begin = 0, s0_count = 0;  // server-0 job range
+            std::size_t s1_begin = 0, s1_count = 0;  // server-1 job range
+            std::atomic<std::size_t> remaining{0};
+        };
+        std::deque<Group> groups;  // stable addresses; atomics can't move
+        std::vector<AnswerEngine::TableJob> jobs;
+        std::size_t total = 0;
+        for (const auto& req : batch) {
+            total += req->prep.full_server0.jobs.size() +
+                     req->prep.full_server1.jobs.size() +
+                     req->prep.hot_server0.jobs.size() +
+                     req->prep.hot_server1.jobs.size();
+        }
+        jobs.reserve(total);
+
+        auto append_group = [&](Request* req, bool hot) {
+            const PbrSession::BinJobs& j0 =
+                hot ? req->prep.hot_server0 : req->prep.full_server0;
+            const PbrSession::BinJobs& j1 =
+                hot ? req->prep.hot_server1 : req->prep.full_server1;
+            const PirTable* table = hot ? service_->hot_table_.get()
+                                        : &service_->full_table_;
+            const std::uint64_t tag = groups.size();
+            groups.emplace_back();
+            Group& g = groups.back();
+            g.req = req;
+            g.hot = hot;
+            g.s0_begin = jobs.size();
+            g.s0_count = j0.jobs.size();
+            for (auto& tj : PbrSession::BindJobs(j0, table, tag)) {
+                jobs.push_back(tj);
+            }
+            g.s1_begin = jobs.size();
+            g.s1_count = j1.jobs.size();
+            for (auto& tj : PbrSession::BindJobs(j1, table, tag)) {
+                jobs.push_back(tj);
+            }
+            g.remaining.store(g.s0_count + g.s1_count,
+                              std::memory_order_relaxed);
+        };
+
+        // Streaming-first job order: within each priority class (the batch
+        // arrives interactive-first), EVERY request's tiny hot-table jobs
+        // are submitted before any request's full-table jobs. The pool
+        // drains in submission order, so each request's first partial —
+        // its hot share — completes long before the long full-table jobs
+        // finish, which is what makes time-to-first-partial beat the
+        // one-shot latency.
+        for (const auto& req : batch) {
+            req->has_hot = req->client->hot_session_ != nullptr;
+            req->groups_remaining.store(req->has_hot ? 2 : 1,
+                                        std::memory_order_relaxed);
+            req->full_partial.reset();
+            req->hot_partial.reset();
+        }
+        std::size_t lo = 0;
+        while (lo < batch.size()) {
+            std::size_t hi = lo;
+            while (hi < batch.size() &&
+                   batch[hi]->priority == batch[lo]->priority) {
+                ++hi;
+            }
+            for (std::size_t r = lo; r < hi; ++r) {
+                if (batch[r]->has_hot) append_group(batch[r].get(), true);
+            }
+            for (std::size_t r = lo; r < hi; ++r) {
+                append_group(batch[r].get(), false);
+            }
+            lo = hi;
+        }
+
+        const std::size_t row_bytes =
+            service_->layout_.RowBytes(service_->base_entry_bytes_);
+        std::vector<PirResponse> responses(jobs.size());
+
+        // Runs on the pool worker that finished a group's last job:
+        // reconstruct that table's rows with the owning client's session,
+        // decode them into a partial, stream it, and — on the request's
+        // last group — finalize the full result. The two groups of one
+        // request touch different sessions, so no session is ever used
+        // from two threads at once.
+        auto group_done = [&](Group& g) {
+            Request* req = g.req;
+            try {
+                auto slice = [&](std::size_t begin, std::size_t n) {
+                    return std::vector<PirResponse>(
+                        std::make_move_iterator(responses.begin() + begin),
+                        std::make_move_iterator(responses.begin() + begin +
+                                                n));
+                };
+                const auto r0 = slice(g.s0_begin, g.s0_count);
+                const auto r1 = slice(g.s1_begin, g.s1_count);
+                PbrSession& session = g.hot ? *req->client->hot_session_
+                                            : req->client->full_session_;
+                const auto rows = session.Reconstruct(r0, r1, row_bytes);
+                auto kept = std::make_shared<const TablePartial>(
+                    service_->AssembleTablePartial(req->prep, g.hot, rows));
+                (g.hot ? req->hot_partial : req->full_partial) = kept;
+                if (!req->cancel_requested.load(std::memory_order_acquire)) {
+                    {
+                        std::unique_lock<std::mutex> lock(req->mu);
+                        req->partials.push_back(kept);
+                    }
+                    req->cv.notify_all();
+                    if (req->on_partial) req->on_partial(*kept);
+                }
+            } catch (...) {
+                std::unique_lock<std::mutex> lock(req->mu);
+                if (req->error == nullptr) {
+                    req->error = std::current_exception();
+                }
+            }
+            if (req->groups_remaining.fetch_sub(
+                    1, std::memory_order_acq_rel) != 1) {
+                return;
+            }
+            // Last group of this request: the acq_rel countdown makes the
+            // other group's kept partial visible here.
+            if (req->cancel_requested.load(std::memory_order_acquire)) return;
+            try {
+                {
+                    std::unique_lock<std::mutex> lock(req->mu);
+                    if (req->error != nullptr) return;
+                }
+                auto result = service_->FinalizeLookupResult(
+                    req->prep, *req->full_partial,
+                    req->has_hot ? req->hot_partial.get() : nullptr);
+                std::unique_lock<std::mutex> lock(req->mu);
+                req->result = std::move(result);
+                req->result_ready = true;
+            } catch (...) {
+                std::unique_lock<std::mutex> lock(req->mu);
+                if (req->error == nullptr) {
+                    req->error = std::current_exception();
+                }
+            }
+        };
+
+        engine_.AnswerBatchNotify(
+            jobs, [&](std::size_t q, PirResponse&& resp) {
+                responses[q] = std::move(resp);
+                Group& g = groups[static_cast<std::size_t>(jobs[q].tag)];
+                if (g.remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+                    1) {
+                    group_done(g);
+                }
+            });
+    } catch (...) {
+        // Propagate the failure to every request of the batch that has no
+        // result yet instead of dropping handles (which would surface as
+        // opaque broken_promise errors at ticket holders).
+        for (const auto& req : batch) {
+            std::unique_lock<std::mutex> lock(req->mu);
+            if (!req->result_ready && req->error == nullptr) {
+                req->error = std::current_exception();
             }
         }
     }
 }
 
-void ServingFrontEnd::ProcessBatch(std::vector<Pending>& batch) {
-    try {
-        // Pool every request's (table, server, bin) jobs into one
-        // cross-table engine submission: full and hot answers of all
-        // in-flight requests run concurrently on the answer pool. The long
-        // full-table jobs of EVERY request go in before any of the short
-        // hot-table jobs: the pool drains the submission in order, so
-        // fronting the long jobs shrinks the ragged tail at high thread
-        // counts (a hot job scheduled last finishes almost immediately; a
-        // full job scheduled last leaves the other workers idle for its
-        // whole duration).
-        std::vector<AnswerEngine::TableJob> jobs;
-        std::size_t total = 0;
-        for (const Pending& p : batch) {
-            total += p.prep.full_server0.jobs.size() +
-                     p.prep.full_server1.jobs.size() +
-                     p.prep.hot_server0.jobs.size() +
-                     p.prep.hot_server1.jobs.size();
-        }
-        jobs.reserve(total);
-        for (const Pending& p : batch) {
-            for (const auto& j : p.prep.full_server0.jobs) {
-                jobs.push_back({&service_->full_table_, j});
-            }
-            for (const auto& j : p.prep.full_server1.jobs) {
-                jobs.push_back({&service_->full_table_, j});
-            }
-        }
-        const std::size_t hot_base = jobs.size();
-        for (const Pending& p : batch) {
-            for (const auto& j : p.prep.hot_server0.jobs) {
-                jobs.push_back({service_->hot_table_.get(), j});
-            }
-            for (const auto& j : p.prep.hot_server1.jobs) {
-                jobs.push_back({service_->hot_table_.get(), j});
-            }
-        }
-        std::vector<PirResponse> responses = engine_.AnswerBatch(jobs);
-
-        // Slice the pooled responses back per request — full responses from
-        // the front segment, hot responses from hot_base on — reconstruct
-        // with the owning client's sessions, and fulfill the futures.
-        const std::size_t row_bytes =
-            service_->layout_.RowBytes(service_->base_entry_bytes_);
-        std::size_t full_off = 0;
-        std::size_t hot_off = hot_base;
-        auto take = [&](std::size_t& off, std::size_t n) {
-            std::vector<PirResponse> out(
-                std::make_move_iterator(responses.begin() + off),
-                std::make_move_iterator(responses.begin() + off + n));
-            off += n;
-            return out;
-        };
-        for (Pending& p : batch) {
-            const auto f0 = take(full_off, p.prep.full_server0.jobs.size());
-            const auto f1 = take(full_off, p.prep.full_server1.jobs.size());
-            const auto full_rows =
-                p.client->full_session_.Reconstruct(f0, f1, row_bytes);
-            std::vector<std::vector<std::uint8_t>> hot_rows;
-            if (p.client->hot_session_ != nullptr) {
-                const auto h0 = take(hot_off, p.prep.hot_server0.jobs.size());
-                const auto h1 = take(hot_off, p.prep.hot_server1.jobs.size());
-                hot_rows =
-                    p.client->hot_session_->Reconstruct(h0, h1, row_bytes);
-            }
-            p.result = service_->AssembleLookupResult(p.prep, full_rows,
-                                                      hot_rows);
-            p.has_result = true;
-        }
-    } catch (...) {
-        // Propagate the failure to every request of the batch that has no
-        // result yet instead of dropping promises (which would surface as
-        // opaque broken_promise errors at the callers).
-        for (Pending& p : batch) {
-            if (!p.has_result) p.error = std::current_exception();
+void ServingFrontEnd::CompleteRequest(const std::shared_ptr<Request>& req,
+                                      RequestStatus final_status) {
+    RequestStatus final = final_status;
+    // A mid-batch cancel wins over every other outcome — complete, failed,
+    // or a deadline expiry the triage classified before the cancel flag
+    // landed — because Cancel() already returned true promising a
+    // kCancelled finish.
+    if (req->cancel_requested.load(std::memory_order_acquire)) {
+        final = RequestStatus::kCancelled;
+    }
+    // Count before the status becomes observable, so a caller unblocked by
+    // its handle reads up-to-date counters. CompleteRequest runs at most
+    // once per request (queued cancels tombstone the entry the batcher
+    // would otherwise complete), so the count can't double.
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        switch (final) {
+            case RequestStatus::kComplete:
+                ++counters_.completed;
+                break;
+            case RequestStatus::kCancelled:
+                ++counters_.cancelled;
+                break;
+            case RequestStatus::kDeadlineExpired:
+                ++counters_.deadline_expired;
+                break;
+            default:
+                ++counters_.failed;
+                break;
         }
     }
+    {
+        std::unique_lock<std::mutex> lock(req->mu);
+        if (req->status != RequestStatus::kInFlight) return;
+        // A Ticket shim consumes the result through the promise (Result()
+        // is never called on its handle), so the result is moved, not
+        // copied, whichever path owns it.
+        if (req->future_claimed) {
+            switch (final) {
+                case RequestStatus::kComplete:
+                    req->promise.set_value(std::move(req->result));
+                    break;
+                case RequestStatus::kCancelled:
+                    req->promise.set_exception(std::make_exception_ptr(
+                        std::runtime_error("serving request cancelled")));
+                    break;
+                case RequestStatus::kDeadlineExpired:
+                    req->promise.set_exception(std::make_exception_ptr(
+                        std::runtime_error(
+                            "serving request deadline expired")));
+                    break;
+                default:
+                    req->promise.set_exception(
+                        req->error != nullptr
+                            ? req->error
+                            : std::make_exception_ptr(std::runtime_error(
+                                  "serving request failed")));
+                    break;
+            }
+        }
+        req->status = final;
+    }
+    req->cv.notify_all();
+    if (req->on_complete) req->on_complete(final);
 }
 
 }  // namespace gpudpf

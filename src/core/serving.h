@@ -1,31 +1,62 @@
-// Async request/future serving front-end (the multi-client half of the
-// paper's Figure 1b service).
+// Streaming, deadline-aware serving front-end (the multi-client half of
+// the paper's Figure 1b service).
 //
 // Many independent Clients submit LookupRequests concurrently; the
 // front-end admits up to `max_inflight_requests` of them (rejecting the
 // rest with a backpressure status) and a single batcher thread drains the
 // queue, pooling EVERY pending request's answer jobs — full and hot table,
-// both logical servers — into one cross-table AnswerEngine::AnswerBatch
-// submission. Pooling keeps the answer pool saturated even when individual
-// requests are narrow, amortizes the per-batch synchronization, and
-// overlaps the hot- and full-table answers that the old synchronous path
-// ran back to back.
+// both logical servers — into one cross-table engine submission. Each
+// admitted request is represented by a RequestHandle:
+//
+//   - Per-table partial results stream out as the engine finishes each
+//     (request, table) job group — the small hot table typically lands
+//     long before the full table — pulled with NextPartial()/WaitPartial()
+//     or pushed through SubmitOptions::on_partial.
+//   - Cancel() unwinds a still-queued request without touching the batch,
+//     and marks a mid-batch request so it completes kCancelled; either
+//     way the handle (and any compatibility future) still resolves.
+//   - A per-request deadline (or ServiceConfig::default_deadline_us)
+//     expires requests that are still queued when it passes — they
+//     complete kDeadlineExpired without burning answer work, and the
+//     batcher caps its linger at the earliest queued deadline.
+//   - Priority classes: kInteractive requests' jobs run before kBatch
+//     jobs inside every pooled batch, and kBatch is only admitted into
+//     the bottom 3/4 of the admission slots so a background flood can
+//     never squeeze interactive traffic out.
+//   - The batching window is either the fixed `batcher_linger_us` or,
+//     with `adaptive_linger`, sized from an EWMA of request inter-arrival
+//     time and drained queue depth (capped at `batcher_linger_us`).
+//
+// Within a batch, jobs are ordered hot-table-first (per priority class):
+// the engine pool drains its queue in submission order, so every
+// request's tiny hot jobs — its first streamable partial — finish before
+// the long full-table jobs monopolize the workers.
 //
 // The client-side phase (oblivious planning + DPF key generation) runs on
-// the submitting thread inside Submit/SubmitOrWait, so each client's RNG
-// advances in its own submission order: results are bit-identical to
-// serialized sequential Lookups for any client interleaving and any shard
-// count.
+// the submitting thread inside SubmitRequest*/Submit*, so each client's
+// RNG advances in its own submission order: final results are
+// bit-identical to serialized sequential Lookups for any client
+// interleaving, shard count, layout, and placement — and reassembling the
+// streamed partials reproduces the same bytes.
+//
+// Submit()/SubmitOrWait() remain as thin compatibility shims returning
+// the old Ticket{status, future}; the future resolves with the final
+// result (or the cancellation/deadline/server error as an exception).
 //
 // Shutdown() (also run by the destructor) stops admitting, drains every
-// already-admitted request so no future is left dangling, and joins the
-// batcher thread.
+// already-admitted request so no handle or future is left dangling, and
+// joins the batcher thread.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -37,15 +68,33 @@ namespace gpudpf {
 
 // Admission-control outcome of one submission.
 enum class AdmissionStatus {
-    kAccepted,   // future is valid and will be fulfilled
-    kQueueFull,  // backpressure: max_inflight_requests already admitted
-    kShutdown,   // front-end no longer accepts work
+    kAccepted,        // handle is live and will reach a terminal status
+    kQueueFull,       // backpressure: admission slots exhausted
+    kShutdown,        // front-end no longer accepts work
+    kInvalidRequest,  // malformed (null client / empty wanted); nothing ran
 };
 
 const char* AdmissionStatusName(AdmissionStatus status);
 
+// Scheduling class of a request (see the file comment).
+enum class RequestPriority { kInteractive, kBatch };
+
+const char* RequestPriorityName(RequestPriority priority);
+
+// Lifecycle of an admitted request. kInFlight until the front-end
+// completes it; exactly one terminal state is ever reached.
+enum class RequestStatus {
+    kInFlight,
+    kComplete,         // full result available
+    kCancelled,        // Cancel() won before the result was delivered
+    kDeadlineExpired,  // deadline passed while still queued
+    kFailed,           // server-side error; Result() rethrows it
+};
+
+const char* RequestStatusName(RequestStatus status);
+
 // One client's lookup, addressed to the front-end. The client pointer must
-// stay valid until the request's future resolves.
+// stay valid until the request reaches a terminal status.
 struct LookupRequest {
     PrivateEmbeddingService::Client* client = nullptr;
     std::vector<std::uint64_t> wanted;
@@ -55,15 +104,62 @@ class ServingFrontEnd {
   public:
     struct Options {
         std::size_t max_inflight_requests = 64;
+        // Fixed batching window; the adaptive window's cap.
         std::uint64_t batcher_linger_us = 50;
+        // Size the window from observed traffic instead (see
+        // ServiceConfig::adaptive_linger).
+        bool adaptive_linger = false;
+        std::uint64_t linger_ewma_half_life_us = 1'000;
+        // Deadline for requests that don't carry their own; 0 = none.
+        std::uint64_t default_deadline_us = 0;
     };
 
-    // Admission decision plus the result future (valid iff accepted).
+    // Explicitly "no deadline" for SubmitOptions::deadline_us, overriding
+    // a configured default_deadline_us.
+    static constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+
+    using TablePartial = PrivateEmbeddingService::TablePartial;
+
+    // Per-request knobs of the streaming submission path.
+    struct SubmitOptions {
+        RequestPriority priority = RequestPriority::kInteractive;
+        // Microseconds from submission until the request expires; 0 means
+        // "use Options::default_deadline_us", kNoDeadline opts out.
+        std::uint64_t deadline_us = 0;
+        // Fired once per table partial, from the answer-pool worker that
+        // finished the group (concurrently with other requests' callbacks):
+        // must be thread-safe, must not throw, and must not block on pool
+        // work. Partials are also always queued for NextPartial/WaitPartial.
+        std::function<void(const TablePartial&)> on_partial;
+        // Fired exactly once with the terminal status, from the batcher
+        // thread (or the canceller's thread for a queued cancel), after
+        // the admission slot is released and the handle is resolvable.
+        std::function<void(RequestStatus)> on_complete;
+    };
+
+    class RequestHandle;
+
+    // Admission decision plus the result future (valid iff accepted):
+    // the pre-streaming API, kept as a shim over RequestHandle.
     struct Ticket {
         AdmissionStatus status = AdmissionStatus::kShutdown;
         std::future<PrivateEmbeddingService::LookupResult> future;
 
         bool ok() const { return status == AdmissionStatus::kAccepted; }
+    };
+
+    // Running totals, for observability and the serving benches.
+    struct Counters {
+        std::uint64_t batches = 0;           // pooled batches dispatched
+        std::uint64_t completed = 0;         // requests finished kComplete
+        std::uint64_t cancelled = 0;         // ... kCancelled
+        std::uint64_t deadline_expired = 0;  // ... kDeadlineExpired
+        std::uint64_t failed = 0;            // ... kFailed
+        std::uint64_t rejected_queue_full = 0;
+        std::uint64_t rejected_invalid = 0;
+        // Window the most recent batch waited (us); tracks the adaptive
+        // policy's decisions.
+        std::uint64_t last_linger_us = 0;
     };
 
     ServingFrontEnd(PrivateEmbeddingService* service, Options options);
@@ -72,46 +168,188 @@ class ServingFrontEnd {
     ServingFrontEnd(const ServingFrontEnd&) = delete;
     ServingFrontEnd& operator=(const ServingFrontEnd&) = delete;
 
-    // Non-blocking admission: rejects with kQueueFull when
-    // max_inflight_requests are already admitted but not completed.
-    Ticket Submit(LookupRequest request);
+    // Non-blocking admission: rejects with kQueueFull when this priority
+    // class's slots are all admitted-but-not-completed, kInvalidRequest
+    // for an empty wanted list (before any client-side work).
+    RequestHandle SubmitRequest(LookupRequest request,
+                                SubmitOptions options);
+    RequestHandle SubmitRequest(LookupRequest request);
 
     // Blocking admission: waits for a free slot instead of rejecting.
-    // Only returns a non-ok ticket (kShutdown) after Shutdown(). Used by
-    // the synchronous Client::Lookup wrapper; do not call from the batcher
-    // thread (i.e. from code completing another request).
+    // Only returns a non-ok handle after Shutdown() (kShutdown) or for a
+    // malformed request (kInvalidRequest). Used by the synchronous
+    // Client::Lookup wrapper; do not call from the batcher thread or a
+    // partial/completion callback (i.e. from code completing another
+    // request).
+    RequestHandle SubmitRequestOrWait(LookupRequest request,
+                                      SubmitOptions options);
+    RequestHandle SubmitRequestOrWait(LookupRequest request);
+
+    // Compatibility shims over SubmitRequest/SubmitRequestOrWait: the
+    // ticket's future resolves with the final result, or throws the
+    // server-side error / a std::runtime_error for cancellation and
+    // deadline expiry.
+    Ticket Submit(LookupRequest request);
     Ticket SubmitOrWait(LookupRequest request);
 
-    // Stops admitting, drains every admitted request, joins the batcher.
-    // Idempotent; runs in the destructor if not called explicitly.
+    // Stops admitting, drains every admitted request to a terminal status,
+    // joins the batcher. Idempotent; runs in the destructor if not called
+    // explicitly.
     void Shutdown();
 
     // Requests admitted but not yet completed (queued + being answered).
     std::size_t inflight() const;
 
+    Counters counters() const;
+
     const Options& options() const { return options_; }
 
   private:
-    struct Pending {
+    // Shared state of one admitted request. The front-end mutex guards
+    // stage/queue membership; the request's own mutex guards the result
+    // machinery (partials, status, result). Lock order: req->mu may be
+    // held while acquiring mu_ (Cancel does, to pin the front-end alive),
+    // so never acquire req->mu while holding mu_.
+    struct Request {
+        // Immutable after enqueue.
         PrivateEmbeddingService::Client* client = nullptr;
         PrivateEmbeddingService::PreparedLookup prep;
-        std::promise<PrivateEmbeddingService::LookupResult> promise;
-        // Filled by ProcessBatch; the promise is only fulfilled after the
-        // admission slot is released, so a caller unblocked by the future
-        // can immediately submit again.
+        RequestPriority priority = RequestPriority::kInteractive;
+        bool has_deadline = false;
+        std::chrono::steady_clock::time_point deadline{};
+        std::function<void(const TablePartial&)> on_partial;
+        std::function<void(RequestStatus)> on_complete;
+
+        // Where the request sits in the admission pipeline; guarded by the
+        // front-end mutex. kQueued -> kDispatched (batcher drain) or
+        // kQueued -> kDone (queued cancel / deadline triage); kDispatched
+        // -> kDone when its batch finishes. A kDone entry still in the
+        // queue vector is a tombstone the batcher drops at drain.
+        enum class Stage { kQueued, kDispatched, kDone };
+        Stage stage = Stage::kQueued;
+
+        // Result machinery, guarded by mu. Partials are shared, not
+        // copied: one materialization per (request, table) feeds the
+        // stream queue, the callback, and final assembly alike; pull
+        // consumers pay their copy at pop time.
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<std::shared_ptr<const TablePartial>> partials;
+        RequestStatus status = RequestStatus::kInFlight;
+        bool result_ready = false;
         PrivateEmbeddingService::LookupResult result;
-        bool has_result = false;
         std::exception_ptr error;
+        // The Ticket shims consume results through this promise instead of
+        // Result(). future_claimed is set before enqueue (immutable after),
+        // so completion knows whether to move the result into the promise
+        // — a real future (wait_for works) with no eager copy either way.
+        bool future_claimed = false;
+        std::promise<PrivateEmbeddingService::LookupResult> promise;
+
+        // Set by a mid-batch Cancel(); checked when the batch completes.
+        std::atomic<bool> cancel_requested{false};
+
+        // Scratch for ProcessBatch: this dispatch's per-table partials and
+        // the count of job groups still running.
+        std::shared_ptr<const TablePartial> full_partial;
+        std::shared_ptr<const TablePartial> hot_partial;
+        bool has_hot = false;
+        std::atomic<std::size_t> groups_remaining{0};
     };
 
+  public:
+    // Caller-side view of one admitted request. Movable and cheap to hold;
+    // may outlive the front-end once the request is terminal (Shutdown
+    // drains everything before the front-end dies).
+    class RequestHandle {
+      public:
+        RequestHandle() = default;
+
+        AdmissionStatus admission() const { return admission_; }
+        bool ok() const { return admission_ == AdmissionStatus::kAccepted; }
+
+        // Current lifecycle state (kInFlight until terminal). Only
+        // meaningful for admitted handles: a rejected/empty handle
+        // reports kFailed (nothing ran and nothing will) — check ok()
+        // or admission() to tell backpressure from server failure.
+        RequestStatus status() const;
+
+        // Pops the next streamed per-table partial if one is ready; false
+        // when none is queued right now (more may still arrive while
+        // status() is kInFlight).
+        bool NextPartial(TablePartial* out);
+
+        // Blocks for the next partial; false when the stream is over (the
+        // request reached a terminal status and every delivered partial
+        // was consumed).
+        bool WaitPartial(TablePartial* out);
+
+        // Blocks until the request reaches a terminal status.
+        void Wait();
+
+        // Wait() + return the final result. Throws the server-side error
+        // for kFailed, std::runtime_error for kCancelled/kDeadlineExpired.
+        // Consumes the result: call at most once.
+        PrivateEmbeddingService::LookupResult Result();
+
+        // Requests cancellation. A still-queued request completes
+        // kCancelled immediately (its jobs never run); a mid-batch request
+        // is marked — its jobs finish, keeping the pooled batch intact —
+        // and completes kCancelled when the batch does. Returns false,
+        // changing nothing, if the request was already terminal (or the
+        // handle empty); true guarantees the handle finishes kCancelled.
+        bool Cancel();
+
+      private:
+        friend class ServingFrontEnd;
+        RequestHandle(AdmissionStatus admission, std::shared_ptr<Request> req,
+                      ServingFrontEnd* front_end)
+            : admission_(admission),
+              req_(std::move(req)),
+              front_end_(front_end) {}
+
+        AdmissionStatus admission_ = AdmissionStatus::kShutdown;
+        std::shared_ptr<Request> req_;
+        ServingFrontEnd* front_end_ = nullptr;
+    };
+
+  private:
+    // Shared admission path behind the public submit entry points.
+    // claim_future marks the request as Ticket-shim-consumed (see
+    // Request::future_claimed).
+    RequestHandle SubmitImpl(LookupRequest request, SubmitOptions options,
+                             bool blocking, bool claim_future);
     // Client-side phase + enqueue, called with an admission slot held.
-    Ticket Enqueue(LookupRequest request);
+    RequestHandle Enqueue(LookupRequest request, SubmitOptions options,
+                          bool claim_future);
+    // kBatch requests only get the bottom 3/4 of the admission slots.
+    std::size_t SlotCap(RequestPriority priority) const;
+    // Batching window for the next batch, honoring the adaptive policy.
+    // The batcher's wait loop additionally caps the window at the
+    // earliest queued deadline, re-derived after every wake-up. Called
+    // under mu_.
+    std::uint64_t ComputeLingerUs() const;
     void BatcherLoop();
-    // Answers one drained batch through a single cross-table engine
-    // submission — every request's long full-table jobs submitted before
-    // any hot-table jobs, so the pool's ragged tail is made of short jobs —
-    // filling each pending's result or error.
-    void ProcessBatch(std::vector<Pending>& batch);
+    // Answers one triaged batch (priority-sorted, no tombstones) through a
+    // single cross-table engine submission with per-job completion
+    // notifications: per-request hot partials stream out as their groups
+    // finish, and each request's result is finalized by the worker that
+    // completes its last group. Errors land in the requests' error slots.
+    void ProcessBatch(const std::vector<std::shared_ptr<Request>>& batch);
+    // Moves the request to its terminal status: sets status, wakes
+    // waiters, fires on_complete. No-op if already terminal. Call without
+    // mu_ held and after the slot is released.
+    void CompleteRequest(const std::shared_ptr<Request>& req,
+                         RequestStatus final_status);
+    // Admission-side half of RequestHandle::Cancel(), called with the
+    // request's own mutex held and its status still kInFlight (which pins
+    // this front-end alive: the batcher cannot finish completing the
+    // request — completion needs that mutex — so Shutdown() cannot
+    // return). A queued request is tombstoned, its slot released, and the
+    // cancelled counter bumped, with *was_queued set; a dispatched one is
+    // marked cancel_requested. Returns false if the batch already
+    // finished (completion is racing in).
+    bool MarkCancelled(const std::shared_ptr<Request>& req, bool* was_queued);
 
     PrivateEmbeddingService* service_;
     Options options_;
@@ -119,11 +357,17 @@ class ServingFrontEnd {
 
     mutable std::mutex mu_;
     std::condition_variable queue_cv_;  // batcher wake-up
-    std::condition_variable slot_cv_;   // SubmitOrWait wake-up
-    std::vector<Pending> queue_;
+    std::condition_variable slot_cv_;   // SubmitRequestOrWait wake-up
+    std::vector<std::shared_ptr<Request>> queue_;
     std::size_t inflight_ = 0;   // admitted, not yet completed
     std::size_t preparing_ = 0;  // admitted, not yet enqueued
     bool stop_ = false;
+    // Adaptive-linger inputs, guarded by mu_.
+    double arrival_ewma_us_ = 0.0;  // 0 = no samples yet
+    bool have_arrival_ = false;
+    std::chrono::steady_clock::time_point last_arrival_{};
+    double depth_ewma_ = 0.0;  // smoothed drained-batch size
+    Counters counters_;
     std::thread batcher_;
 };
 

@@ -1,6 +1,8 @@
 #include "src/pir/answer_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <stdexcept>
 
 namespace gpudpf {
@@ -133,6 +135,17 @@ std::vector<PirResponse> AnswerEngine::AnswerBatch(
 
 std::vector<PirResponse> AnswerEngine::AnswerBatch(
     const std::vector<TableJob>& jobs) const {
+    // Per-job slots of a presized vector, so concurrent completions write
+    // disjoint elements.
+    std::vector<PirResponse> out(jobs.size());
+    AnswerBatchNotify(jobs, [&out](std::size_t q, PirResponse&& resp) {
+        out[q] = std::move(resp);
+    });
+    return out;
+}
+
+void AnswerEngine::AnswerBatchNotify(const std::vector<TableJob>& jobs,
+                                     const JobDone& done) const {
     for (const TableJob& tj : jobs) {
         if (tj.table == nullptr) {
             throw std::invalid_argument("AnswerEngine: null table in job");
@@ -149,6 +162,16 @@ std::vector<PirResponse> AnswerEngine::AnswerBatch(
 
     // partials[job * shards + shard]; an empty vector is a zero partial.
     std::vector<PirResponse> partials(jobs.size() * shards);
+    // Shards left per job; the worker that takes a job's count to zero
+    // owns its reduction and completion callback. Empty shards decrement
+    // too, so the count reaches zero exactly once per job. The acq_rel
+    // countdown makes every shard's partial (written by other workers)
+    // visible to the reducing worker.
+    std::unique_ptr<std::atomic<std::size_t>[]> remaining(
+        new std::atomic<std::size_t>[jobs.size()]);
+    for (std::size_t q = 0; q < jobs.size(); ++q) {
+        remaining[q].store(shards, std::memory_order_relaxed);
+    }
     auto run_task = [&](std::size_t t, std::vector<u128>& shares) {
         const std::size_t q = t / shards;
         const std::size_t s = t % shards;
@@ -157,11 +180,25 @@ std::vector<PirResponse> AnswerEngine::AnswerBatch(
         const std::uint64_t lo = ShardBoundary(tj.job, tile_rows, shards, s);
         const std::uint64_t hi =
             ShardBoundary(tj.job, tile_rows, shards, s + 1);
-        if (lo >= hi) return;
-        PirResponse resp(tj.table->words_per_entry(), 0);
-        AnswerRange(*tj.table, dpfs[q], tj.job, lo, hi, &shares,
-                    resp.data());
-        partials[t] = std::move(resp);
+        if (lo < hi) {
+            PirResponse resp(tj.table->words_per_entry(), 0);
+            AnswerRange(*tj.table, dpfs[q], tj.job, lo, hi, &shares,
+                        resp.data());
+            partials[t] = std::move(resp);
+        }
+        if (remaining[q].fetch_sub(1, std::memory_order_acq_rel) != 1) {
+            return;
+        }
+        // Last shard in: reduce in shard order. Addition in Z_2^128
+        // commutes, so the result is bit-identical to the sequential path.
+        PirResponse reduced(tj.table->words_per_entry(), 0);
+        for (std::size_t ps = 0; ps < shards; ++ps) {
+            const PirResponse& part = partials[q * shards + ps];
+            for (std::size_t k = 0; k < part.size(); ++k) {
+                reduced[k] += part[k];
+            }
+        }
+        done(q, std::move(reduced));
     };
     ThreadPool& pool =
         options_.pool != nullptr ? *options_.pool : ThreadPool::Shared();
@@ -183,14 +220,15 @@ std::vector<PirResponse> AnswerEngine::AnswerBatch(
         }
         pool.Wait();
     } else if (threads <= 1 || total <= 1) {
+        // Sequential path: jobs complete — and notify — in index order.
         std::vector<u128> shares;
         for (std::size_t t = 0; t < total; ++t) run_task(t, shares);
     } else {
         // One pool task per (job, shard), so the shared queue drains in
-        // submission order — callers that front their long jobs (the
-        // serving front-end batcher) leave only short ones for the ragged
-        // tail — and any worker that finishes early keeps pulling tasks
-        // instead of being bound to a static chunk.
+        // submission order — callers order their jobs so that what runs
+        // (and completes) first is what they want streamed first — and any
+        // worker that finishes early keeps pulling tasks instead of being
+        // bound to a static chunk.
         for (std::size_t t = 0; t < total; ++t) {
             pool.Submit([&, t] {
                 std::vector<u128> shares;
@@ -199,19 +237,6 @@ std::vector<PirResponse> AnswerEngine::AnswerBatch(
         }
         pool.Wait();
     }
-
-    // Reduce shard partials in shard order. Addition in Z_2^128 commutes,
-    // so the result is bit-identical to the sequential path.
-    std::vector<PirResponse> out(jobs.size());
-    for (std::size_t q = 0; q < jobs.size(); ++q) {
-        PirResponse resp(jobs[q].table->words_per_entry(), 0);
-        for (std::size_t s = 0; s < shards; ++s) {
-            const PirResponse& part = partials[q * shards + s];
-            for (std::size_t k = 0; k < part.size(); ++k) resp[k] += part[k];
-        }
-        out[q] = std::move(resp);
-    }
-    return out;
 }
 
 }  // namespace gpudpf

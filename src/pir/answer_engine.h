@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -87,10 +88,14 @@ class AnswerEngine {
 
     // A job bound to its table, so one batch can mix jobs against several
     // tables (e.g. the hot and full tables of every in-flight request of
-    // the serving front-end) in a single pool submission.
+    // the serving front-end) in a single pool submission. `tag` is an
+    // opaque caller-side label (the engine never reads it): a streaming
+    // front-end tags each job with its (request, table) group so per-job
+    // completions can be routed back without a side table.
     struct TableJob {
         const PirTable* table = nullptr;
         Job job;
+        std::uint64_t tag = 0;
     };
 
     // Cross-table batch: answers every (job, shard) task of `jobs`
@@ -99,6 +104,22 @@ class AnswerEngine {
     // answering the jobs one at a time against their own tables.
     std::vector<PirResponse> AnswerBatch(
         const std::vector<TableJob>& jobs) const;
+
+    // Called once per job with the job's index in the submitted batch and
+    // its reduced response, as soon as that job's last shard finishes —
+    // i.e. before the rest of the batch completes. Runs on whichever pool
+    // worker finished the job (or inline on the caller for the sequential
+    // path), so it may fire concurrently for different jobs: it must be
+    // thread-safe, must not throw, and must not block on other pool work.
+    using JobDone = std::function<void(std::size_t, PirResponse&&)>;
+
+    // AnswerBatch with per-job completion notification instead of a single
+    // batch barrier: `done(q, response)` fires the moment job q's shard
+    // partials are all in and reduced (in shard order, so each response is
+    // still bit-identical to the sequential path). Blocks until every job
+    // has completed and every callback has returned.
+    void AnswerBatchNotify(const std::vector<TableJob>& jobs,
+                           const JobDone& done) const;
 
   private:
     ShardingOptions options_;
