@@ -28,6 +28,14 @@ struct JsonResult {
     double first_partial_p50_ms = 0.0;
     double first_partial_p99_ms = 0.0;
     double deadline_miss_rate = 0.0;
+    // Optional request-lifecycle reclamation metrics (the cancel-heavy
+    // serving mode), written only when has_skip is set: the fraction of
+    // requests cancelled by the driver, and how much dispatched work the
+    // JobContext kill switch reclaimed (ServingFrontEnd::Counters).
+    bool has_skip = false;
+    double cancel_rate = 0.0;
+    double jobs_skipped = 0.0;
+    double shards_skipped = 0.0;
 };
 
 // Nearest-rank percentile (p in [0, 1]) of an ascending-sorted sample.
@@ -85,6 +93,13 @@ inline bool WriteBenchJson(const char* path, const std::string& bench,
                          results[i].first_partial_p50_ms,
                          results[i].first_partial_p99_ms,
                          results[i].deadline_miss_rate);
+        }
+        if (results[i].has_skip) {
+            std::fprintf(f,
+                         ",\"cancel_rate\":%.6g,\"jobs_skipped\":%.6g"
+                         ",\"shards_skipped\":%.6g",
+                         results[i].cancel_rate, results[i].jobs_skipped,
+                         results[i].shards_skipped);
         }
         std::fprintf(f, "}");
     }

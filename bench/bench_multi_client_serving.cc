@@ -26,6 +26,14 @@
 // first-partial latency regressions alongside throughput. At >= 8 clients
 // the bench also fails if time-to-first-partial is not strictly below the
 // full-result latency (streaming must actually deliver early).
+//
+// A cancel-heavy mode then A/Bs the JobContext kill switch: 30% of the
+// stream is cancelled right after its first partial, once with
+// skip_abandoned_work on (the engine skips the dead requests' remaining
+// shard tasks) and once with it off (the pre-context behavior: abandoned
+// jobs run to completion). Both report surviving-request throughput —
+// the reclaimed-throughput delta is the win — plus the skip counters;
+// survivors must stay bit-identical to the serialized reference in both.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -121,13 +129,18 @@ struct World {
         emb->InitRandom(rng, 0.1f);
     }
 
-    std::unique_ptr<PrivateEmbeddingService> MakeService(bool adaptive) const {
-        auto service = std::make_unique<PrivateEmbeddingService>(
-            *emb, stats, MakeConfig(adaptive));
+    std::unique_ptr<PrivateEmbeddingService> MakeService(
+        const ServiceConfig& config) const {
+        auto service =
+            std::make_unique<PrivateEmbeddingService>(*emb, stats, config);
         // Untimed warm-up through a throwaway client (symmetric in all
         // modes, so the measured clients' seeds line up).
         service->MakeClient()->Lookup({1, 2, 3});
         return service;
+    }
+
+    std::unique_ptr<PrivateEmbeddingService> MakeService(bool adaptive) const {
+        return MakeService(MakeConfig(adaptive));
     }
 
     AccessStats stats;
@@ -289,6 +302,111 @@ PooledRun RunPooled(const World& world, bool adaptive, std::size_t clients,
     return run;
 }
 
+// Every 10-request stride of the global (client, lookup) stream cancels
+// three: a deterministic ~30% cancel rate, spread across clients. The
+// exact per-run rate is reported, not assumed.
+bool IsCancelVictim(std::size_t client, std::size_t lookup,
+                    std::size_t lookups_per_client) {
+    return (client * lookups_per_client + lookup) % 10 < 3;
+}
+
+// One cancel-heavy run: victims are cancelled right after their first
+// partial; survivors are consumed normally and checked for bit-identity
+// by the caller.
+struct CancelRun {
+    double survivor_qps = 0.0;
+    std::size_t victims = 0;
+    std::size_t cancels_won = 0;  // Cancel() == true (mid-batch or queued)
+    std::uint64_t jobs_skipped = 0;
+    std::uint64_t shards_skipped = 0;
+    std::size_t server_failures = 0;
+    // Survivor results; have[c][l] is false for victims and failures.
+    std::vector<std::vector<LookupResult>> results;
+    std::vector<std::vector<bool>> have;
+};
+
+CancelRun RunCancelHeavy(const World& world, bool skip_abandoned,
+                         std::size_t clients,
+                         std::size_t lookups_per_client) {
+    ServiceConfig config = MakeConfig(false);
+    config.skip_abandoned_work = skip_abandoned;
+    auto service = world.MakeService(config);
+    std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> pc;
+    for (std::size_t c = 0; c < clients; ++c) {
+        pc.push_back(service->MakeClient());
+    }
+    CancelRun run;
+    run.results.assign(clients, {});
+    run.have.assign(clients, {});
+    std::atomic<std::size_t> cancels_won{0};
+    std::atomic<std::size_t> failures{0};
+    Timer wall;
+    {
+        std::vector<std::thread> threads;
+        for (std::size_t c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                // Submit the whole stream, then consume in submission
+                // order, cancelling each victim after its first partial
+                // (the batch is then mid-flight, so the cancel exercises
+                // the engine's skip path rather than the queued unwind).
+                std::vector<ServingFrontEnd::RequestHandle> handles;
+                for (std::size_t l = 0; l < lookups_per_client; ++l) {
+                    handles.push_back(service->front_end().SubmitRequestOrWait(
+                        {pc[c].get(), WantedFor(c, l)}));
+                    if (!handles.back().ok()) {
+                        std::fprintf(stderr,
+                                     "cancel-heavy submission rejected: "
+                                     "client %zu lookup %zu\n",
+                                     c, l);
+                        std::abort();
+                    }
+                }
+                for (std::size_t l = 0; l < handles.size(); ++l) {
+                    if (IsCancelVictim(c, l, lookups_per_client)) {
+                        PrivateEmbeddingService::TablePartial partial;
+                        handles[l].WaitPartial(&partial);
+                        if (handles[l].Cancel()) ++cancels_won;
+                        handles[l].Wait();
+                        run.results[c].emplace_back();
+                        run.have[c].push_back(false);
+                        continue;
+                    }
+                    try {
+                        run.results[c].push_back(handles[l].Result());
+                        run.have[c].push_back(true);
+                    } catch (const std::exception& e) {
+                        ++failures;
+                        run.results[c].emplace_back();
+                        run.have[c].push_back(false);
+                        std::fprintf(stderr,
+                                     "cancel-heavy FAILED: client %zu "
+                                     "lookup %zu: %s\n",
+                                     c, l, e.what());
+                    }
+                }
+            });
+        }
+        for (auto& t : threads) t.join();
+    }
+    const double sec = wall.ElapsedSeconds();
+    service->front_end().Shutdown();
+    const ServingFrontEnd::Counters counters =
+        service->front_end().counters();
+    for (std::size_t c = 0; c < clients; ++c) {
+        for (std::size_t l = 0; l < lookups_per_client; ++l) {
+            if (IsCancelVictim(c, l, lookups_per_client)) ++run.victims;
+        }
+    }
+    const std::size_t survivors =
+        clients * lookups_per_client - run.victims;
+    run.survivor_qps = survivors / sec;
+    run.cancels_won = cancels_won.load();
+    run.jobs_skipped = counters.jobs_skipped;
+    run.shards_skipped = counters.shards_skipped;
+    run.server_failures = failures.load();
+    return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -382,6 +500,33 @@ int main(int argc, char** argv) {
                 }
             }
         }
+        // Cancel-heavy A/B: identical 30%-cancelled streams with and
+        // without the engine-level skip; survivors must stay bit-identical
+        // to the serialized reference either way.
+        const CancelRun cancel_skip =
+            RunCancelHeavy(world, /*skip_abandoned=*/true, clients,
+                           lookups_per_client);
+        const CancelRun cancel_noskip =
+            RunCancelHeavy(world, /*skip_abandoned=*/false, clients,
+                           lookups_per_client);
+        server_failures +=
+            cancel_skip.server_failures + cancel_noskip.server_failures;
+        for (std::size_t c = 0; c < clients; ++c) {
+            for (std::size_t l = 0; l < lookups_per_client; ++l) {
+                for (const CancelRun* run : {&cancel_skip, &cancel_noskip}) {
+                    if (!run->have[c][l]) continue;
+                    if (!SameResults(serial[c][l], run->results[c][l])) {
+                        all_identical = false;
+                        std::fprintf(
+                            stderr,
+                            "MISMATCH: client %zu lookup %zu (cancel/%s)\n",
+                            c, l,
+                            run == &cancel_skip ? "skip" : "noskip");
+                    }
+                }
+            }
+        }
+
         // Streaming must deliver the first partial before the full result
         // once enough clients pool (at low counts both are one batch).
         if (clients >= 8 &&
@@ -396,6 +541,18 @@ int main(int argc, char** argv) {
             pooled.qps / serial_qps, pooled.first_partial_p50_ms,
             pooled.latency.p50_ms, adaptive.first_partial_p50_ms,
             adaptive.latency.p50_ms, 100.0 * pooled.deadline_miss_rate);
+        std::printf(
+            "         cancel %.0f%%: survivors %.1f q/s with skip "
+            "(%llu jobs / %llu shards reclaimed, %zu/%zu cancels won) vs "
+            "%.1f q/s without (%.2fx)\n",
+            100.0 * cancel_skip.victims / total, cancel_skip.survivor_qps,
+            static_cast<unsigned long long>(cancel_skip.jobs_skipped),
+            static_cast<unsigned long long>(cancel_skip.shards_skipped),
+            cancel_skip.cancels_won, cancel_skip.victims,
+            cancel_noskip.survivor_qps,
+            cancel_noskip.survivor_qps > 0.0
+                ? cancel_skip.survivor_qps / cancel_noskip.survivor_qps
+                : 0.0);
         json.push_back({"serialized_c" + std::to_string(clients), serial_qps,
                         true, serial_lat.p50_ms, serial_lat.p95_ms,
                         serial_lat.p99_ms});
@@ -412,6 +569,20 @@ int main(int argc, char** argv) {
             row.first_partial_p50_ms = run->first_partial_p50_ms;
             row.first_partial_p99_ms = run->first_partial_p99_ms;
             row.deadline_miss_rate = run->deadline_miss_rate;
+            json.push_back(row);
+        }
+        for (const CancelRun* run : {&cancel_skip, &cancel_noskip}) {
+            bench::JsonResult row;
+            row.name =
+                (run == &cancel_skip ? "cancel_skip_c" : "cancel_noskip_c") +
+                std::to_string(clients);
+            // Surviving-request throughput: the skip-vs-noskip delta is
+            // the throughput the kill switch reclaims from dead work.
+            row.qps = run->survivor_qps;
+            row.has_skip = true;
+            row.cancel_rate = static_cast<double>(run->victims) / total;
+            row.jobs_skipped = static_cast<double>(run->jobs_skipped);
+            row.shards_skipped = static_cast<double>(run->shards_skipped);
             json.push_back(row);
         }
     }

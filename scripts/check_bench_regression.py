@@ -6,14 +6,21 @@ Usage: check_bench_regression.py BASELINE_DIR CURRENT_DIR [--threshold 0.20]
 
 Each directory holds one JSON file per bench, written by the benches'
 --json=PATH flag: {"bench": "...", "results": [{"name": ..., "qps": ...,
-optionally "p50_ms"/"p95_ms"/"p99_ms" and the streaming metrics
-"first_partial_p50_ms"/"first_partial_p99_ms"/"deadline_miss_rate"}]}.
+optionally "p50_ms"/"p95_ms"/"p99_ms", the streaming metrics
+"first_partial_p50_ms"/"first_partial_p99_ms"/"deadline_miss_rate", and
+the cancel-heavy reclamation metrics "cancel_rate"/"jobs_skipped"/
+"shards_skipped"}]}.
 Results are matched by (bench, name); a current QPS more than `threshold`
 below its baseline counterpart — or a current p99 latency or
 time-to-first-partial (p50) more than `threshold` above it — is a
-regression. Missing baselines (first run, renamed rows) are skipped
-with a note. Exits 1 if any regression was flagged, so CI can surface the
-step while keeping it non-blocking via continue-on-error.
+regression. The reclamation metrics are informational (printed, never
+flagged: skip counts scale with the cancel mix, not with performance);
+the cancel-mode rows' QPS is still regression-checked like any other row.
+Unknown fields — older or newer artifacts — are ignored, so baselines
+written before a field existed keep comparing cleanly. Missing baselines
+(first run, renamed rows) are skipped with a note. Exits 1 if any
+regression was flagged, so CI can surface the step while keeping it
+non-blocking via continue-on-error.
 """
 
 import argparse
@@ -24,7 +31,8 @@ import sys
 
 def load_results(directory):
     """Returns {(bench, result_name): {"qps": float, "p99_ms": float|None,
-    "first_partial_p50_ms": float|None}} over every *.json in directory."""
+    "first_partial_p50_ms": float|None, "jobs_skipped": float|None,
+    "shards_skipped": float|None}} over every *.json in directory."""
     results = {}
     for path in sorted(pathlib.Path(directory).glob("*.json")):
         try:
@@ -35,14 +43,13 @@ def load_results(directory):
         bench = doc.get("bench", path.stem)
         for entry in doc.get("results", []):
             if "name" in entry and "qps" in entry:
-                results[(bench, entry["name"])] = {
-                    "qps": float(entry["qps"]),
-                    "p99_ms": (float(entry["p99_ms"])
-                               if "p99_ms" in entry else None),
-                    "first_partial_p50_ms": (
-                        float(entry["first_partial_p50_ms"])
-                        if "first_partial_p50_ms" in entry else None),
-                }
+                optional = ["p99_ms", "first_partial_p50_ms",
+                            "jobs_skipped", "shards_skipped"]
+                row = {"qps": float(entry["qps"])}
+                for field in optional:
+                    row[field] = (float(entry[field])
+                                  if field in entry else None)
+                results[(bench, entry["name"])] = row
     return results
 
 
@@ -96,6 +103,11 @@ def main():
                      f"({delta:+.1%})")
             if delta > args.threshold:
                 flagged.append(("first_partial_p50", b_fp, c_fp, delta))
+        # Reclamation counters are informational only: they track the
+        # cancel mix of the bench, not machine performance.
+        if cur.get("jobs_skipped") is not None:
+            line += (f", reclaimed {cur['jobs_skipped']:.0f} jobs"
+                     f"/{cur.get('shards_skipped') or 0:.0f} shards")
         if flagged:
             line += "  <-- REGRESSION"
             for metric, b, c, delta in flagged:

@@ -53,11 +53,12 @@ PbrSession::BinJobs PbrSession::ParseJobs(
 }
 
 std::vector<AnswerEngine::TableJob> PbrSession::BindJobs(
-    const BinJobs& jobs, const PirTable* table, std::uint64_t tag) {
+    const BinJobs& jobs, const PirTable* table,
+    AnswerEngine::JobBinding binding) {
     std::vector<AnswerEngine::TableJob> bound;
     bound.reserve(jobs.jobs.size());
     for (const AnswerEngine::Job& j : jobs.jobs) {
-        bound.push_back({table, j, tag});
+        bound.push_back({table, j, binding});
     }
     return bound;
 }

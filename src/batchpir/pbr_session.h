@@ -53,13 +53,17 @@ class PbrSession {
     BinJobs ParseJobs(
         const std::vector<std::vector<std::uint8_t>>& keys) const;
 
-    // Binds one server's parsed bin jobs to the physical table they read,
-    // tagging every job with `tag` — the caller's (request, table) group
-    // id — so a streaming front-end can route the engine's per-job
-    // completion notifications back to the owning group. The returned jobs
-    // point into `jobs.keys`; they must not outlive it.
+    // Binds one server's parsed bin jobs to the physical table they read
+    // and to their request-lifecycle binding: `binding.tag` is the
+    // caller's (request, table) group id — so a streaming front-end can
+    // route the engine's per-job completion notifications back to the
+    // owning group — and `binding.context` (optional) is the owning
+    // request's cancel/deadline/priority state, which the engine polls to
+    // skip work for dead requests. The returned jobs point into
+    // `jobs.keys` (and borrow the context); they must not outlive either.
     static std::vector<AnswerEngine::TableJob> BindJobs(
-        const BinJobs& jobs, const PirTable* table, std::uint64_t tag);
+        const BinJobs& jobs, const PirTable* table,
+        AnswerEngine::JobBinding binding);
 
     // Server: evaluates each bin key against the bin's slice of `table`;
     // returns one entry share per bin.

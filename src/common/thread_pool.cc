@@ -8,6 +8,23 @@
 #endif
 
 namespace gpudpf {
+namespace {
+
+bool Empty(const std::array<std::queue<std::function<void()>>, 2>& q) {
+    return q[0].empty() && q[1].empty();
+}
+
+// Pops the highest-priority task of a two-level queue (interactive before
+// batch, FIFO within a class). Pre: !Empty(q).
+std::function<void()> PopTwoLevel(
+    std::array<std::queue<std::function<void()>>, 2>& q) {
+    auto& level = q[0].empty() ? q[1] : q[0];
+    std::function<void()> task = std::move(level.front());
+    level.pop();
+    return task;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads, bool pin_to_cores) {
     if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -44,20 +61,22 @@ ThreadPool::~ThreadPool() {
     for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> fn) {
+void ThreadPool::Submit(std::function<void()> fn, TaskPriority priority) {
     {
         std::unique_lock<std::mutex> lock(mu_);
-        tasks_.push(std::move(fn));
+        tasks_[static_cast<std::size_t>(priority)].push(std::move(fn));
         ++in_flight_;
     }
     task_cv_.notify_one();
 }
 
-void ThreadPool::SubmitTo(std::size_t worker, std::function<void()> fn) {
+void ThreadPool::SubmitTo(std::size_t worker, std::function<void()> fn,
+                          TaskPriority priority) {
     worker %= workers_.size();
     {
         std::unique_lock<std::mutex> lock(mu_);
-        pinned_[worker].push(std::move(fn));
+        pinned_[worker][static_cast<std::size_t>(priority)].push(
+            std::move(fn));
         ++in_flight_;
     }
     // The single condition variable is shared by all workers, so wake them
@@ -99,14 +118,14 @@ void ThreadPool::WorkerLoop(std::size_t index) {
         {
             std::unique_lock<std::mutex> lock(mu_);
             task_cv_.wait(lock, [this, index] {
-                return stop_ || !tasks_.empty() || !pinned_[index].empty();
+                return stop_ || !Empty(tasks_) || !Empty(pinned_[index]);
             });
-            if (!pinned_[index].empty()) {
-                task = std::move(pinned_[index].front());
-                pinned_[index].pop();
-            } else if (!tasks_.empty()) {
-                task = std::move(tasks_.front());
-                tasks_.pop();
+            // Pinned work first (shard residency), shared work second;
+            // interactive before batch inside each.
+            if (!Empty(pinned_[index])) {
+                task = PopTwoLevel(pinned_[index]);
+            } else if (!Empty(tasks_)) {
+                task = PopTwoLevel(tasks_);
             } else {
                 return;  // stop_ and nothing left for this worker
             }

@@ -1,12 +1,24 @@
-// Work-sharing thread pool.
+// Work-sharing thread pool with a two-level priority dequeue.
 //
 // Backs both the simulated-GPU block scheduler (each thread block becomes a
 // pool task) and the multi-threaded CPU DPF baseline. Besides the shared
 // work queue, each worker has a pinned queue fed by SubmitTo(): the sharded
 // answer engine routes a table shard's tasks to a stable worker so repeated
 // batches re-touch the same rows from the same core's warm cache.
+//
+// Every queue — shared and pinned alike — is two-level: kInteractive tasks
+// dequeue before kBatch tasks, FIFO within each class, so worker slots
+// freed early (e.g. by the answer engine skipping a cancelled request's
+// shards) go to live interactive work before background work. A worker
+// still drains its pinned queue (both classes) before touching the shared
+// queue, preserving the shard-residency guarantee pinned placement relies
+// on. The scheme is strict, not weighted: batch tasks only run when no
+// interactive task is eligible — acceptable because interactive load is
+// bounded upstream (serving admission caps), so batch work cannot starve
+// indefinitely.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -17,6 +29,11 @@
 #include <vector>
 
 namespace gpudpf {
+
+// Scheduling class of one pool task. The pool dequeues kInteractive before
+// kBatch within the shared queue and within each worker's pinned queue;
+// submission order is preserved inside a class.
+enum class TaskPriority { kInteractive, kBatch };
 
 class ThreadPool {
   public:
@@ -33,12 +50,15 @@ class ThreadPool {
     std::size_t thread_count() const { return workers_.size(); }
 
     // Enqueues a task; tasks may not block on other pool tasks.
-    void Submit(std::function<void()> fn);
+    void Submit(std::function<void()> fn,
+                TaskPriority priority = TaskPriority::kInteractive);
 
     // Enqueues a task that only worker `worker % thread_count()` will run.
-    // Pinned tasks of one worker run in submission order, before it takes
-    // from the shared queue.
-    void SubmitTo(std::size_t worker, std::function<void()> fn);
+    // Pinned tasks of one worker and one priority class run in submission
+    // order; the worker drains its pinned queue (interactive then batch)
+    // before taking from the shared queue.
+    void SubmitTo(std::size_t worker, std::function<void()> fn,
+                  TaskPriority priority = TaskPriority::kInteractive);
 
     // Blocks until every submitted task has finished.
     void Wait();
@@ -53,12 +73,16 @@ class ThreadPool {
     static ThreadPool& Shared();
 
   private:
+    // Index 0 = kInteractive, 1 = kBatch; dequeue scans ascending.
+    using TwoLevelQueue = std::array<std::queue<std::function<void()>>, 2>;
+
     void WorkerLoop(std::size_t index);
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> tasks_;
-    // One pinned queue per worker, guarded by mu_ like the shared queue.
-    std::vector<std::queue<std::function<void()>>> pinned_;
+    TwoLevelQueue tasks_;
+    // One pinned two-level queue per worker, guarded by mu_ like the
+    // shared queue.
+    std::vector<TwoLevelQueue> pinned_;
     std::mutex mu_;
     std::condition_variable task_cv_;
     std::condition_variable done_cv_;

@@ -81,6 +81,7 @@ PrivateEmbeddingService::PrivateEmbeddingService(
     fe_options.adaptive_linger = config_.adaptive_linger;
     fe_options.linger_ewma_half_life_us = config_.linger_ewma_half_life_us;
     fe_options.default_deadline_us = config_.default_deadline_us;
+    fe_options.skip_abandoned_work = config_.skip_abandoned_work;
     front_end_ = std::make_unique<ServingFrontEnd>(this, fe_options);
 }
 

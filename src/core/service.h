@@ -21,7 +21,9 @@
 //   auto result = client->Lookup({idx0, idx1, ...});   // synchronous
 //
 // Asynchronous path (streaming, cancellation, deadlines, priorities —
-// see src/core/serving.h):
+// see src/core/serving.h; each admitted request carries a JobContext that
+// the answer engine polls, so cancelling or missing a deadline after
+// dispatch reclaims the request's remaining (job, shard) pool work):
 //   auto handle = service.front_end().SubmitRequest(
 //       {client.get(), {idx0, idx1}}, {/*priority, deadline, callbacks*/});
 //   PrivateEmbeddingService::TablePartial partial;
@@ -99,6 +101,15 @@ struct ServiceConfig {
     // whose deadline passes before their jobs are dispatched complete
     // with RequestStatus::kDeadlineExpired instead of occupying a batch.
     std::uint64_t default_deadline_us = 0;
+    // Thread each request's JobContext (src/pir/job_context.h) into its
+    // engine jobs, so the (job, shard) tasks of a request that is
+    // cancelled or expires after dispatch are skipped and the pool frees
+    // early for live work. Off withholds the context from the ENGINE
+    // only — a dead request's jobs then run to completion and are thrown
+    // away (the cancel-heavy serving bench A/Bs the two to measure
+    // reclaimed throughput); the front-end lifecycle semantics (partials
+    // stop, mid-batch expiry ends kDeadlineExpired) apply either way.
+    bool skip_abandoned_work = true;
 };
 
 class PrivateEmbeddingService {

@@ -124,6 +124,9 @@ bool ServingFrontEnd::RequestHandle::Cancel() {
         // destroyed — even though handles may outlive it once terminal.
         if (!front_end_->MarkCancelled(req_, &was_queued)) return false;
         if (was_queued) {
+            // Flip the context too (nothing polls it — the jobs never
+            // ran), so every kCancelled request reads the same way.
+            req_->context->Cancel();
             // Ticket shims discard their handle, so a claimed request is
             // never cancelled in practice; resolve the promise anyway so
             // no future could ever dangle.
@@ -259,6 +262,14 @@ ServingFrontEnd::RequestHandle ServingFrontEnd::Enqueue(
     req->on_partial = std::move(options.on_partial);
     req->on_complete = std::move(options.on_complete);
     req->future_claimed = claim_future;
+    // The execution context every layer below shares: the engine's shard
+    // tasks poll it (when attached via skip_abandoned_work), the assembly
+    // path polls it, and completion reads it for the terminal status.
+    req->context = std::make_shared<JobContext>(
+        options.priority == RequestPriority::kBatch
+            ? TaskPriority::kBatch
+            : TaskPriority::kInteractive);
+    if (req->has_deadline) req->context->set_deadline(req->deadline);
 
     // Client-side phase outside the lock: concurrent submitters generate
     // their DPF keys in parallel while the batcher answers previous work.
@@ -323,10 +334,12 @@ bool ServingFrontEnd::MarkCancelled(const std::shared_ptr<Request>& req,
             ++counters_.cancelled;
             *was_queued = true;
         } else if (req->stage == Request::Stage::kDispatched) {
-            // Mid-batch: the jobs run (yanking them would poison the
-            // pooled submission), but partial delivery stops and the
-            // request completes kCancelled instead of kComplete.
-            req->cancel_requested.store(true, std::memory_order_release);
+            // Mid-batch: flip the shared context. The engine skips the
+            // request's not-yet-started shard tasks (the pooled batch
+            // itself is never poisoned — dead jobs just complete empty),
+            // partial delivery stops, and the request completes
+            // kCancelled instead of kComplete.
+            req->context->Cancel();
         } else {
             return false;  // batch already finished; completion is racing in
         }
@@ -445,7 +458,7 @@ void ServingFrontEnd::BatcherLoop() {
         std::vector<std::shared_ptr<Request>> expired;
         const auto now = std::chrono::steady_clock::now();
         for (auto& req : batch) {
-            if (req->cancel_requested.load(std::memory_order_acquire)) {
+            if (req->context->cancelled()) {
                 cancelled.push_back(std::move(req));
             } else if (req->has_deadline && req->deadline <= now) {
                 expired.push_back(std::move(req));
@@ -491,13 +504,18 @@ void ServingFrontEnd::BatcherLoop() {
         for (auto& req : runnable) {
             // result_ready/error were written by pool workers before
             // AnswerBatchNotify's barrier, so reading them here is safe. A
-            // cancel that arrived mid-batch wins over both outcomes: its
-            // Cancel() already returned true.
+            // cancel that arrived mid-batch wins over every outcome: its
+            // Cancel() already returned true. A deadline that passed
+            // mid-batch (the engine skipped the remaining work, so no
+            // result was assembled) reports kDeadlineExpired, not kFailed
+            // — unless a real server-side error landed first.
             RequestStatus final = RequestStatus::kComplete;
-            if (req->cancel_requested.load(std::memory_order_acquire)) {
+            if (req->context->cancelled()) {
                 final = RequestStatus::kCancelled;
             } else if (!req->result_ready || req->error != nullptr) {
-                final = RequestStatus::kFailed;
+                final = (req->error == nullptr && req->context->expired())
+                            ? RequestStatus::kDeadlineExpired
+                            : RequestStatus::kFailed;
             }
             CompleteRequest(req, final);
         }
@@ -535,19 +553,27 @@ void ServingFrontEnd::ProcessBatch(
                 hot ? req->prep.hot_server1 : req->prep.full_server1;
             const PirTable* table = hot ? service_->hot_table_.get()
                                         : &service_->full_table_;
-            const std::uint64_t tag = groups.size();
+            // The tag routes completions back to the group; the context
+            // (withheld when skip_abandoned_work is off) lets the engine
+            // skip shard tasks of cancelled/expired requests. The request
+            // — and through it the context — outlives the whole batch.
+            AnswerEngine::JobBinding binding;
+            binding.tag = groups.size();
+            binding.context = options_.skip_abandoned_work
+                                  ? req->context.get()
+                                  : nullptr;
             groups.emplace_back();
             Group& g = groups.back();
             g.req = req;
             g.hot = hot;
             g.s0_begin = jobs.size();
             g.s0_count = j0.jobs.size();
-            for (auto& tj : PbrSession::BindJobs(j0, table, tag)) {
+            for (auto& tj : PbrSession::BindJobs(j0, table, binding)) {
                 jobs.push_back(tj);
             }
             g.s1_begin = jobs.size();
             g.s1_count = j1.jobs.size();
-            for (auto& tj : PbrSession::BindJobs(j1, table, tag)) {
+            for (auto& tj : PbrSession::BindJobs(j1, table, binding)) {
                 jobs.push_back(tj);
             }
             g.remaining.store(g.s0_count + g.s1_count,
@@ -596,33 +622,42 @@ void ServingFrontEnd::ProcessBatch(
         // from two threads at once.
         auto group_done = [&](Group& g) {
             Request* req = g.req;
-            try {
-                auto slice = [&](std::size_t begin, std::size_t n) {
-                    return std::vector<PirResponse>(
-                        std::make_move_iterator(responses.begin() + begin),
-                        std::make_move_iterator(responses.begin() + begin +
-                                                n));
-                };
-                const auto r0 = slice(g.s0_begin, g.s0_count);
-                const auto r1 = slice(g.s1_begin, g.s1_count);
-                PbrSession& session = g.hot ? *req->client->hot_session_
-                                            : req->client->full_session_;
-                const auto rows = session.Reconstruct(r0, r1, row_bytes);
-                auto kept = std::make_shared<const TablePartial>(
-                    service_->AssembleTablePartial(req->prep, g.hot, rows));
-                (g.hot ? req->hot_partial : req->full_partial) = kept;
-                if (!req->cancel_requested.load(std::memory_order_acquire)) {
-                    {
-                        std::unique_lock<std::mutex> lock(req->mu);
-                        req->partials.push_back(kept);
+            // A dead request's partials are never assembled: its jobs may
+            // have been skipped by the engine (empty responses), and even
+            // complete responses are waste nobody will read. Both kill
+            // signals are monotonic, so a group skipped here can never be
+            // followed by a finalization below.
+            if (!req->context->ShouldSkip()) {
+                try {
+                    auto slice = [&](std::size_t begin, std::size_t n) {
+                        return std::vector<PirResponse>(
+                            std::make_move_iterator(responses.begin() +
+                                                    begin),
+                            std::make_move_iterator(responses.begin() +
+                                                    begin + n));
+                    };
+                    const auto r0 = slice(g.s0_begin, g.s0_count);
+                    const auto r1 = slice(g.s1_begin, g.s1_count);
+                    PbrSession& session = g.hot ? *req->client->hot_session_
+                                                : req->client->full_session_;
+                    const auto rows = session.Reconstruct(r0, r1, row_bytes);
+                    auto kept = std::make_shared<const TablePartial>(
+                        service_->AssembleTablePartial(req->prep, g.hot,
+                                                       rows));
+                    (g.hot ? req->hot_partial : req->full_partial) = kept;
+                    if (!req->context->cancelled()) {
+                        {
+                            std::unique_lock<std::mutex> lock(req->mu);
+                            req->partials.push_back(kept);
+                        }
+                        req->cv.notify_all();
+                        if (req->on_partial) req->on_partial(*kept);
                     }
-                    req->cv.notify_all();
-                    if (req->on_partial) req->on_partial(*kept);
-                }
-            } catch (...) {
-                std::unique_lock<std::mutex> lock(req->mu);
-                if (req->error == nullptr) {
-                    req->error = std::current_exception();
+                } catch (...) {
+                    std::unique_lock<std::mutex> lock(req->mu);
+                    if (req->error == nullptr) {
+                        req->error = std::current_exception();
+                    }
                 }
             }
             if (req->groups_remaining.fetch_sub(
@@ -631,7 +666,7 @@ void ServingFrontEnd::ProcessBatch(
             }
             // Last group of this request: the acq_rel countdown makes the
             // other group's kept partial visible here.
-            if (req->cancel_requested.load(std::memory_order_acquire)) return;
+            if (req->context->ShouldSkip()) return;
             try {
                 {
                     std::unique_lock<std::mutex> lock(req->mu);
@@ -651,15 +686,21 @@ void ServingFrontEnd::ProcessBatch(
             }
         };
 
-        engine_.AnswerBatchNotify(
+        const AnswerEngine::BatchStats stats = engine_.AnswerBatchNotify(
             jobs, [&](std::size_t q, PirResponse&& resp) {
                 responses[q] = std::move(resp);
-                Group& g = groups[static_cast<std::size_t>(jobs[q].tag)];
+                Group& g =
+                    groups[static_cast<std::size_t>(jobs[q].binding.tag)];
                 if (g.remaining.fetch_sub(1, std::memory_order_acq_rel) ==
                     1) {
                     group_done(g);
                 }
             });
+        if (stats.jobs_skipped > 0 || stats.shards_skipped > 0) {
+            std::unique_lock<std::mutex> lock(mu_);
+            counters_.jobs_skipped += stats.jobs_skipped;
+            counters_.shards_skipped += stats.shards_skipped;
+        }
     } catch (...) {
         // Propagate the failure to every request of the batch that has no
         // result yet instead of dropping handles (which would surface as
@@ -680,7 +721,7 @@ void ServingFrontEnd::CompleteRequest(const std::shared_ptr<Request>& req,
     // or a deadline expiry the triage classified before the cancel flag
     // landed — because Cancel() already returned true promising a
     // kCancelled finish.
-    if (req->cancel_requested.load(std::memory_order_acquire)) {
+    if (req->context != nullptr && req->context->cancelled()) {
         final = RequestStatus::kCancelled;
     }
     // Count before the status becomes observable, so a caller unblocked by

@@ -13,16 +13,23 @@
 //     long before the full table — pulled with NextPartial()/WaitPartial()
 //     or pushed through SubmitOptions::on_partial.
 //   - Cancel() unwinds a still-queued request without touching the batch,
-//     and marks a mid-batch request so it completes kCancelled; either
+//     and flips a mid-batch request's JobContext so the answer engine
+//     skips its not-yet-started shard tasks (the reclaimed workers drain
+//     live requests' jobs instead) and it completes kCancelled; either
 //     way the handle (and any compatibility future) still resolves.
 //   - A per-request deadline (or ServiceConfig::default_deadline_us)
 //     expires requests that are still queued when it passes — they
 //     complete kDeadlineExpired without burning answer work, and the
-//     batcher caps its linger at the earliest queued deadline.
+//     batcher caps its linger at the earliest queued deadline. A deadline
+//     that passes mid-batch is observed by the engine through the same
+//     JobContext: remaining shard tasks are skipped and the request
+//     completes kDeadlineExpired instead of assembling a result nobody
+//     will read.
 //   - Priority classes: kInteractive requests' jobs run before kBatch
-//     jobs inside every pooled batch, and kBatch is only admitted into
-//     the bottom 3/4 of the admission slots so a background flood can
-//     never squeeze interactive traffic out.
+//     jobs inside every pooled batch (the pool's two-level dequeue keeps
+//     that true even for slots reclaimed from skipped work), and kBatch
+//     is only admitted into the bottom 3/4 of the admission slots so a
+//     background flood can never squeeze interactive traffic out.
 //   - The batching window is either the fixed `batcher_linger_us` or,
 //     with `adaptive_linger`, sized from an EWMA of request inter-arrival
 //     time and drained queue depth (capped at `batcher_linger_us`).
@@ -112,6 +119,15 @@ class ServingFrontEnd {
         std::uint64_t linger_ewma_half_life_us = 1'000;
         // Deadline for requests that don't carry their own; 0 = none.
         std::uint64_t default_deadline_us = 0;
+        // Attach each request's JobContext to its engine jobs so (job,
+        // shard) tasks of cancelled/expired requests are skipped and the
+        // pool freed early. Off withholds the context from the engine
+        // only (abandoned jobs run to completion and are discarded) —
+        // kept as a knob so the cancel-heavy bench can measure exactly
+        // what skipping reclaims. The front-end's own lifecycle handling
+        // (no partials for dead requests, mid-batch expiry completing
+        // kDeadlineExpired) is not affected by this knob.
+        bool skip_abandoned_work = true;
     };
 
     // Explicitly "no deadline" for SubmitOptions::deadline_us, overriding
@@ -157,6 +173,12 @@ class ServingFrontEnd {
         std::uint64_t failed = 0;            // ... kFailed
         std::uint64_t rejected_queue_full = 0;
         std::uint64_t rejected_invalid = 0;
+        // Work reclaimed from cancelled/expired requests after dispatch:
+        // engine jobs completed with a skipped (empty) response, and the
+        // (job, shard) pool tasks those jobs never ran. Zero unless
+        // Options::skip_abandoned_work is on.
+        std::uint64_t jobs_skipped = 0;
+        std::uint64_t shards_skipped = 0;
         // Window the most recent batch waited (us); tracks the adaptive
         // policy's decisions.
         std::uint64_t last_linger_us = 0;
@@ -246,8 +268,12 @@ class ServingFrontEnd {
         bool future_claimed = false;
         std::promise<PrivateEmbeddingService::LookupResult> promise;
 
-        // Set by a mid-batch Cancel(); checked when the batch completes.
-        std::atomic<bool> cancel_requested{false};
+        // The request's shared execution context (src/pir/job_context.h),
+        // created at enqueue with the request's priority and deadline and
+        // attached to every engine job (when skip_abandoned_work is on).
+        // A mid-batch Cancel() flips it; the engine and the assembly path
+        // poll it, and completion reads it to pick the terminal status.
+        std::shared_ptr<JobContext> context;
 
         // Scratch for ProcessBatch: this dispatch's per-table partials and
         // the count of job groups still running.
@@ -293,9 +319,11 @@ class ServingFrontEnd {
         PrivateEmbeddingService::LookupResult Result();
 
         // Requests cancellation. A still-queued request completes
-        // kCancelled immediately (its jobs never run); a mid-batch request
-        // is marked — its jobs finish, keeping the pooled batch intact —
-        // and completes kCancelled when the batch does. Returns false,
+        // kCancelled immediately (its jobs never run); a mid-batch
+        // request's JobContext is flipped — the engine skips its
+        // not-yet-started shard tasks (and abandons long shards between
+        // tiles) without poisoning the pooled batch, and the request
+        // completes kCancelled when the batch does. Returns false,
         // changing nothing, if the request was already terminal (or the
         // handle empty); true guarantees the handle finishes kCancelled.
         bool Cancel();
@@ -346,8 +374,9 @@ class ServingFrontEnd {
     // this front-end alive: the batcher cannot finish completing the
     // request — completion needs that mutex — so Shutdown() cannot
     // return). A queued request is tombstoned, its slot released, and the
-    // cancelled counter bumped, with *was_queued set; a dispatched one is
-    // marked cancel_requested. Returns false if the batch already
+    // cancelled counter bumped, with *was_queued set; a dispatched one
+    // has its JobContext cancelled, which the engine's shard tasks and
+    // the completion path observe. Returns false if the batch already
     // finished (completion is racing in).
     bool MarkCancelled(const std::shared_ptr<Request>& req, bool* was_queued);
 

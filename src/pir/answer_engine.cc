@@ -1,6 +1,7 @@
 #include "src/pir/answer_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <memory>
 #include <stdexcept>
@@ -20,27 +21,50 @@ void AccumulateSegment(const u128* row, std::size_t w, const u128* shares,
     }
 }
 
+// Rows answered between context re-checks on untiled (row-major) tables,
+// whose shards would otherwise be one unbounded segment. Chunking the
+// leaf-range eval changes neither the share values (EvalRange is a pure
+// function of key and leaf index) nor the accumulation order, so results
+// stay bit-identical; it only bounds how long a dead request's shard can
+// keep running. Tiled tables re-check at their natural tile boundaries.
+constexpr std::uint64_t kContextCheckRows = 1u << 14;
+
 // Evaluates job rows [lo, hi) (job-relative) against the table, one storage
 // tile at a time: EvalRange + mat-vec fused per tile so the shares buffer
 // and the tile block stay cache-resident. Untiled (row-major) tables take
-// the whole range as a single segment — the seed's reference behavior.
-void AnswerRange(const PirTable& table, const Dpf& dpf,
-                 const AnswerEngine::Job& job, std::uint64_t lo,
-                 std::uint64_t hi, std::vector<u128>* shares, u128* resp) {
+// the whole range as a single segment — the seed's reference behavior —
+// unless a context is attached, in which case the segment is capped so the
+// kill switch is observed within kContextCheckRows rows. Returns false if
+// the context flipped mid-range and the remaining tiles were abandoned
+// (*resp is then incomplete and must be discarded).
+bool AnswerRange(const PirTable& table, const Dpf& dpf,
+                 const AnswerEngine::Job& job, const JobContext* context,
+                 std::uint64_t lo, std::uint64_t hi, std::vector<u128>* shares,
+                 u128* resp) {
     const std::uint64_t tile_rows = table.rows_per_tile();
     const std::size_t w = table.words_per_entry();
+    bool first = true;
     while (lo < hi) {
+        if (!first && context != nullptr && context->ShouldSkip()) {
+            return false;  // dead mid-shard: reclaim the remaining tiles
+        }
+        first = false;
         std::uint64_t seg_end = hi;
         if (tile_rows > 0) {
             const std::uint64_t abs = job.row_begin + lo;
             const std::uint64_t tile_end = (abs / tile_rows + 1) * tile_rows;
             seg_end = std::min<std::uint64_t>(hi, tile_end - job.row_begin);
         }
+        if (context != nullptr) {
+            seg_end = std::min<std::uint64_t>(seg_end,
+                                              lo + kContextCheckRows);
+        }
         dpf.EvalRange(*job.key, lo, seg_end, shares);
         AccumulateSegment(table.Entry(job.row_begin + lo), w, shares->data(),
                           seg_end - lo, resp);
         lo = seg_end;
     }
+    return true;
 }
 
 // Job-relative boundary of shard s out of `shards`: interior boundaries
@@ -118,7 +142,8 @@ PirResponse AnswerEngine::Answer(const PirTable& table, const DpfKey& key,
         const Dpf dpf(key.params);
         std::vector<u128> shares;
         PirResponse resp(table.words_per_entry(), 0);
-        AnswerRange(table, dpf, job, 0, num_rows, &shares, resp.data());
+        AnswerRange(table, dpf, job, nullptr, 0, num_rows, &shares,
+                    resp.data());
         return resp;
     }
     return AnswerBatch(table, {job})[0];
@@ -144,8 +169,8 @@ std::vector<PirResponse> AnswerEngine::AnswerBatch(
     return out;
 }
 
-void AnswerEngine::AnswerBatchNotify(const std::vector<TableJob>& jobs,
-                                     const JobDone& done) const {
+AnswerEngine::BatchStats AnswerEngine::AnswerBatchNotify(
+    const std::vector<TableJob>& jobs, const JobDone& done) const {
     for (const TableJob& tj : jobs) {
         if (tj.table == nullptr) {
             throw std::invalid_argument("AnswerEngine: null table in job");
@@ -169,24 +194,57 @@ void AnswerEngine::AnswerBatchNotify(const std::vector<TableJob>& jobs,
     // visible to the reducing worker.
     std::unique_ptr<std::atomic<std::size_t>[]> remaining(
         new std::atomic<std::size_t>[jobs.size()]);
+    // Set by any shard task that observed the job's context dead (at task
+    // start or between tiles): the reducer then delivers an empty response
+    // instead of assembling a partial result for a request nobody wants.
+    // The countdown's acq_rel chain publishes the flag to the reducer.
+    std::unique_ptr<std::atomic<bool>[]> job_skipped(
+        new std::atomic<bool>[jobs.size()]);
     for (std::size_t q = 0; q < jobs.size(); ++q) {
         remaining[q].store(shards, std::memory_order_relaxed);
+        job_skipped[q].store(false, std::memory_order_relaxed);
     }
+    std::atomic<std::size_t> shards_skipped{0};
+    std::atomic<std::size_t> jobs_skipped{0};
     auto run_task = [&](std::size_t t, std::vector<u128>& shares) {
         const std::size_t q = t / shards;
         const std::size_t s = t % shards;
         const TableJob& tj = jobs[q];
-        const std::uint64_t tile_rows = tj.table->rows_per_tile();
-        const std::uint64_t lo = ShardBoundary(tj.job, tile_rows, shards, s);
-        const std::uint64_t hi =
-            ShardBoundary(tj.job, tile_rows, shards, s + 1);
-        if (lo < hi) {
-            PirResponse resp(tj.table->words_per_entry(), 0);
-            AnswerRange(*tj.table, dpfs[q], tj.job, lo, hi, &shares,
-                        resp.data());
-            partials[t] = std::move(resp);
+        const JobContext* context = tj.binding.context;
+        if (context != nullptr && context->ShouldSkip()) {
+            // Dead request: reclaim this shard task without touching the
+            // table. Every shard of a dead job counts, empty ones too —
+            // the skip counters are deterministic per job, which is what
+            // the serving tests pin down.
+            job_skipped[q].store(true, std::memory_order_relaxed);
+            shards_skipped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            const std::uint64_t tile_rows = tj.table->rows_per_tile();
+            const std::uint64_t lo =
+                ShardBoundary(tj.job, tile_rows, shards, s);
+            const std::uint64_t hi =
+                ShardBoundary(tj.job, tile_rows, shards, s + 1);
+            if (lo < hi) {
+                PirResponse resp(tj.table->words_per_entry(), 0);
+                if (AnswerRange(*tj.table, dpfs[q], tj.job, context, lo, hi,
+                                &shares, resp.data())) {
+                    partials[t] = std::move(resp);
+                } else {
+                    // Aborted between tiles: the partial is incomplete and
+                    // the job is dead either way.
+                    job_skipped[q].store(true, std::memory_order_relaxed);
+                    shards_skipped.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
         }
         if (remaining[q].fetch_sub(1, std::memory_order_acq_rel) != 1) {
+            return;
+        }
+        if (job_skipped[q].load(std::memory_order_relaxed)) {
+            // Short-circuit the reduction: a dead job completes with an
+            // empty response the caller is contractually bound to discard.
+            jobs_skipped.fetch_add(1, std::memory_order_relaxed);
+            done(q, PirResponse{});
             return;
         }
         // Last shard in: reduce in shard order. Addition in Z_2^128
@@ -200,6 +258,18 @@ void AnswerEngine::AnswerBatchNotify(const std::vector<TableJob>& jobs,
         }
         done(q, std::move(reduced));
     };
+    // Jobs grouped by scheduling class: interactive jobs' tasks are
+    // submitted (and, with the pool's two-level dequeue, run) before batch
+    // jobs' tasks; `jobs` order is preserved within a class. A job with no
+    // context is interactive.
+    std::array<std::vector<std::size_t>, 2> by_class;
+    for (std::size_t q = 0; q < jobs.size(); ++q) {
+        const JobContext* context = jobs[q].binding.context;
+        const TaskPriority p = context != nullptr
+                                   ? context->priority()
+                                   : TaskPriority::kInteractive;
+        by_class[static_cast<std::size_t>(p)].push_back(q);
+    }
     ThreadPool& pool =
         options_.pool != nullptr ? *options_.pool : ThreadPool::Shared();
     const std::size_t threads = pool.thread_count();
@@ -207,36 +277,62 @@ void AnswerEngine::AnswerBatchNotify(const std::vector<TableJob>& jobs,
     if (options_.placement == ShardPlacement::kPinned && threads > 1) {
         // Route shard s of every job to worker s % threads, jobs innermost:
         // consecutive tasks on one worker re-read the same shard rows, so a
-        // batch streams each row range into exactly one core's cache.
-        for (std::size_t w = 0; w < std::min(threads, shards); ++w) {
-            pool.SubmitTo(w, [&, w] {
-                std::vector<u128> shares;
-                for (std::size_t s = w; s < shards; s += threads) {
-                    for (std::size_t q = 0; q < jobs.size(); ++q) {
-                        run_task(q * shards + s, shares);
-                    }
-                }
-            });
+        // batch streams each row range into exactly one core's cache. One
+        // pinned pool task per (worker, priority class), so a worker freed
+        // by skips still finishes interactive shards before batch shards.
+        for (std::size_t c = 0; c < by_class.size(); ++c) {
+            const std::vector<std::size_t>& class_jobs = by_class[c];
+            if (class_jobs.empty()) continue;
+            for (std::size_t w = 0; w < std::min(threads, shards); ++w) {
+                pool.SubmitTo(
+                    w,
+                    [&, w] {
+                        std::vector<u128> shares;
+                        for (std::size_t s = w; s < shards; s += threads) {
+                            for (std::size_t q : class_jobs) {
+                                run_task(q * shards + s, shares);
+                            }
+                        }
+                    },
+                    static_cast<TaskPriority>(c));
+            }
         }
         pool.Wait();
     } else if (threads <= 1 || total <= 1) {
-        // Sequential path: jobs complete — and notify — in index order.
+        // Sequential path: jobs complete — and notify — in class-then-index
+        // order.
         std::vector<u128> shares;
-        for (std::size_t t = 0; t < total; ++t) run_task(t, shares);
+        for (const auto& class_jobs : by_class) {
+            for (std::size_t q : class_jobs) {
+                for (std::size_t s = 0; s < shards; ++s) {
+                    run_task(q * shards + s, shares);
+                }
+            }
+        }
     } else {
         // One pool task per (job, shard), so the shared queue drains in
         // submission order — callers order their jobs so that what runs
         // (and completes) first is what they want streamed first — and any
         // worker that finishes early keeps pulling tasks instead of being
-        // bound to a static chunk.
-        for (std::size_t t = 0; t < total; ++t) {
-            pool.Submit([&, t] {
-                std::vector<u128> shares;
-                run_task(t, shares);
-            });
+        // bound to a static chunk. Batch-class tasks carry their priority,
+        // so freed workers prefer interactive tasks even across batches.
+        for (std::size_t c = 0; c < by_class.size(); ++c) {
+            for (std::size_t q : by_class[c]) {
+                for (std::size_t s = 0; s < shards; ++s) {
+                    const std::size_t t = q * shards + s;
+                    pool.Submit(
+                        [&, t] {
+                            std::vector<u128> shares;
+                            run_task(t, shares);
+                        },
+                        static_cast<TaskPriority>(c));
+                }
+            }
         }
         pool.Wait();
     }
+    return BatchStats{jobs_skipped.load(std::memory_order_relaxed),
+                      shards_skipped.load(std::memory_order_relaxed)};
 }
 
 }  // namespace gpudpf

@@ -23,6 +23,16 @@
 // cache instead of migrating rows between cores. Addition in Z_2^128 is
 // commutative and associative, so any sharding, tiling, or placement is
 // bit-identical to the sequential reference path.
+//
+// Request lifecycle: a TableJob may carry a JobContext (the serving
+// front-end attaches one per request). Every (job, shard) task re-checks
+// the context at start — and between tiles inside long shards — and skips
+// its DPF-eval + mat-vec work when the request has been cancelled or its
+// deadline has passed: the job completes with an EMPTY response (never
+// assembled downstream), the countdown short-circuits, and the freed
+// worker slots drain the remaining queue, interactive tasks first. For
+// non-skipped jobs the data plane is bit-identical with or without a
+// context attached.
 #pragma once
 
 #include <cstddef>
@@ -32,6 +42,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/dpf/dpf.h"
+#include "src/pir/job_context.h"
 #include "src/pir/table.h"
 
 namespace gpudpf {
@@ -86,22 +97,42 @@ class AnswerEngine {
     std::vector<PirResponse> AnswerBatch(const PirTable& table,
                                          const std::vector<Job>& jobs) const;
 
+    // The request-lifecycle binding of one job: `tag` is an opaque
+    // caller-side label (the engine never reads it) that a streaming
+    // front-end uses to route per-job completions back to their
+    // (request, table) group; `context` — optional — is the owning
+    // request's shared cancel/deadline/priority state. The context must
+    // outlive the AnswerBatch/AnswerBatchNotify call (the serving
+    // front-end owns it through the request, which it keeps alive for
+    // the whole batch).
+    struct JobBinding {
+        std::uint64_t tag = 0;
+        const JobContext* context = nullptr;
+    };
+
     // A job bound to its table, so one batch can mix jobs against several
     // tables (e.g. the hot and full tables of every in-flight request of
-    // the serving front-end) in a single pool submission. `tag` is an
-    // opaque caller-side label (the engine never reads it): a streaming
-    // front-end tags each job with its (request, table) group so per-job
-    // completions can be routed back without a side table.
+    // the serving front-end) in a single pool submission.
     struct TableJob {
         const PirTable* table = nullptr;
         Job job;
-        std::uint64_t tag = 0;
+        JobBinding binding;
+    };
+
+    // What one AnswerBatch/AnswerBatchNotify call reclaimed from dead
+    // requests: jobs completed with an empty (skipped) response, and the
+    // shard tasks those jobs never ran (a shard aborted between tiles
+    // counts too — its remaining tiles were reclaimed).
+    struct BatchStats {
+        std::size_t jobs_skipped = 0;
+        std::size_t shards_skipped = 0;
     };
 
     // Cross-table batch: answers every (job, shard) task of `jobs`
     // concurrently regardless of which table each job reads. Each job's
     // response is reduced independently, so results are bit-identical to
-    // answering the jobs one at a time against their own tables.
+    // answering the jobs one at a time against their own tables. A job
+    // whose context reads ShouldSkip() completes with an empty response.
     std::vector<PirResponse> AnswerBatch(
         const std::vector<TableJob>& jobs) const;
 
@@ -111,15 +142,20 @@ class AnswerEngine {
     // worker finished the job (or inline on the caller for the sequential
     // path), so it may fire concurrently for different jobs: it must be
     // thread-safe, must not throw, and must not block on other pool work.
+    // A skipped job (its context flipped to cancelled/expired) delivers an
+    // EMPTY response — callers must not assemble it.
     using JobDone = std::function<void(std::size_t, PirResponse&&)>;
 
     // AnswerBatch with per-job completion notification instead of a single
     // batch barrier: `done(q, response)` fires the moment job q's shard
     // partials are all in and reduced (in shard order, so each response is
     // still bit-identical to the sequential path). Blocks until every job
-    // has completed and every callback has returned.
-    void AnswerBatchNotify(const std::vector<TableJob>& jobs,
-                           const JobDone& done) const;
+    // has completed and every callback has returned. Jobs are submitted
+    // interactive-before-batch (per their contexts' priorities); within a
+    // class, submission order follows `jobs` order. Returns how much work
+    // the contexts' kill switches reclaimed.
+    BatchStats AnswerBatchNotify(const std::vector<TableJob>& jobs,
+                                 const JobDone& done) const;
 
   private:
     ShardingOptions options_;

@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
@@ -168,6 +171,93 @@ TEST(ThreadPoolTest, SubmitAndWait) {
     for (int i = 0; i < 20; ++i) pool.Submit([&] { ++total; });
     pool.Wait();
     EXPECT_EQ(total.load(), 20);
+}
+
+// Single worker, gated so every task below queues up while it is blocked:
+// the dequeue order after release is then deterministic.
+TEST(ThreadPoolTest, SharedQueueDequeuesInteractiveBeforeBatch) {
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> released = gate.get_future().share();
+    pool.Submit([released] { released.wait(); });
+
+    std::vector<int> order;  // only the worker writes it
+    for (int t = 0; t < 3; ++t) {
+        pool.Submit([&order, t] { order.push_back(100 + t); },
+                    TaskPriority::kBatch);
+    }
+    for (int t = 0; t < 2; ++t) {
+        pool.Submit([&order, t] { order.push_back(t); });
+    }
+    gate.set_value();
+    pool.Wait();
+    // Interactive tasks first even though they were submitted last; FIFO
+    // within each class — and nothing starves, everything ran.
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 100, 101, 102}));
+}
+
+TEST(ThreadPoolTest, PinnedQueueIsTwoLevelAndFifoWithinClass) {
+    ThreadPool pool(2);
+    std::promise<void> gate;
+    std::shared_future<void> released = gate.get_future().share();
+    std::thread::id worker0;
+    pool.SubmitTo(0, [&worker0, released] {
+        worker0 = std::this_thread::get_id();
+        released.wait();
+    });
+
+    std::vector<int> order;
+    std::vector<std::thread::id> ran_on;
+    auto record = [&order, &ran_on](int t) {
+        order.push_back(t);
+        ran_on.push_back(std::this_thread::get_id());
+    };
+    for (int t = 0; t < 2; ++t) {
+        pool.SubmitTo(0, [&record, t] { record(100 + t); },
+                      TaskPriority::kBatch);
+    }
+    for (int t = 0; t < 2; ++t) {
+        pool.SubmitTo(0, [&record, t] { record(t); });
+    }
+    gate.set_value();
+    pool.Wait();
+    // Interactive-before-batch within the pinned queue, FIFO within each
+    // class, all on worker 0 (worker 1 never touches pinned_[0]).
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 100, 101}));
+    for (const std::thread::id& id : ran_on) EXPECT_EQ(id, worker0);
+}
+
+TEST(ThreadPoolTest, PinnedTasksStillRunBeforeSharedTasks) {
+    // A pinned batch-class task beats a shared interactive task on its
+    // worker: the pinned queue keeps absolute precedence (shard cache
+    // residency), and priority only orders classes inside each queue.
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> released = gate.get_future().share();
+    pool.Submit([released] { released.wait(); });
+
+    std::vector<int> order;
+    pool.Submit([&order] { order.push_back(2); });  // shared interactive
+    pool.SubmitTo(0, [&order] { order.push_back(1); }, TaskPriority::kBatch);
+    gate.set_value();
+    pool.Wait();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ThreadPoolTest, BatchTasksDoNotStarveUnderInteractiveLoad) {
+    // Finite interactive load ahead of batch tasks: once the interactive
+    // level drains, every batch task runs to completion.
+    ThreadPool pool(3);
+    std::atomic<int> interactive{0};
+    std::atomic<int> batch{0};
+    for (int t = 0; t < 64; ++t) {
+        pool.Submit([&] { ++interactive; });
+        pool.Submit([&] { ++batch; }, TaskPriority::kBatch);
+        pool.SubmitTo(t % 3, [&] { ++batch; }, TaskPriority::kBatch);
+    }
+    pool.Wait();
+    EXPECT_EQ(interactive.load(), 64);
+    EXPECT_EQ(batch.load(), 128);
 }
 
 TEST(StatsTest, RunningStatBasics) {

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -417,6 +418,226 @@ TEST(RequestHandleTest, CancelMidBatchCompletesWithoutDanglingState) {
     ExpectSameResult(keep.Result(), ref_client->Lookup({11, 500}), 1, 0);
     world.service->front_end().Shutdown();
     EXPECT_EQ(world.service->front_end().inflight(), 0u);
+}
+
+// Deterministic mid-batch skip: one answer worker (the engine then runs
+// the pooled batch inline, jobs in submission order) and a victim whose
+// first (hot) partial blocks the batch until the main thread has cancelled
+// it. Every one of the victim's full-table jobs is still pending at that
+// point, so the skip counters are exact: 2 servers x full-table bins jobs,
+// each of server_shards shard tasks. The survivor in the same batch must
+// stay bit-identical to the sequential reference. (The CI layout matrix
+// covers both table layouts; the multi-thread dynamic/pinned skip paths
+// have exact-counter coverage in sharded_pir_test's engine-level context
+// matrix and racy serving coverage in CancelHeavyLoad below.)
+TEST(RequestHandleTest, MidBatchCancelSkipsRemainingShardWork) {
+    const std::vector<std::uint64_t> victim_wanted{7, 100, 300, 511};
+    const std::vector<std::uint64_t> survivor_wanted{11, 200};
+
+    ServingWorld ref_world(BaseConfig());
+    ref_world.service->MakeClient();  // victim's slot: align seeds
+    auto ref_survivor = ref_world.service->MakeClient();
+    const LookupResult ref = ref_survivor->Lookup(survivor_wanted);
+
+    ServiceConfig config = BaseConfig();
+    config.server_shards = 2;
+    config.server_threads = 1;
+    config.batcher_linger_us = 100'000;  // both requests join one batch
+    ServingWorld world(config);
+    auto victim = world.service->MakeClient();
+    auto survivor = world.service->MakeClient();
+    ServingFrontEnd& fe = world.service->front_end();
+
+    std::promise<void> partial_seen;
+    std::promise<void> cancelled;
+    std::shared_future<void> cancelled_f = cancelled.get_future().share();
+    std::atomic<bool> first{true};
+    ServingFrontEnd::SubmitOptions options;
+    options.on_partial = [&](const TablePartial&) {
+        if (first.exchange(false)) {
+            partial_seen.set_value();
+            cancelled_f.wait();
+        }
+    };
+    auto victim_handle = fe.SubmitRequest({victim.get(), victim_wanted},
+                                          std::move(options));
+    ASSERT_TRUE(victim_handle.ok());
+    // Let the batcher open its window before the survivor joins.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    auto survivor_handle = fe.SubmitRequest({survivor.get(), survivor_wanted});
+    ASSERT_TRUE(survivor_handle.ok());
+
+    // The victim's hot partial is out, so the batch is mid-flight and
+    // its full-table jobs have not started: the cancel is genuinely
+    // mid-batch, and the skip is deterministic.
+    partial_seen.get_future().wait();
+    EXPECT_TRUE(victim_handle.Cancel());
+    cancelled.set_value();
+
+    victim_handle.Wait();
+    EXPECT_EQ(victim_handle.status(), RequestStatus::kCancelled);
+    EXPECT_THROW(victim_handle.Result(), std::runtime_error);
+
+    ExpectSameResult(survivor_handle.Result(), ref, 1, 0);
+
+    const std::uint64_t full_jobs = 2 * world.service->full_pbr().num_bins();
+    const ServingFrontEnd::Counters counters = fe.counters();
+    EXPECT_EQ(counters.jobs_skipped, full_jobs);
+    EXPECT_EQ(counters.shards_skipped, full_jobs * config.server_shards);
+    EXPECT_EQ(counters.cancelled, 1u);
+    EXPECT_EQ(counters.completed, 1u);
+}
+
+// Same determinization for deadline expiry: the victim's deadline passes
+// while its first partial blocks the batch, so its remaining shard tasks
+// observe the expired context, the partial result is never assembled, and
+// the final status is kDeadlineExpired — with the survivor untouched.
+TEST(RequestHandleTest, MidBatchExpirySkipsRemainingShardWork) {
+    const std::vector<std::uint64_t> victim_wanted{3, 90, 250, 400};
+    const std::vector<std::uint64_t> survivor_wanted{5, 310};
+
+    ServingWorld ref_world(BaseConfig());
+    ref_world.service->MakeClient();
+    auto ref_survivor = ref_world.service->MakeClient();
+    const LookupResult ref = ref_survivor->Lookup(survivor_wanted);
+
+    ServiceConfig config = BaseConfig();
+    config.server_shards = 2;
+    config.server_threads = 1;
+    config.batcher_linger_us = 20'000;
+    ServingWorld world(config);
+    auto victim = world.service->MakeClient();
+    auto survivor = world.service->MakeClient();
+    ServingFrontEnd& fe = world.service->front_end();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::promise<void> partial_seen;
+    std::promise<void> released;
+    std::shared_future<void> released_f = released.get_future().share();
+    std::atomic<bool> first{true};
+    ServingFrontEnd::SubmitOptions options;
+    options.deadline_us = 1'000'000;
+    options.on_partial = [&](const TablePartial&) {
+        if (first.exchange(false)) {
+            partial_seen.set_value();
+            released_f.wait();
+        }
+    };
+    auto victim_handle =
+        fe.SubmitRequest({victim.get(), victim_wanted}, std::move(options));
+    ASSERT_TRUE(victim_handle.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    auto survivor_handle = fe.SubmitRequest({survivor.get(), survivor_wanted});
+    ASSERT_TRUE(survivor_handle.ok());
+
+    // Very slow (sanitized) runners could expire the victim before it is
+    // even dispatched; the skip-count assertions only hold on the mid-batch
+    // path, so fall back to the status check alone in that case.
+    const bool dispatched =
+        partial_seen.get_future().wait_for(std::chrono::seconds(30)) ==
+        std::future_status::ready;
+    if (dispatched) {
+        // The deadline is 1 s after admission, which happened after t0:
+        // sleeping until t0 + 1.2 s guarantees it has passed before the
+        // batch resumes.
+        std::this_thread::sleep_until(t0 + std::chrono::milliseconds(1'200));
+        released.set_value();
+    }
+
+    victim_handle.Wait();
+    EXPECT_EQ(victim_handle.status(), RequestStatus::kDeadlineExpired);
+    EXPECT_THROW(victim_handle.Result(), std::runtime_error);
+    ExpectSameResult(survivor_handle.Result(), ref, 1, 0);
+
+    const ServingFrontEnd::Counters counters = fe.counters();
+    EXPECT_EQ(counters.deadline_expired, 1u);
+    EXPECT_EQ(counters.completed, 1u);
+    if (dispatched) {
+        const std::uint64_t full_jobs =
+            2 * world.service->full_pbr().num_bins();
+        EXPECT_EQ(counters.jobs_skipped, full_jobs);
+        EXPECT_EQ(counters.shards_skipped, full_jobs * config.server_shards);
+    }
+}
+
+// Cancel-heavy concurrent load across both shard placements: half the
+// requests are cancelled right after their first partial while the rest
+// must remain bit-identical to the serialized sequential reference. This
+// is the racy companion of the deterministic skip tests above — statuses
+// must be exact (a true Cancel() means kCancelled), nothing may hang, and
+// no cancellation may leak into a survivor's bytes.
+TEST(RequestHandleTest, CancelHeavyLoadKeepsSurvivorsBitIdentical) {
+    constexpr std::size_t kClients = 4;
+    constexpr std::size_t kLookups = 4;
+    std::vector<std::vector<std::vector<std::uint64_t>>> wanted(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+        for (std::size_t l = 0; l < kLookups; ++l) {
+            wanted[c].push_back({c + l, 64 + 5 * c, 180 + 11 * l, 440});
+        }
+    }
+    auto is_victim = [](std::size_t c, std::size_t l) {
+        return (c + l) % 2 == 0;
+    };
+
+    ServingWorld ref_world(BaseConfig());
+    std::vector<std::vector<LookupResult>> ref(kClients);
+    {
+        std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> clients;
+        for (std::size_t c = 0; c < kClients; ++c) {
+            clients.push_back(ref_world.service->MakeClient());
+        }
+        // Victims burn client randomness at Prepare() whether or not they
+        // are later cancelled, so the reference runs every lookup too.
+        for (std::size_t c = 0; c < kClients; ++c) {
+            for (std::size_t l = 0; l < kLookups; ++l) {
+                ref[c].push_back(clients[c]->Lookup(wanted[c][l]));
+            }
+        }
+    }
+
+    for (const ShardPlacement placement :
+         {ShardPlacement::kDynamic, ShardPlacement::kPinned}) {
+        SCOPED_TRACE(ShardPlacementName(placement));
+        ServiceConfig config = BaseConfig();
+        config.server_shards = 3;
+        config.server_threads = 4;
+        config.shard_placement = placement;
+        config.batcher_linger_us = 300;
+        ServingWorld world(config);
+        std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> clients;
+        for (std::size_t c = 0; c < kClients; ++c) {
+            clients.push_back(world.service->MakeClient());
+        }
+        std::vector<std::thread> threads;
+        for (std::size_t c = 0; c < kClients; ++c) {
+            threads.emplace_back([&, c] {
+                for (std::size_t l = 0; l < kLookups; ++l) {
+                    auto handle =
+                        world.service->front_end().SubmitRequestOrWait(
+                            {clients[c].get(), wanted[c][l]});
+                    ASSERT_TRUE(handle.ok());
+                    if (is_victim(c, l)) {
+                        TablePartial partial;
+                        handle.WaitPartial(&partial);
+                        const bool won = handle.Cancel();
+                        handle.Wait();
+                        if (won) {
+                            EXPECT_EQ(handle.status(),
+                                      RequestStatus::kCancelled);
+                        } else {
+                            EXPECT_EQ(handle.status(),
+                                      RequestStatus::kComplete);
+                        }
+                    } else {
+                        ExpectSameResult(handle.Result(), ref[c][l], c, l);
+                    }
+                }
+            });
+        }
+        for (auto& t : threads) t.join();
+        world.service->front_end().Shutdown();
+        EXPECT_EQ(world.service->front_end().inflight(), 0u);
+    }
 }
 
 TEST(RequestHandleTest, DeadlineExpiryCompletesWithDeadlineStatus) {

@@ -4,6 +4,7 @@
 // range primitive up through the end-to-end service.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -265,6 +266,85 @@ TEST(AnswerEngineTest, RejectsBadJobs) {
     hostile.params.out_words = 4;  // would mis-stride the mat-vec
     EXPECT_THROW(engine.Answer(table, hostile, 0, table.num_entries()),
                  std::invalid_argument);
+}
+
+TEST(AnswerEngineTest, JobContextSkipsDeadJobsAndKeepsLiveOnesBitIdentical) {
+    // A batch mixing live, cancelled, and expired contexts: dead jobs must
+    // complete with an empty response and deterministic skip counters
+    // (every shard of a dead job is reclaimed, whether its range is empty
+    // or not), while live jobs — with or without a context, interactive or
+    // batch class — stay bit-identical to the sequential reference, under
+    // every layout x shards x placement combination.
+    Rng rng_a(61);
+    Rng rng_b(61);
+    const std::uint64_t n = 700;
+    PirTable row_major(n, 208, TableLayout::kRowMajor);
+    PirTable tiled(n, 208, TableLayout::kTiled);
+    row_major.FillRandom(rng_a);
+    tiled.FillRandom(rng_b);
+    PirClient client(10, PrfKind::kChacha20, /*seed=*/19);
+    ThreadPool pool(4);
+
+    constexpr std::size_t kJobs = 6;
+    std::vector<std::vector<std::uint8_t>> key_bytes;
+    std::vector<DpfKey> keys;
+    std::vector<PirResponse> expected;
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        PirQuery q = client.Query((i * 113) % n);
+        key_bytes.push_back(std::move(q.key_for_server0));
+        keys.push_back(DpfKey::Deserialize(key_bytes.back().data(),
+                                           key_bytes.back().size()));
+        expected.push_back(ReferenceAnswer(row_major, keys.back()));
+    }
+
+    JobContext cancelled_ctx;
+    cancelled_ctx.Cancel();
+    JobContext expired_ctx;
+    expired_ctx.set_deadline(std::chrono::steady_clock::now() -
+                             std::chrono::milliseconds(1));
+    JobContext live_interactive;
+    JobContext live_batch(TaskPriority::kBatch);
+    // Jobs 1 and 4 cancelled, job 3 expired; 0 has no context at all.
+    const JobContext* contexts[kJobs] = {nullptr,      &cancelled_ctx,
+                                         &live_interactive, &expired_ctx,
+                                         &cancelled_ctx,    &live_batch};
+    const bool dead[kJobs] = {false, true, false, true, true, false};
+    constexpr std::size_t kDeadJobs = 3;
+
+    for (const PirTable* table : {&row_major, &tiled}) {
+        for (const std::size_t shards : kShardCounts) {
+            for (const ShardPlacement placement :
+                 {ShardPlacement::kDynamic, ShardPlacement::kPinned}) {
+                AnswerEngine engine(
+                    ShardingOptions{shards, &pool, placement});
+                std::vector<AnswerEngine::TableJob> jobs;
+                for (std::size_t q = 0; q < kJobs; ++q) {
+                    jobs.push_back(
+                        {table, {&keys[q], 0, n}, {q, contexts[q]}});
+                }
+                std::vector<PirResponse> out(kJobs);
+                const AnswerEngine::BatchStats stats =
+                    engine.AnswerBatchNotify(
+                        jobs, [&out](std::size_t q, PirResponse&& resp) {
+                            out[q] = std::move(resp);
+                        });
+                EXPECT_EQ(stats.jobs_skipped, kDeadJobs)
+                    << "shards=" << shards;
+                EXPECT_EQ(stats.shards_skipped, kDeadJobs * shards)
+                    << "shards=" << shards;
+                for (std::size_t q = 0; q < kJobs; ++q) {
+                    if (dead[q]) {
+                        EXPECT_TRUE(out[q].empty())
+                            << "shards=" << shards << " job=" << q;
+                    } else {
+                        EXPECT_EQ(out[q], expected[q])
+                            << "shards=" << shards << " placement="
+                            << ShardPlacementName(placement) << " job=" << q;
+                    }
+                }
+            }
+        }
+    }
 }
 
 TEST(ShardedPbrSessionTest, BitIdenticalToSequentialSession) {
