@@ -36,6 +36,15 @@ struct JsonResult {
     double cancel_rate = 0.0;
     double jobs_skipped = 0.0;
     double shards_skipped = 0.0;
+    // Optional CPU-kernel metadata, written only when has_kernel is set:
+    // which kernel strategy and table layout produced the row, and the
+    // row's single-thread QPS relative to the scalar reference on the same
+    // layout (the regression checker prints it, never flags it — the
+    // speedup tracks host AES-NI support, not code performance).
+    bool has_kernel = false;
+    std::string kernel;
+    std::string layout;
+    double speedup_vs_scalar = 0.0;
 };
 
 // Nearest-rank percentile (p in [0, 1]) of an ascending-sorted sample.
@@ -100,6 +109,14 @@ inline bool WriteBenchJson(const char* path, const std::string& bench,
                          ",\"shards_skipped\":%.6g",
                          results[i].cancel_rate, results[i].jobs_skipped,
                          results[i].shards_skipped);
+        }
+        if (results[i].has_kernel) {
+            std::fprintf(f,
+                         ",\"kernel\":\"%s\",\"layout\":\"%s\""
+                         ",\"speedup_vs_scalar\":%.6g",
+                         results[i].kernel.c_str(),
+                         results[i].layout.c_str(),
+                         results[i].speedup_vs_scalar);
         }
         std::fprintf(f, "}");
     }

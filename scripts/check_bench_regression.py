@@ -9,13 +9,17 @@ Each directory holds one JSON file per bench, written by the benches'
 optionally "p50_ms"/"p95_ms"/"p99_ms", the streaming metrics
 "first_partial_p50_ms"/"first_partial_p99_ms"/"deadline_miss_rate", and
 the cancel-heavy reclamation metrics "cancel_rate"/"jobs_skipped"/
-"shards_skipped"}]}.
+"shards_skipped", and the CPU-kernel metadata "kernel"/"layout"/
+"speedup_vs_scalar"}]}.
 Results are matched by (bench, name); a current QPS more than `threshold`
 below its baseline counterpart — or a current p99 latency or
 time-to-first-partial (p50) more than `threshold` above it — is a
 regression. The reclamation metrics are informational (printed, never
 flagged: skip counts scale with the cancel mix, not with performance);
 the cancel-mode rows' QPS is still regression-checked like any other row.
+The per-kernel speedup_vs_scalar is likewise informational — it tracks
+the host's AES-NI support, not code performance — while the kernel rows'
+absolute QPS is regression-checked normally.
 Unknown fields — older or newer artifacts — are ignored, so baselines
 written before a field existed keep comparing cleanly. Missing baselines
 (first run, renamed rows) are skipped with a note. Exits 1 if any
@@ -44,7 +48,8 @@ def load_results(directory):
         for entry in doc.get("results", []):
             if "name" in entry and "qps" in entry:
                 optional = ["p99_ms", "first_partial_p50_ms",
-                            "jobs_skipped", "shards_skipped"]
+                            "jobs_skipped", "shards_skipped",
+                            "speedup_vs_scalar"]
                 row = {"qps": float(entry["qps"])}
                 for field in optional:
                     row[field] = (float(entry[field])
@@ -108,6 +113,10 @@ def main():
         if cur.get("jobs_skipped") is not None:
             line += (f", reclaimed {cur['jobs_skipped']:.0f} jobs"
                      f"/{cur.get('shards_skipped') or 0:.0f} shards")
+        # Kernel speedup is informational: it flips with the host's AES-NI
+        # support, so only the row's absolute QPS is flagged above.
+        if cur.get("speedup_vs_scalar") is not None:
+            line += f", {cur['speedup_vs_scalar']:.2f}x vs scalar"
         if flagged:
             line += "  <-- REGRESSION"
             for metric, b, c, delta in flagged:

@@ -1,0 +1,35 @@
+// Runtime CPU feature detection for the SIMD kernel paths.
+//
+// The serving hot loop picks its PRG backend (AES-NI vs the table-based
+// software AES) and its default CPU kernel at process start from these
+// probes. GPUDPF_FORCE_SCALAR=1 masks every SIMD feature, so the scalar
+// fallback paths can be exercised on hardware that would otherwise never
+// take them (the CI forced-scalar leg); the raw probe results stay visible
+// through the `forced_scalar` flag for logging.
+#pragma once
+
+#include <string>
+
+namespace gpudpf {
+
+struct CpuFeatures {
+    // Effective flags: what the dispatchers may use. All false when the
+    // forced-scalar override is set, regardless of what the host supports.
+    bool aes_ni = false;
+    bool avx2 = false;
+    bool avx512f = false;
+    bool vaes = false;
+    // GPUDPF_FORCE_SCALAR was set (and masked the flags above).
+    bool forced_scalar = false;
+};
+
+// Process-wide effective feature set: CPUID probes (including the OS
+// XSAVE/YMM-state check the AVX flags require) masked by the
+// GPUDPF_FORCE_SCALAR environment override. Probed once at first use.
+const CpuFeatures& GetCpuFeatures();
+
+// Human-readable summary for the one-shot service startup log, e.g.
+// "aes_ni avx2 avx512f vaes" or "none (forced scalar)".
+std::string CpuFeatureSummary();
+
+}  // namespace gpudpf

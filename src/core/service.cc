@@ -1,13 +1,27 @@
 #include "src/core/service.h"
 
+#include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 
+#include "src/common/cpuid.h"
 #include "src/core/serving.h"
 #include "src/kernels/strategy.h"
 
 namespace gpudpf {
 namespace {
+
+// One line per process, on the first service construction: which CPU
+// kernel the answer engines will run and what the feature probe saw, so a
+// deployment can tell from its log whether the AES-NI path is live.
+std::once_flag g_kernel_log_once;
+void LogSelectedKernel(CpuKernelKind kind) {
+    std::call_once(g_kernel_log_once, [kind] {
+        std::fprintf(stderr, "gpudpf: cpu kernel '%s' (cpu features: %s)\n",
+                     CpuKernelKindName(kind), CpuFeatureSummary().c_str());
+    });
+}
 
 std::uint64_t FullBinSize(std::uint64_t vocab, std::uint64_t q_full) {
     const std::uint64_t q = std::max<std::uint64_t>(1, q_full);
@@ -67,6 +81,7 @@ PrivateEmbeddingService::PrivateEmbeddingService(
                              /*pin_to_cores=*/config.shard_placement ==
                                  ShardPlacement::kPinned)
                        : nullptr) {
+    LogSelectedKernel(config_.cpu_kernel);
     if (hot_pbr_ != nullptr) {
         std::vector<std::uint64_t> owners(layout_.hot_size());
         for (std::uint64_t s = 0; s < layout_.hot_size(); ++s) {

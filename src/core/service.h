@@ -29,10 +29,8 @@
 //   PrivateEmbeddingService::TablePartial partial;
 //   while (handle.WaitPartial(&partial)) /* per-table results as they land */;
 //   auto result = handle.Result();       // == the one-shot Lookup, bit-exact
-// The pre-streaming Ticket shim is kept for incremental migration:
-//   auto ticket = service.front_end().Submit({client.get(), {idx0, idx1}});
-//   if (ticket.ok()) auto result = ticket.future.get();
-//   else /* ticket.status: queue full (backpressure), invalid, shut down */;
+// A non-ok() handle carries the admission outcome instead: queue full
+// (backpressure), invalid request, or shut down.
 #pragma once
 
 #include <atomic>
@@ -78,6 +76,13 @@ struct ServiceConfig {
     // server pool, pins workers to cores), so repeated batches reuse warm
     // caches. kDynamic is the seed's work-sharing behavior.
     ShardPlacement shard_placement = ShardPlacement::kDynamic;
+    // CPU kernel strategy of the answer engines (src/kernels/cpu_kernel.h):
+    // scalar reference, AES-NI-batched simd_prg, or the multi-query tile
+    // kernel. Defaults to the process default, which honors
+    // GPUDPF_CPU_KERNEL and GPUDPF_FORCE_SCALAR (mirroring
+    // GPUDPF_TABLE_LAYOUT for layouts); the selected kernel and the
+    // detected CPU features are logged once at service start.
+    CpuKernelKind cpu_kernel = DefaultCpuKernelKind();
     // Serving front-end admission control: requests admitted but not yet
     // completed are capped at `max_inflight_requests`; beyond that,
     // ServingFrontEnd::Submit rejects with kQueueFull (backpressure).
@@ -201,7 +206,7 @@ class PrivateEmbeddingService {
     // Sharding configuration handed to the server-side answer engines.
     ShardingOptions server_sharding() const {
         return ShardingOptions{config_.server_shards, server_pool_.get(),
-                               config_.shard_placement};
+                               config_.shard_placement, config_.cpu_kernel};
     }
     const EmbeddingLayout& layout() const { return layout_; }
     const Pbr& full_pbr() const { return full_pbr_; }

@@ -127,13 +127,6 @@ bool ServingFrontEnd::RequestHandle::Cancel() {
             // Flip the context too (nothing polls it — the jobs never
             // ran), so every kCancelled request reads the same way.
             req_->context->Cancel();
-            // Ticket shims discard their handle, so a claimed request is
-            // never cancelled in practice; resolve the promise anyway so
-            // no future could ever dangle.
-            if (req_->future_claimed) {
-                req_->promise.set_exception(std::make_exception_ptr(
-                    std::runtime_error("serving request cancelled")));
-            }
             req_->status = RequestStatus::kCancelled;
         }
     }
@@ -178,8 +171,7 @@ std::size_t ServingFrontEnd::SlotCap(RequestPriority priority) const {
 }
 
 ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitImpl(
-    LookupRequest request, SubmitOptions options, bool blocking,
-    bool claim_future) {
+    LookupRequest request, SubmitOptions options, bool blocking) {
     if (request.client == nullptr || request.wanted.empty()) {
         std::unique_lock<std::mutex> lock(mu_);
         ++counters_.rejected_invalid;
@@ -202,19 +194,19 @@ ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitImpl(
         ++inflight_;
         ++preparing_;
     }
-    return Enqueue(std::move(request), std::move(options), claim_future);
+    return Enqueue(std::move(request), std::move(options));
 }
 
 ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitRequest(
     LookupRequest request, SubmitOptions options) {
     return SubmitImpl(std::move(request), std::move(options),
-                      /*blocking=*/false, /*claim_future=*/false);
+                      /*blocking=*/false);
 }
 
 ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitRequestOrWait(
     LookupRequest request, SubmitOptions options) {
     return SubmitImpl(std::move(request), std::move(options),
-                      /*blocking=*/true, /*claim_future=*/false);
+                      /*blocking=*/true);
 }
 
 ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitRequest(
@@ -227,28 +219,8 @@ ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitRequestOrWait(
     return SubmitRequestOrWait(std::move(request), SubmitOptions{});
 }
 
-ServingFrontEnd::Ticket ServingFrontEnd::Submit(LookupRequest request) {
-    RequestHandle handle = SubmitImpl(std::move(request), SubmitOptions{},
-                                      /*blocking=*/false,
-                                      /*claim_future=*/true);
-    Ticket ticket;
-    ticket.status = handle.admission();
-    if (handle.ok()) ticket.future = handle.req_->promise.get_future();
-    return ticket;
-}
-
-ServingFrontEnd::Ticket ServingFrontEnd::SubmitOrWait(LookupRequest request) {
-    RequestHandle handle = SubmitImpl(std::move(request), SubmitOptions{},
-                                      /*blocking=*/true,
-                                      /*claim_future=*/true);
-    Ticket ticket;
-    ticket.status = handle.admission();
-    if (handle.ok()) ticket.future = handle.req_->promise.get_future();
-    return ticket;
-}
-
 ServingFrontEnd::RequestHandle ServingFrontEnd::Enqueue(
-    LookupRequest request, SubmitOptions options, bool claim_future) {
+    LookupRequest request, SubmitOptions options) {
     const auto admitted_at = std::chrono::steady_clock::now();
     auto req = std::make_shared<Request>();
     req->client = request.client;
@@ -261,7 +233,6 @@ ServingFrontEnd::RequestHandle ServingFrontEnd::Enqueue(
     }
     req->on_partial = std::move(options.on_partial);
     req->on_complete = std::move(options.on_complete);
-    req->future_claimed = claim_future;
     // The execution context every layer below shares: the engine's shard
     // tasks poll it (when attached via skip_abandoned_work), the assembly
     // path polls it, and completion reads it for the terminal status.
@@ -499,8 +470,8 @@ void ServingFrontEnd::BatcherLoop() {
         }
         slot_cv_.notify_all();
         // Complete only after releasing the admission slots, so a caller
-        // unblocked by its handle or future can immediately submit again
-        // without bouncing off a stale queue-full.
+        // unblocked by its handle can immediately submit again without
+        // bouncing off a stale queue-full.
         for (auto& req : runnable) {
             // result_ready/error were written by pool workers before
             // AnswerBatchNotify's barrier, so reading them here is safe. A
@@ -703,8 +674,8 @@ void ServingFrontEnd::ProcessBatch(
         }
     } catch (...) {
         // Propagate the failure to every request of the batch that has no
-        // result yet instead of dropping handles (which would surface as
-        // opaque broken_promise errors at ticket holders).
+        // result yet instead of dropping handles (which would leave their
+        // waiters with a generic "request failed" and no cause).
         for (const auto& req : batch) {
             std::unique_lock<std::mutex> lock(req->mu);
             if (!req->result_ready && req->error == nullptr) {
@@ -748,32 +719,6 @@ void ServingFrontEnd::CompleteRequest(const std::shared_ptr<Request>& req,
     {
         std::unique_lock<std::mutex> lock(req->mu);
         if (req->status != RequestStatus::kInFlight) return;
-        // A Ticket shim consumes the result through the promise (Result()
-        // is never called on its handle), so the result is moved, not
-        // copied, whichever path owns it.
-        if (req->future_claimed) {
-            switch (final) {
-                case RequestStatus::kComplete:
-                    req->promise.set_value(std::move(req->result));
-                    break;
-                case RequestStatus::kCancelled:
-                    req->promise.set_exception(std::make_exception_ptr(
-                        std::runtime_error("serving request cancelled")));
-                    break;
-                case RequestStatus::kDeadlineExpired:
-                    req->promise.set_exception(std::make_exception_ptr(
-                        std::runtime_error(
-                            "serving request deadline expired")));
-                    break;
-                default:
-                    req->promise.set_exception(
-                        req->error != nullptr
-                            ? req->error
-                            : std::make_exception_ptr(std::runtime_error(
-                                  "serving request failed")));
-                    break;
-            }
-        }
         req->status = final;
     }
     req->cv.notify_all();

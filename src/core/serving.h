@@ -16,7 +16,7 @@
 //     and flips a mid-batch request's JobContext so the answer engine
 //     skips its not-yet-started shard tasks (the reclaimed workers drain
 //     live requests' jobs instead) and it completes kCancelled; either
-//     way the handle (and any compatibility future) still resolves.
+//     way the handle still resolves.
 //   - A per-request deadline (or ServiceConfig::default_deadline_us)
 //     expires requests that are still queued when it passes — they
 //     complete kDeadlineExpired without burning answer work, and the
@@ -46,13 +46,9 @@
 // interleaving, shard count, layout, and placement — and reassembling the
 // streamed partials reproduces the same bytes.
 //
-// Submit()/SubmitOrWait() remain as thin compatibility shims returning
-// the old Ticket{status, future}; the future resolves with the final
-// result (or the cancellation/deadline/server error as an exception).
-//
 // Shutdown() (also run by the destructor) stops admitting, drains every
-// already-admitted request so no handle or future is left dangling, and
-// joins the batcher thread.
+// already-admitted request so no handle is left dangling, and joins the
+// batcher thread.
 #pragma once
 
 #include <atomic>
@@ -62,7 +58,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -155,15 +150,6 @@ class ServingFrontEnd {
 
     class RequestHandle;
 
-    // Admission decision plus the result future (valid iff accepted):
-    // the pre-streaming API, kept as a shim over RequestHandle.
-    struct Ticket {
-        AdmissionStatus status = AdmissionStatus::kShutdown;
-        std::future<PrivateEmbeddingService::LookupResult> future;
-
-        bool ok() const { return status == AdmissionStatus::kAccepted; }
-    };
-
     // Running totals, for observability and the serving benches.
     struct Counters {
         std::uint64_t batches = 0;           // pooled batches dispatched
@@ -206,13 +192,6 @@ class ServingFrontEnd {
     RequestHandle SubmitRequestOrWait(LookupRequest request,
                                       SubmitOptions options);
     RequestHandle SubmitRequestOrWait(LookupRequest request);
-
-    // Compatibility shims over SubmitRequest/SubmitRequestOrWait: the
-    // ticket's future resolves with the final result, or throws the
-    // server-side error / a std::runtime_error for cancellation and
-    // deadline expiry.
-    Ticket Submit(LookupRequest request);
-    Ticket SubmitOrWait(LookupRequest request);
 
     // Stops admitting, drains every admitted request to a terminal status,
     // joins the batcher. Idempotent; runs in the destructor if not called
@@ -261,12 +240,6 @@ class ServingFrontEnd {
         bool result_ready = false;
         PrivateEmbeddingService::LookupResult result;
         std::exception_ptr error;
-        // The Ticket shims consume results through this promise instead of
-        // Result(). future_claimed is set before enqueue (immutable after),
-        // so completion knows whether to move the result into the promise
-        // — a real future (wait_for works) with no eager copy either way.
-        bool future_claimed = false;
-        std::promise<PrivateEmbeddingService::LookupResult> promise;
 
         // The request's shared execution context (src/pir/job_context.h),
         // created at enqueue with the request's priority and deadline and
@@ -343,13 +316,10 @@ class ServingFrontEnd {
 
   private:
     // Shared admission path behind the public submit entry points.
-    // claim_future marks the request as Ticket-shim-consumed (see
-    // Request::future_claimed).
     RequestHandle SubmitImpl(LookupRequest request, SubmitOptions options,
-                             bool blocking, bool claim_future);
+                             bool blocking);
     // Client-side phase + enqueue, called with an admission slot held.
-    RequestHandle Enqueue(LookupRequest request, SubmitOptions options,
-                          bool claim_future);
+    RequestHandle Enqueue(LookupRequest request, SubmitOptions options);
     // kBatch requests only get the bottom 3/4 of the admission slots.
     std::size_t SlotCap(RequestPriority priority) const;
     // Batching window for the next batch, honoring the adaptive policy.

@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "src/common/cpuid.h"
+
 namespace gpudpf {
 namespace {
 
@@ -90,6 +92,41 @@ Aes128::Aes128(u128 key) {
                    (static_cast<std::uint32_t>(kRcon[i / 4 - 1]) << 24);
         }
         round_keys_[i] = round_keys_[i - 4] ^ temp;
+    }
+    // Serialize the schedule to FIPS byte order for the AES-NI path — one
+    // expansion feeds both implementations, so they cannot disagree.
+    for (int i = 0; i < 44; ++i) {
+        for (int b = 0; b < 4; ++b) {
+            round_key_bytes_[4 * i + b] =
+                static_cast<std::uint8_t>(round_keys_[i] >> (8 * (3 - b)));
+        }
+    }
+}
+
+bool Aes128::Accelerated() {
+    static const bool on =
+        aesni::AesNiSupported() && GetCpuFeatures().aes_ni;
+    return on;
+}
+
+void Aes128::EncryptBlocks(const u128* in, u128* out, std::size_t n) const {
+    if (Accelerated()) {
+        aesni::EncryptBlocks(round_key_bytes_.data(), in, out, n);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) out[i] = EncryptBlock(in[i]);
+}
+
+void MmoExpandBatch(const Aes128& left, const Aes128& right, const u128* seeds,
+                    std::size_t n, u128* lefts, u128* rights) {
+    if (Aes128::Accelerated()) {
+        aesni::MmoExpand2(left.round_key_bytes(), right.round_key_bytes(),
+                          seeds, n, lefts, rights);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        lefts[i] = left.Mmo(seeds[i]);
+        rights[i] = right.Mmo(seeds[i]);
     }
 }
 

@@ -1,0 +1,165 @@
+// Hardware AES-NI backend for the batched Aes128 entry points.
+//
+// Kept in its own translation unit with per-function target attributes so
+// the rest of the build needs no -maes/-mssse3 flags: only these functions
+// emit AES instructions, and every caller gates on AesNiSupported() first.
+//
+// Byte order: the software implementation maps the u128's most significant
+// byte to FIPS-197 state/key byte 0 (big-endian), while _mm_loadu_si128 on
+// a little-endian host loads the least significant byte first — so state
+// blocks are byte-reversed on the way in and out (PSHUFB). The round keys
+// arrive pre-serialized in FIPS byte order (Aes128::round_key_bytes()), so
+// they load directly. The schedule itself is expanded once by the portable
+// key-expansion code, which keeps the two paths trivially in agreement.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/u128.h"
+#include "src/crypto/aes128.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define GPUDPF_HAVE_AESNI_BUILD 1
+#include <immintrin.h>
+#endif
+
+namespace gpudpf {
+namespace aesni {
+
+#ifdef GPUDPF_HAVE_AESNI_BUILD
+
+namespace {
+
+// Raw CPUID probe, independent of the forced-scalar override: the override
+// is policy (applied by the dispatchers through GetCpuFeatures()), while
+// this answers whether the instructions exist at all. SSSE3 (PSHUFB) ships
+// on every AES-NI part, so the AES bit alone decides.
+bool ProbeAesNi() {
+#if defined(__i386__) || defined(__x86_64__)
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    __asm__ volatile("cpuid"
+                     : "=a"(eax), "=b"(ebx), "=c"(ecx), "=d"(edx)
+                     : "a"(1), "c"(0));
+    return (ecx & (1u << 25)) != 0;
+#else
+    return false;
+#endif
+}
+
+#define GPUDPF_AESNI_TARGET __attribute__((target("aes,ssse3")))
+
+// Reverses the 16 bytes of a block: u128 memory order <-> FIPS state order.
+GPUDPF_AESNI_TARGET inline __m128i ByteReverse(__m128i v) {
+    const __m128i kReverse =
+        _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+    return _mm_shuffle_epi8(v, kReverse);
+}
+
+GPUDPF_AESNI_TARGET inline __m128i LoadState(const u128* p) {
+    return ByteReverse(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+GPUDPF_AESNI_TARGET inline void StoreState(u128* p, __m128i v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), ByteReverse(v));
+}
+
+struct RoundKeys {
+    __m128i rk[11];
+};
+
+GPUDPF_AESNI_TARGET inline RoundKeys LoadRoundKeys(const std::uint8_t* rk) {
+    RoundKeys out;
+    for (int r = 0; r < 11; ++r) {
+        out.rk[r] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(rk + 16 * r));
+    }
+    return out;
+}
+
+GPUDPF_AESNI_TARGET inline __m128i EncryptOne(const RoundKeys& k, __m128i b) {
+    b = _mm_xor_si128(b, k.rk[0]);
+    for (int r = 1; r < 10; ++r) b = _mm_aesenc_si128(b, k.rk[r]);
+    return _mm_aesenclast_si128(b, k.rk[10]);
+}
+
+}  // namespace
+
+bool AesNiSupported() {
+    static const bool supported = ProbeAesNi();
+    return supported;
+}
+
+GPUDPF_AESNI_TARGET
+void EncryptBlocks(const std::uint8_t* rk, const u128* in, u128* out,
+                   std::size_t n) {
+    const RoundKeys k = LoadRoundKeys(rk);
+    std::size_t i = 0;
+    // Eight independent blocks in flight hide the aesenc latency (~4
+    // cycles) behind its 1/cycle throughput.
+    for (; i + 8 <= n; i += 8) {
+        __m128i b[8];
+        for (int j = 0; j < 8; ++j) b[j] = LoadState(in + i + j);
+        for (int j = 0; j < 8; ++j) b[j] = _mm_xor_si128(b[j], k.rk[0]);
+        for (int r = 1; r < 10; ++r) {
+            for (int j = 0; j < 8; ++j) {
+                b[j] = _mm_aesenc_si128(b[j], k.rk[r]);
+            }
+        }
+        for (int j = 0; j < 8; ++j) {
+            b[j] = _mm_aesenclast_si128(b[j], k.rk[10]);
+        }
+        for (int j = 0; j < 8; ++j) StoreState(out + i + j, b[j]);
+    }
+    for (; i < n; ++i) StoreState(out + i, EncryptOne(k, LoadState(in + i)));
+}
+
+GPUDPF_AESNI_TARGET
+void MmoExpand2(const std::uint8_t* rk_left, const std::uint8_t* rk_right,
+                const u128* seeds, std::size_t n, u128* lefts, u128* rights) {
+    const RoundKeys kl = LoadRoundKeys(rk_left);
+    const RoundKeys kr = LoadRoundKeys(rk_right);
+    std::size_t i = 0;
+    // Four seeds x two fixed keys = eight blocks in flight per iteration.
+    // MMO's feedback xor happens on the byte-reversed state: reversal
+    // commutes with xor, so un-reversing the result equals E(x) ^ x.
+    for (; i + 4 <= n; i += 4) {
+        __m128i s[4], l[4], r[4];
+        for (int j = 0; j < 4; ++j) s[j] = LoadState(seeds + i + j);
+        for (int j = 0; j < 4; ++j) {
+            l[j] = _mm_xor_si128(s[j], kl.rk[0]);
+            r[j] = _mm_xor_si128(s[j], kr.rk[0]);
+        }
+        for (int rd = 1; rd < 10; ++rd) {
+            for (int j = 0; j < 4; ++j) {
+                l[j] = _mm_aesenc_si128(l[j], kl.rk[rd]);
+                r[j] = _mm_aesenc_si128(r[j], kr.rk[rd]);
+            }
+        }
+        for (int j = 0; j < 4; ++j) {
+            l[j] = _mm_aesenclast_si128(l[j], kl.rk[10]);
+            r[j] = _mm_aesenclast_si128(r[j], kr.rk[10]);
+        }
+        for (int j = 0; j < 4; ++j) {
+            StoreState(lefts + i + j, _mm_xor_si128(l[j], s[j]));
+            StoreState(rights + i + j, _mm_xor_si128(r[j], s[j]));
+        }
+    }
+    for (; i < n; ++i) {
+        const __m128i s = LoadState(seeds + i);
+        StoreState(lefts + i, _mm_xor_si128(EncryptOne(kl, s), s));
+        StoreState(rights + i, _mm_xor_si128(EncryptOne(kr, s), s));
+    }
+}
+
+#else  // !GPUDPF_HAVE_AESNI_BUILD
+
+bool AesNiSupported() { return false; }
+
+void EncryptBlocks(const std::uint8_t*, const u128*, u128*, std::size_t) {}
+void MmoExpand2(const std::uint8_t*, const std::uint8_t*, const u128*,
+                std::size_t, u128*, u128*) {}
+
+#endif  // GPUDPF_HAVE_AESNI_BUILD
+
+}  // namespace aesni
+}  // namespace gpudpf

@@ -83,6 +83,17 @@ void Prg::Expand(u128 seed, u128* left, u128* right) const {
     }
 }
 
+void Prg::ExpandBatch(const u128* seeds, std::size_t n, u128* lefts,
+                      u128* rights) const {
+    if (kind_ == PrfKind::kAes128) {
+        MmoExpandBatch(*aes_left_, *aes_right_, seeds, n, lefts, rights);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        Expand(seeds[i], &lefts[i], &rights[i]);
+    }
+}
+
 void Prg::ExpandWide(u128 seed, u128* out, std::size_t n) const {
     if (kind_ == PrfKind::kChacha20) {
         // Each block yields 4 output words.

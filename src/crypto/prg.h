@@ -26,6 +26,14 @@ class Prg {
     // Control bits are extracted from the children's LSBs by the DPF layer.
     void Expand(u128 seed, u128* left, u128* right) const;
 
+    // Batched node expansion of a whole tree-level frontier:
+    // (lefts[i], rights[i]) = Expand(seeds[i]). Bit-identical to n scalar
+    // Expand calls; the AES kind pipelines the fixed-key MMO through
+    // hardware AES-NI (8 blocks in flight) when the host supports it and
+    // GPUDPF_FORCE_SCALAR is off, other kinds loop the scalar path.
+    void ExpandBatch(const u128* seeds, std::size_t n, u128* lefts,
+                     u128* rights) const;
+
     // Expands a seed into `n` output words (leaf/output conversion for
     // wide-output DPFs).
     void ExpandWide(u128 seed, u128* out, std::size_t n) const;

@@ -291,4 +291,74 @@ void Dpf::EvalRange(const DpfKey& key, std::uint64_t begin, std::uint64_t end,
     }
 }
 
+void Dpf::EvalRangeBatched(const DpfKey& key, std::uint64_t begin,
+                           std::uint64_t end, u128* out,
+                           RangeScratch* scratch) const {
+    if (begin > end || end > domain_size()) {
+        throw std::invalid_argument("Dpf::EvalRangeBatched: bad range");
+    }
+    if (begin == end) return;
+    const int n = params_.log_domain;
+    const int w = params_.out_words;
+
+    // The frontier at level d is the contiguous node index range
+    // [begin >> (n-d), (end-1) >> (n-d)] — the nodes whose leaf spans
+    // intersect [begin, end). Walk it down level by level, expanding the
+    // whole frontier through one batched PRG call, then applying the
+    // correction words per node (cheap scalar xors).
+    const std::size_t cap = static_cast<std::size_t>(end - begin) + 2;
+    for (int side = 0; side < 2; ++side) {
+        if (scratch->seeds[side].size() < cap) {
+            scratch->seeds[side].resize(cap);
+            scratch->ts[side].resize(cap);
+        }
+    }
+    if (scratch->child_left.size() < cap) {
+        scratch->child_left.resize(cap);
+        scratch->child_right.resize(cap);
+    }
+
+    int cur = 0;
+    scratch->seeds[cur][0] = key.root_seed;
+    scratch->ts[cur][0] = key.party == 1 ? 1 : 0;
+    std::uint64_t lo = 0;  // frontier's first node index at this level
+    std::size_t count = 1;
+    for (int level = 0; level < n; ++level) {
+        prg_.ExpandBatch(scratch->seeds[cur].data(), count,
+                         scratch->child_left.data(),
+                         scratch->child_right.data());
+        const int child_shift = n - level - 1;
+        const std::uint64_t next_lo = begin >> child_shift;
+        const std::uint64_t next_hi = (end - 1) >> child_shift;
+        const int next = 1 - cur;
+        const CorrectionWord& cw = key.cw[level];
+        for (std::size_t i = 0; i < count; ++i) {
+            const bool parent_t = scratch->ts[cur][i] != 0;
+            const std::uint64_t left_idx = 2 * (lo + i);
+            for (int side = 0; side < 2; ++side) {
+                const std::uint64_t idx = left_idx + side;
+                if (idx < next_lo || idx > next_hi) continue;  // edge prune
+                u128 s = side == 0 ? scratch->child_left[i]
+                                   : scratch->child_right[i];
+                bool t = Lsb(s);
+                s = ClearLsb(s);
+                if (parent_t) {
+                    s ^= cw.seed;
+                    t ^= side == 0 ? cw.t_left : cw.t_right;
+                }
+                scratch->seeds[next][idx - next_lo] = s;
+                scratch->ts[next][idx - next_lo] = t ? 1 : 0;
+            }
+        }
+        cur = next;
+        lo = next_lo;
+        count = static_cast<std::size_t>(next_hi - next_lo) + 1;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        Finalize(key,
+                 Node{scratch->seeds[cur][i], scratch->ts[cur][i] != 0},
+                 out + i * static_cast<std::size_t>(w));
+    }
+}
+
 }  // namespace gpudpf

@@ -91,6 +91,29 @@ class Dpf {
     void EvalRange(const DpfKey& key, std::uint64_t begin, std::uint64_t end,
                    std::vector<u128>* out) const;
 
+    // Reusable frontier buffers for EvalRangeBatched, so a kernel that
+    // walks many tiles pays the allocations once.
+    struct RangeScratch {
+        std::vector<u128> seeds[2];
+        std::vector<std::uint8_t> ts[2];
+        std::vector<u128> child_left;
+        std::vector<u128> child_right;
+    };
+
+    // EvalRange by level-order (breadth-first) traversal: the covering node
+    // frontier of [begin, end) at each level — at most end - begin + 1
+    // nodes — is expanded in one Prg::ExpandBatch call, so the AES MMO
+    // PRG runs hardware-pipelined instead of one node at a time. The
+    // per-node correction-word math is exactly ExpandNode's, so leaf values
+    // are bit-identical to EvalRange for every PrfKind. out receives
+    // (end - begin) * out_words words, point-major (not resized — the
+    // caller sizes it, which lets kernels pack several queries' leaves
+    // into one buffer). Peak scratch is O(end - begin) nodes; callers
+    // chunk their ranges (e.g. per storage tile) to bound it.
+    void EvalRangeBatched(const DpfKey& key, std::uint64_t begin,
+                          std::uint64_t end, u128* out,
+                          RangeScratch* scratch) const;
+
     // --- Node-level primitives for parallel kernels -----------------------
 
     // Expansion state of one tree node.

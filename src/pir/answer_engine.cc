@@ -3,69 +3,13 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <map>
 #include <memory>
 #include <stdexcept>
+#include <tuple>
 
 namespace gpudpf {
 namespace {
-
-// shares^T * rows over one tile-contiguous segment: rows `row` points at
-// `count` consecutive rows of `w` words each with no tile break between
-// them, so the pointer just strides.
-void AccumulateSegment(const u128* row, std::size_t w, const u128* shares,
-                       std::uint64_t count, u128* resp) {
-    for (std::uint64_t j = 0; j < count; ++j, row += w) {
-        const u128 v = shares[j];
-        if (v == 0) continue;
-        for (std::size_t k = 0; k < w; ++k) resp[k] += v * row[k];
-    }
-}
-
-// Rows answered between context re-checks on untiled (row-major) tables,
-// whose shards would otherwise be one unbounded segment. Chunking the
-// leaf-range eval changes neither the share values (EvalRange is a pure
-// function of key and leaf index) nor the accumulation order, so results
-// stay bit-identical; it only bounds how long a dead request's shard can
-// keep running. Tiled tables re-check at their natural tile boundaries.
-constexpr std::uint64_t kContextCheckRows = 1u << 14;
-
-// Evaluates job rows [lo, hi) (job-relative) against the table, one storage
-// tile at a time: EvalRange + mat-vec fused per tile so the shares buffer
-// and the tile block stay cache-resident. Untiled (row-major) tables take
-// the whole range as a single segment — the seed's reference behavior —
-// unless a context is attached, in which case the segment is capped so the
-// kill switch is observed within kContextCheckRows rows. Returns false if
-// the context flipped mid-range and the remaining tiles were abandoned
-// (*resp is then incomplete and must be discarded).
-bool AnswerRange(const PirTable& table, const Dpf& dpf,
-                 const AnswerEngine::Job& job, const JobContext* context,
-                 std::uint64_t lo, std::uint64_t hi, std::vector<u128>* shares,
-                 u128* resp) {
-    const std::uint64_t tile_rows = table.rows_per_tile();
-    const std::size_t w = table.words_per_entry();
-    bool first = true;
-    while (lo < hi) {
-        if (!first && context != nullptr && context->ShouldSkip()) {
-            return false;  // dead mid-shard: reclaim the remaining tiles
-        }
-        first = false;
-        std::uint64_t seg_end = hi;
-        if (tile_rows > 0) {
-            const std::uint64_t abs = job.row_begin + lo;
-            const std::uint64_t tile_end = (abs / tile_rows + 1) * tile_rows;
-            seg_end = std::min<std::uint64_t>(hi, tile_end - job.row_begin);
-        }
-        if (context != nullptr) {
-            seg_end = std::min<std::uint64_t>(seg_end,
-                                              lo + kContextCheckRows);
-        }
-        dpf.EvalRange(*job.key, lo, seg_end, shares);
-        AccumulateSegment(table.Entry(job.row_begin + lo), w, shares->data(),
-                          seg_end - lo, resp);
-        lo = seg_end;
-    }
-    return true;
-}
 
 // Job-relative boundary of shard s out of `shards`: interior boundaries
 // snap down to the table's tile grid (in absolute rows) so no tile is
@@ -116,6 +60,14 @@ void ValidateJob(const PirTable& table, const AnswerEngine::Job& job) {
     }
 }
 
+// Per-worker kernel call state, allocated once per pool task (or per
+// (worker, class) pinned task) and reused across its kernel calls.
+struct WorkerState {
+    CpuKernelScratch scratch;
+    std::vector<CpuKernelTask> tasks;
+    std::vector<std::size_t> task_jobs;
+};
+
 }  // namespace
 
 const char* ShardPlacementName(ShardPlacement placement) {
@@ -128,7 +80,8 @@ const char* ShardPlacementName(ShardPlacement placement) {
     return "unknown";
 }
 
-AnswerEngine::AnswerEngine(ShardingOptions options) : options_(options) {
+AnswerEngine::AnswerEngine(ShardingOptions options)
+    : options_(options), kernel_(&GetCpuKernel(options.kernel)) {
     if (options_.num_shards == 0) options_.num_shards = 1;
 }
 
@@ -138,12 +91,17 @@ PirResponse AnswerEngine::Answer(const PirTable& table, const DpfKey& key,
     Job job{&key, row_begin, num_rows};
     ValidateJob(table, job);
     if (options_.num_shards == 1) {
-        // Sequential path: one task's worth of work, inline on the caller.
+        // Sequential path: one kernel call's worth of work, inline on the
+        // caller.
         const Dpf dpf(key.params);
-        std::vector<u128> shares;
         PirResponse resp(table.words_per_entry(), 0);
-        AnswerRange(table, dpf, job, nullptr, 0, num_rows, &shares,
-                    resp.data());
+        CpuKernelTask task;
+        task.dpf = &dpf;
+        task.key = &key;
+        task.resp = resp.data();
+        CpuKernelScratch scratch;
+        kernel_->AnswerRange(table, row_begin, 0, num_rows, &task, 1,
+                             &scratch);
         return resp;
     }
     return AnswerBatch(table, {job})[0];
@@ -185,6 +143,55 @@ AnswerEngine::BatchStats AnswerEngine::AnswerBatchNotify(
     dpfs.reserve(jobs.size());
     for (const TableJob& tj : jobs) dpfs.emplace_back(tj.job.key->params);
 
+    // Scheduling class per job: a job with no context is interactive.
+    auto job_class = [&jobs](std::size_t q) {
+        const JobContext* context = jobs[q].binding.context;
+        return context != nullptr ? context->priority()
+                                  : TaskPriority::kInteractive;
+    };
+
+    // The unit of shard-task dispatch: a group of jobs the kernel answers
+    // in one call per shard. A multi-query kernel gets every job sharing a
+    // (table, row range, class, DPF-params) signature — identical PBR bins
+    // queried by concurrent requests, whole-table bench batches — so each
+    // shard's table traffic is paid once per group; other kernels keep one
+    // job per group, which preserves the seed's one-task-per-(job, shard)
+    // dispatch exactly. Groups are formed in `jobs` order (first
+    // occurrence), so submission order below still follows `jobs` order
+    // within a class.
+    struct Group {
+        std::vector<std::size_t> members;  // job indices, in `jobs` order
+        TaskPriority cls = TaskPriority::kInteractive;
+    };
+    std::vector<Group> groups;
+    groups.reserve(jobs.size());
+    if (kernel_->multi_query()) {
+        using GroupKey = std::tuple<const PirTable*, std::uint64_t,
+                                    std::uint64_t, int, int, int>;
+        std::map<GroupKey, std::size_t> index;
+        for (std::size_t q = 0; q < jobs.size(); ++q) {
+            const TableJob& tj = jobs[q];
+            const GroupKey key{tj.table,
+                               tj.job.row_begin,
+                               tj.job.num_rows,
+                               static_cast<int>(job_class(q)),
+                               tj.job.key->params.log_domain,
+                               static_cast<int>(tj.job.key->params.prf)};
+            auto [it, inserted] = index.emplace(key, groups.size());
+            if (inserted) {
+                groups.emplace_back();
+                groups.back().cls = job_class(q);
+            }
+            groups[it->second].members.push_back(q);
+        }
+    } else {
+        for (std::size_t q = 0; q < jobs.size(); ++q) {
+            groups.emplace_back();
+            groups.back().members.push_back(q);
+            groups.back().cls = job_class(q);
+        }
+    }
+
     // partials[job * shards + shard]; an empty vector is a zero partial.
     std::vector<PirResponse> partials(jobs.size() * shards);
     // Shards left per job; the worker that takes a job's count to zero
@@ -206,91 +213,110 @@ AnswerEngine::BatchStats AnswerEngine::AnswerBatchNotify(
     }
     std::atomic<std::size_t> shards_skipped{0};
     std::atomic<std::size_t> jobs_skipped{0};
-    auto run_task = [&](std::size_t t, std::vector<u128>& shares) {
-        const std::size_t q = t / shards;
-        const std::size_t s = t % shards;
-        const TableJob& tj = jobs[q];
-        const JobContext* context = tj.binding.context;
-        if (context != nullptr && context->ShouldSkip()) {
-            // Dead request: reclaim this shard task without touching the
-            // table. Every shard of a dead job counts, empty ones too —
-            // the skip counters are deterministic per job, which is what
-            // the serving tests pin down.
-            job_skipped[q].store(true, std::memory_order_relaxed);
-            shards_skipped.fetch_add(1, std::memory_order_relaxed);
-        } else {
-            const std::uint64_t tile_rows = tj.table->rows_per_tile();
-            const std::uint64_t lo =
-                ShardBoundary(tj.job, tile_rows, shards, s);
-            const std::uint64_t hi =
-                ShardBoundary(tj.job, tile_rows, shards, s + 1);
-            if (lo < hi) {
-                PirResponse resp(tj.table->words_per_entry(), 0);
-                if (AnswerRange(*tj.table, dpfs[q], tj.job, context, lo, hi,
-                                &shares, resp.data())) {
-                    partials[t] = std::move(resp);
-                } else {
-                    // Aborted between tiles: the partial is incomplete and
-                    // the job is dead either way.
-                    job_skipped[q].store(true, std::memory_order_relaxed);
-                    shards_skipped.fetch_add(1, std::memory_order_relaxed);
+    // Answers shard s of every job in group g with one kernel call, then
+    // runs the per-job countdown/reduction. Per (job, shard) semantics —
+    // dead-job triage at task start, the skip counters, partial ownership,
+    // reduction in shard order — are identical to dispatching each job
+    // alone.
+    auto run_group = [&](std::size_t g, std::size_t s, WorkerState& ws) {
+        const Group& grp = groups[g];
+        const TableJob& tj0 = jobs[grp.members.front()];
+        const std::uint64_t tile_rows = tj0.table->rows_per_tile();
+        const std::uint64_t lo = ShardBoundary(tj0.job, tile_rows, shards, s);
+        const std::uint64_t hi =
+            ShardBoundary(tj0.job, tile_rows, shards, s + 1);
+        ws.tasks.clear();
+        ws.task_jobs.clear();
+        for (const std::size_t q : grp.members) {
+            const JobContext* context = jobs[q].binding.context;
+            if (context != nullptr && context->ShouldSkip()) {
+                // Dead request: reclaim its slice of this task without
+                // touching the table. Every shard of a dead job counts,
+                // empty ones too — the skip counters are deterministic per
+                // job, which is what the serving tests pin down.
+                job_skipped[q].store(true, std::memory_order_relaxed);
+                shards_skipped.fetch_add(1, std::memory_order_relaxed);
+            } else if (lo < hi) {
+                PirResponse& partial = partials[q * shards + s];
+                partial.assign(tj0.table->words_per_entry(), 0);
+                CpuKernelTask task;
+                task.dpf = &dpfs[q];
+                task.key = jobs[q].job.key;
+                task.context = context;
+                task.resp = partial.data();
+                ws.tasks.push_back(task);
+                ws.task_jobs.push_back(q);
+            }
+        }
+        if (!ws.tasks.empty()) {
+            kernel_->AnswerRange(*tj0.table, tj0.job.row_begin, lo, hi,
+                                 ws.tasks.data(), ws.tasks.size(),
+                                 &ws.scratch);
+            for (std::size_t i = 0; i < ws.tasks.size(); ++i) {
+                if (!ws.tasks[i].aborted) continue;
+                // Aborted between tiles: the partial is incomplete and the
+                // job is dead either way.
+                const std::size_t q = ws.task_jobs[i];
+                partials[q * shards + s].clear();
+                job_skipped[q].store(true, std::memory_order_relaxed);
+                shards_skipped.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        for (const std::size_t q : grp.members) {
+            if (remaining[q].fetch_sub(1, std::memory_order_acq_rel) != 1) {
+                continue;
+            }
+            if (job_skipped[q].load(std::memory_order_relaxed)) {
+                // Short-circuit the reduction: a dead job completes with an
+                // empty response the caller is contractually bound to
+                // discard.
+                jobs_skipped.fetch_add(1, std::memory_order_relaxed);
+                done(q, PirResponse{});
+                continue;
+            }
+            // Last shard in: reduce in shard order. Addition in Z_2^128
+            // commutes, so the result is bit-identical to the sequential
+            // path.
+            PirResponse reduced(jobs[q].table->words_per_entry(), 0);
+            for (std::size_t ps = 0; ps < shards; ++ps) {
+                const PirResponse& part = partials[q * shards + ps];
+                for (std::size_t k = 0; k < part.size(); ++k) {
+                    reduced[k] += part[k];
                 }
             }
+            done(q, std::move(reduced));
         }
-        if (remaining[q].fetch_sub(1, std::memory_order_acq_rel) != 1) {
-            return;
-        }
-        if (job_skipped[q].load(std::memory_order_relaxed)) {
-            // Short-circuit the reduction: a dead job completes with an
-            // empty response the caller is contractually bound to discard.
-            jobs_skipped.fetch_add(1, std::memory_order_relaxed);
-            done(q, PirResponse{});
-            return;
-        }
-        // Last shard in: reduce in shard order. Addition in Z_2^128
-        // commutes, so the result is bit-identical to the sequential path.
-        PirResponse reduced(tj.table->words_per_entry(), 0);
-        for (std::size_t ps = 0; ps < shards; ++ps) {
-            const PirResponse& part = partials[q * shards + ps];
-            for (std::size_t k = 0; k < part.size(); ++k) {
-                reduced[k] += part[k];
-            }
-        }
-        done(q, std::move(reduced));
     };
-    // Jobs grouped by scheduling class: interactive jobs' tasks are
+    // Groups bucketed by scheduling class: interactive groups' tasks are
     // submitted (and, with the pool's two-level dequeue, run) before batch
-    // jobs' tasks; `jobs` order is preserved within a class. A job with no
-    // context is interactive.
+    // groups' tasks; group (hence `jobs`) order is preserved within a
+    // class.
     std::array<std::vector<std::size_t>, 2> by_class;
-    for (std::size_t q = 0; q < jobs.size(); ++q) {
-        const JobContext* context = jobs[q].binding.context;
-        const TaskPriority p = context != nullptr
-                                   ? context->priority()
-                                   : TaskPriority::kInteractive;
-        by_class[static_cast<std::size_t>(p)].push_back(q);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        by_class[static_cast<std::size_t>(groups[g].cls)].push_back(g);
     }
     ThreadPool& pool =
         options_.pool != nullptr ? *options_.pool : ThreadPool::Shared();
     const std::size_t threads = pool.thread_count();
-    const std::size_t total = jobs.size() * shards;
+    const std::size_t total = groups.size() * shards;
     if (options_.placement == ShardPlacement::kPinned && threads > 1) {
-        // Route shard s of every job to worker s % threads, jobs innermost:
-        // consecutive tasks on one worker re-read the same shard rows, so a
-        // batch streams each row range into exactly one core's cache. One
-        // pinned pool task per (worker, priority class), so a worker freed
-        // by skips still finishes interactive shards before batch shards.
+        // Route shard s of every group to worker s % threads, groups
+        // innermost: consecutive tasks on one worker re-read the same
+        // shard rows, so a batch streams each row range into exactly one
+        // core's cache. One pinned pool task per (worker, priority class),
+        // so a worker freed by skips still finishes interactive shards
+        // before batch shards.
         for (std::size_t c = 0; c < by_class.size(); ++c) {
-            const std::vector<std::size_t>& class_jobs = by_class[c];
-            if (class_jobs.empty()) continue;
+            const std::vector<std::size_t>& class_groups = by_class[c];
+            if (class_groups.empty()) continue;
             for (std::size_t w = 0; w < std::min(threads, shards); ++w) {
                 pool.SubmitTo(
                     w,
                     [&, w] {
-                        std::vector<u128> shares;
+                        WorkerState ws;
                         for (std::size_t s = w; s < shards; s += threads) {
-                            for (std::size_t q : class_jobs) {
-                                run_task(q * shards + s, shares);
+                            for (std::size_t g : class_groups) {
+                                run_group(g, s, ws);
                             }
                         }
                     },
@@ -299,31 +325,30 @@ AnswerEngine::BatchStats AnswerEngine::AnswerBatchNotify(
         }
         pool.Wait();
     } else if (threads <= 1 || total <= 1) {
-        // Sequential path: jobs complete — and notify — in class-then-index
-        // order.
-        std::vector<u128> shares;
-        for (const auto& class_jobs : by_class) {
-            for (std::size_t q : class_jobs) {
+        // Sequential path: groups complete — and notify — in
+        // class-then-submission order.
+        WorkerState ws;
+        for (const auto& class_groups : by_class) {
+            for (std::size_t g : class_groups) {
                 for (std::size_t s = 0; s < shards; ++s) {
-                    run_task(q * shards + s, shares);
+                    run_group(g, s, ws);
                 }
             }
         }
     } else {
-        // One pool task per (job, shard), so the shared queue drains in
+        // One pool task per (group, shard), so the shared queue drains in
         // submission order — callers order their jobs so that what runs
         // (and completes) first is what they want streamed first — and any
         // worker that finishes early keeps pulling tasks instead of being
         // bound to a static chunk. Batch-class tasks carry their priority,
         // so freed workers prefer interactive tasks even across batches.
         for (std::size_t c = 0; c < by_class.size(); ++c) {
-            for (std::size_t q : by_class[c]) {
+            for (std::size_t g : by_class[c]) {
                 for (std::size_t s = 0; s < shards; ++s) {
-                    const std::size_t t = q * shards + s;
                     pool.Submit(
-                        [&, t] {
-                            std::vector<u128> shares;
-                            run_task(t, shares);
+                        [&, g, s] {
+                            WorkerState ws;
+                            run_group(g, s, ws);
                         },
                         static_cast<TaskPriority>(c));
                 }

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/u128.h"
@@ -57,6 +58,50 @@ TEST(Aes128Test, MmoDiffersFromRawEncryption) {
     Aes128 aes(FromHex("2b7e151628aed2a6abf7158809cf4f3c"));
     const u128 x = FromHex("00000000000000000000000000000001");
     EXPECT_EQ(aes.Mmo(x), aes.EncryptBlock(x) ^ x);
+}
+
+TEST(Aes128Test, EncryptBlocksMatchesEncryptBlock) {
+    // The batched entry point (AES-NI pipelined when the host supports it,
+    // scalar otherwise) must be bit-identical to the one-block reference
+    // for every key and every batch size, including the non-multiple-of-8
+    // tails that exercise the pipeline remainder path.
+    Rng rng(17);
+    for (int trial = 0; trial < 8; ++trial) {
+        Aes128 aes(rng.Next128());
+        for (size_t n : {size_t{1}, size_t{3}, size_t{8}, size_t{13},
+                         size_t{32}, size_t{37}}) {
+            std::vector<u128> pts(n);
+            for (auto& p : pts) p = rng.Next128();
+            std::vector<u128> batched(n);
+            aes.EncryptBlocks(pts.data(), batched.data(), n);
+            for (size_t i = 0; i < n; ++i) {
+                EXPECT_EQ(batched[i], aes.EncryptBlock(pts[i]))
+                    << "trial " << trial << " n " << n << " block " << i;
+            }
+        }
+    }
+}
+
+TEST(Aes128Test, MmoExpandBatchMatchesScalarMmo) {
+    // The two-key MMO batch (the DPF PRG's hot path) against the scalar
+    // construction AES_k(x) ^ x, per key, across seeds and batch sizes.
+    Rng rng(18);
+    for (int trial = 0; trial < 4; ++trial) {
+        Aes128 left(rng.Next128());
+        Aes128 right(rng.Next128());
+        for (size_t n : {size_t{1}, size_t{4}, size_t{7}, size_t{29}}) {
+            std::vector<u128> seeds(n);
+            for (auto& s : seeds) s = rng.Next128();
+            std::vector<u128> lefts(n);
+            std::vector<u128> rights(n);
+            MmoExpandBatch(left, right, seeds.data(), n, lefts.data(),
+                           rights.data());
+            for (size_t i = 0; i < n; ++i) {
+                EXPECT_EQ(lefts[i], left.Mmo(seeds[i])) << "seed " << i;
+                EXPECT_EQ(rights[i], right.Mmo(seeds[i])) << "seed " << i;
+            }
+        }
+    }
 }
 
 // --- ChaCha20 ---------------------------------------------------------------
@@ -318,6 +363,27 @@ TEST_P(PrgTest, ExpandWideDeterministicAndDistinct) {
         distinct.insert(a[i]);
     }
     EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST_P(PrgTest, ExpandBatchMatchesScalarExpand) {
+    // ExpandBatch is the SIMD-batched kernel entry point; whatever path it
+    // takes (AES-NI for kAes128, the scalar loop otherwise) it must equal
+    // per-seed Expand bit for bit, tails included.
+    Prg prg(GetParam());
+    Rng rng(19);
+    for (size_t n : {size_t{1}, size_t{5}, size_t{8}, size_t{37}}) {
+        std::vector<u128> seeds(n);
+        for (auto& s : seeds) s = rng.Next128();
+        std::vector<u128> lefts(n);
+        std::vector<u128> rights(n);
+        prg.ExpandBatch(seeds.data(), n, lefts.data(), rights.data());
+        for (size_t i = 0; i < n; ++i) {
+            u128 l, r;
+            prg.Expand(seeds[i], &l, &r);
+            EXPECT_EQ(lefts[i], l) << "n " << n << " seed " << i;
+            EXPECT_EQ(rights[i], r) << "n " << n << " seed " << i;
+        }
+    }
 }
 
 TEST_P(PrgTest, PrimitiveCallCount) {

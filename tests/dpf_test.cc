@@ -279,5 +279,46 @@ TEST(DpfNodePrimitivesTest, RootEncodesParty) {
     EXPECT_TRUE(dpf.Root(k1).t);
 }
 
+// --- Level-order (SIMD-batched) range evaluation -----------------------------
+
+TEST(DpfEvalRangeBatchedTest, MatchesDfsEvalRangeAcrossSeedsAndLevels) {
+    // The frontier walk feeds the whole level through one Prg::ExpandBatch
+    // (the AES-NI pipeline for kAes128); the correction-word application is
+    // untouched, so the leaves must equal the pruned-DFS EvalRange bit for
+    // bit — every PRF, tree depth, output width, party, and subrange,
+    // including single-leaf ranges and ranges touching the domain edges.
+    for (PrfKind prf :
+         {PrfKind::kAes128, PrfKind::kChacha20, PrfKind::kSipHash}) {
+        for (int log_domain : {1, 2, 5, 10, 13}) {
+            for (std::uint32_t out_words : {1u, 3u}) {
+                Rng rng(1000 + log_domain);
+                const Dpf dpf(DpfParams{log_domain, prf, out_words});
+                const std::uint64_t domain = std::uint64_t{1} << log_domain;
+                auto [k0, k1] =
+                    dpf.GenIndicator(rng.Next64() % domain, rng);
+                Dpf::RangeScratch scratch;
+                for (int trial = 0; trial < 4; ++trial) {
+                    std::uint64_t a = rng.Next64() % domain;
+                    std::uint64_t b = rng.Next64() % domain;
+                    if (a > b) std::swap(a, b);
+                    const std::uint64_t begin = trial == 0 ? 0 : a;
+                    const std::uint64_t end = trial == 0 ? domain : b + 1;
+                    for (const DpfKey* key : {&k0, &k1}) {
+                        std::vector<u128> ref;
+                        dpf.EvalRange(*key, begin, end, &ref);
+                        std::vector<u128> got(ref.size(), 0);
+                        dpf.EvalRangeBatched(*key, begin, end, got.data(),
+                                             &scratch);
+                        ASSERT_EQ(got, ref)
+                            << PrfKindName(prf) << " n=" << log_domain
+                            << " w=" << out_words << " [" << begin << ","
+                            << end << ") party " << key->party;
+                    }
+                }
+            }
+        }
+    }
+}
+
 }  // namespace
 }  // namespace gpudpf

@@ -113,14 +113,14 @@ TEST(ServingFrontEndTest, InterleavedAsyncMatchesSerializedSequential) {
         std::vector<std::thread> threads;
         for (std::size_t c = 0; c < kClients; ++c) {
             threads.emplace_back([&, c] {
-                std::vector<ServingFrontEnd::Ticket> tickets;
+                std::vector<ServingFrontEnd::RequestHandle> handles;
                 for (std::size_t l = 0; l < kLookups; ++l) {
-                    tickets.push_back(async_world.service->front_end()
-                                          .SubmitOrWait({clients[c].get(),
-                                                         wanted[c][l]}));
-                    ASSERT_TRUE(tickets.back().ok());
+                    handles.push_back(
+                        async_world.service->front_end().SubmitRequestOrWait(
+                            {clients[c].get(), wanted[c][l]}));
+                    ASSERT_TRUE(handles.back().ok());
                 }
-                for (auto& t : tickets) got[c].push_back(t.future.get());
+                for (auto& h : handles) got[c].push_back(h.Result());
             });
         }
         for (auto& t : threads) t.join();
@@ -156,30 +156,29 @@ TEST(ServingFrontEndTest, QueueFullRejectsWithCleanStatus) {
     auto client = world.service->MakeClient();
     ServingFrontEnd& fe = world.service->front_end();
 
-    auto t1 = fe.Submit({client.get(), {1, 2}});
+    auto t1 = fe.SubmitRequest({client.get(), {1, 2}});
     ASSERT_TRUE(t1.ok());
     // Let the batcher enter its linger window before filling the queue, so
     // the remaining submissions deterministically land inside it.
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    auto t2 = fe.Submit({client.get(), {3, 4}});
+    auto t2 = fe.SubmitRequest({client.get(), {3, 4}});
     ASSERT_TRUE(t2.ok());
     EXPECT_EQ(fe.inflight(), 2u);
 
-    auto rejected = fe.Submit({client.get(), {5, 6}});
-    EXPECT_EQ(rejected.status, AdmissionStatus::kQueueFull);
+    auto rejected = fe.SubmitRequest({client.get(), {5, 6}});
+    EXPECT_EQ(rejected.admission(), AdmissionStatus::kQueueFull);
     EXPECT_FALSE(rejected.ok());
-    EXPECT_FALSE(rejected.future.valid());
-    EXPECT_STREQ(AdmissionStatusName(rejected.status), "queue-full");
+    EXPECT_STREQ(AdmissionStatusName(rejected.admission()), "queue-full");
 
     // The rejected submission must not consume client randomness: once the
     // admitted work completes, a resubmission still succeeds and resolves.
-    auto r1 = t1.future.get();
-    auto r2 = t2.future.get();
+    auto r1 = t1.Result();
+    auto r2 = t2.Result();
     EXPECT_EQ(r1.retrieved.size(), 2u);
     EXPECT_EQ(r2.retrieved.size(), 2u);
-    auto t3 = fe.Submit({client.get(), {5, 6}});
+    auto t3 = fe.SubmitRequest({client.get(), {5, 6}});
     ASSERT_TRUE(t3.ok());
-    EXPECT_EQ(t3.future.get().retrieved.size(), 2u);
+    EXPECT_EQ(t3.Result().retrieved.size(), 2u);
 }
 
 TEST(ServingFrontEndTest, RejectionDoesNotAdvanceClientRng) {
@@ -202,17 +201,18 @@ TEST(ServingFrontEndTest, RejectionDoesNotAdvanceClientRng) {
     auto p1 = pc->Lookup(first);
     auto p2 = pc->Lookup(second);
 
-    auto t1 = pressured.service->front_end().Submit({qc.get(), first});
+    auto t1 = pressured.service->front_end().SubmitRequest({qc.get(), first});
     ASSERT_TRUE(t1.ok());
     // As above: make sure the batcher is lingering before the queue fills.
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    auto t2 = pressured.service->front_end().Submit({qc.get(), second});
+    auto t2 = pressured.service->front_end().SubmitRequest({qc.get(), second});
     ASSERT_TRUE(t2.ok());
     // Over-capacity submission is rejected before any client-side work.
-    auto rejected = pressured.service->front_end().Submit({qc.get(), third});
-    EXPECT_EQ(rejected.status, AdmissionStatus::kQueueFull);
-    ExpectSameResult(t1.future.get(), p1, 0, 0);
-    ExpectSameResult(t2.future.get(), p2, 0, 1);
+    auto rejected =
+        pressured.service->front_end().SubmitRequest({qc.get(), third});
+    EXPECT_EQ(rejected.admission(), AdmissionStatus::kQueueFull);
+    ExpectSameResult(t1.Result(), p1, 0, 0);
+    ExpectSameResult(t2.Result(), p2, 0, 1);
 
     // Had the rejected submission consumed client randomness, this third
     // lookup would diverge from the serialized reference.
@@ -230,7 +230,7 @@ TEST(ServingFrontEndTest, FailedPreparationReleasesItsAdmissionSlot) {
 
     // Out-of-vocab index: the planner throws during the client-side phase,
     // on the submitting thread.
-    EXPECT_THROW(fe.Submit({client.get(), {1u << 20}}),
+    EXPECT_THROW(fe.SubmitRequest({client.get(), {1u << 20}}),
                  std::invalid_argument);
     // The slot must have been released: the next lookup is admitted and
     // completes, and shutdown (service destruction) does not deadlock.
@@ -246,24 +246,25 @@ TEST(ServingFrontEndTest, ShutdownDrainsInflightWorkWithoutDeadlock) {
     auto client = world.service->MakeClient();
     ServingFrontEnd& fe = world.service->front_end();
 
-    std::vector<ServingFrontEnd::Ticket> tickets;
+    std::vector<ServingFrontEnd::RequestHandle> handles;
     for (int i = 0; i < 5; ++i) {
-        tickets.push_back(fe.Submit({client.get(), {1ull + i, 100ull + i}}));
-        ASSERT_TRUE(tickets[i].ok());
+        handles.push_back(
+            fe.SubmitRequest({client.get(), {1ull + i, 100ull + i}}));
+        ASSERT_TRUE(handles[i].ok());
     }
     // Shutdown with all five still lingering in the queue: every admitted
-    // future must still resolve.
+    // handle must still resolve.
     fe.Shutdown();
-    for (auto& t : tickets) {
-        auto result = t.future.get();
+    for (auto& h : handles) {
+        auto result = h.Result();
         EXPECT_EQ(result.retrieved.size(), 2u);
     }
     EXPECT_EQ(fe.inflight(), 0u);
 
-    auto after = fe.Submit({client.get(), {7}});
-    EXPECT_EQ(after.status, AdmissionStatus::kShutdown);
-    auto blocking = fe.SubmitOrWait({client.get(), {7}});
-    EXPECT_EQ(blocking.status, AdmissionStatus::kShutdown);
+    auto after = fe.SubmitRequest({client.get(), {7}});
+    EXPECT_EQ(after.admission(), AdmissionStatus::kShutdown);
+    auto blocking = fe.SubmitRequestOrWait({client.get(), {7}});
+    EXPECT_EQ(blocking.admission(), AdmissionStatus::kShutdown);
     EXPECT_THROW(client->Lookup({7}), std::runtime_error);
     // Idempotent: a second shutdown (and the destructor's) is a no-op.
     fe.Shutdown();
@@ -768,13 +769,11 @@ TEST(RequestHandleTest, EmptyWantedRejectedAtAdmissionWithoutRngBurn) {
     EXPECT_FALSE(handle.Cancel());
     auto blocking = fe.SubmitRequestOrWait({cc.get(), {}});
     EXPECT_EQ(blocking.admission(), AdmissionStatus::kInvalidRequest);
-    auto ticket = fe.Submit({cc.get(), {}});
-    EXPECT_EQ(ticket.status, AdmissionStatus::kInvalidRequest);
-    EXPECT_FALSE(ticket.future.valid());
-    EXPECT_STREQ(AdmissionStatusName(ticket.status), "invalid-request");
+    EXPECT_STREQ(AdmissionStatusName(blocking.admission()),
+                 "invalid-request");
     EXPECT_THROW(cc->Lookup({}), std::invalid_argument);
     EXPECT_EQ(fe.inflight(), 0u);
-    EXPECT_EQ(fe.counters().rejected_invalid, 4u);
+    EXPECT_EQ(fe.counters().rejected_invalid, 3u);
 
     // A null client is malformed too.
     EXPECT_EQ(fe.SubmitRequest({nullptr, {1}}).admission(),

@@ -4,6 +4,7 @@
 // range primitive up through the end-to-end service.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <vector>
@@ -205,6 +206,64 @@ TEST(TiledLayoutTest, BitIdenticalToRowMajorAcrossShardsAndBatches) {
     }
 }
 
+TEST(CpuKernelMatrixTest, AllKernelsBitIdenticalAcrossLayoutsShardsPlacements) {
+    // The full acceptance matrix of the unified kernel API: every CPU
+    // kernel (scalar reference, SIMD-batched PRG, multi-query tile) must be
+    // bit-identical to the sequential reference under layouts {row-major,
+    // tiled} x shards {1,3,8} x placements {dynamic, pinned} x batch
+    // {1,4,32}. Z_2^128 addition is commutative, so any kernel's
+    // segmentation must reproduce the exact same words.
+    Rng rng_a(53);
+    Rng rng_b(53);
+    const std::uint64_t n = 700;  // spans several tiles at 208 B/row
+    PirTable row_major(n, 208, TableLayout::kRowMajor);
+    PirTable tiled(n, 208, TableLayout::kTiled);
+    row_major.FillRandom(rng_a);
+    tiled.FillRandom(rng_b);
+    PirClient client(10, PrfKind::kAes128, /*seed=*/23);
+    ThreadPool pool(4);
+
+    const std::size_t max_batch =
+        *std::max_element(std::begin(kBatchSizes), std::end(kBatchSizes));
+    std::vector<std::vector<std::uint8_t>> keys;
+    std::vector<PirResponse> expected;
+    for (std::size_t i = 0; i < max_batch; ++i) {
+        PirQuery q = client.Query((i * 131) % n);
+        expected.push_back(ReferenceAnswer(
+            row_major, DpfKey::Deserialize(q.key_for_server0.data(),
+                                           q.key_for_server0.size())));
+        keys.push_back(std::move(q.key_for_server0));
+    }
+
+    for (const CpuKernelKind kernel : AllCpuKernelKinds()) {
+        for (const PirTable* table : {&row_major, &tiled}) {
+            for (const std::size_t shards : kShardCounts) {
+                for (const ShardPlacement placement :
+                     {ShardPlacement::kDynamic, ShardPlacement::kPinned}) {
+                    PirServer server(
+                        table,
+                        ShardingOptions{shards, &pool, placement, kernel});
+                    for (const std::size_t batch : kBatchSizes) {
+                        const std::vector<std::vector<std::uint8_t>> subset(
+                            keys.begin(), keys.begin() + batch);
+                        const auto responses = server.BatchAnswer(subset);
+                        ASSERT_EQ(responses.size(), batch);
+                        for (std::size_t i = 0; i < batch; ++i) {
+                            ASSERT_EQ(responses[i], expected[i])
+                                << "kernel=" << CpuKernelKindName(kernel)
+                                << " layout="
+                                << (table == &tiled ? "tiled" : "row-major")
+                                << " shards=" << shards << " placement="
+                                << ShardPlacementName(placement)
+                                << " batch=" << batch << " query=" << i;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 TEST(ShardedServiceTest, TiledLayoutLookupMatchesRowMajor) {
     RecWorkloadSpec spec;
     spec.name = "layout-service-test";
@@ -311,35 +370,42 @@ TEST(AnswerEngineTest, JobContextSkipsDeadJobsAndKeepsLiveOnesBitIdentical) {
     const bool dead[kJobs] = {false, true, false, true, true, false};
     constexpr std::size_t kDeadJobs = 3;
 
-    for (const PirTable* table : {&row_major, &tiled}) {
-        for (const std::size_t shards : kShardCounts) {
-            for (const ShardPlacement placement :
-                 {ShardPlacement::kDynamic, ShardPlacement::kPinned}) {
-                AnswerEngine engine(
-                    ShardingOptions{shards, &pool, placement});
-                std::vector<AnswerEngine::TableJob> jobs;
-                for (std::size_t q = 0; q < kJobs; ++q) {
-                    jobs.push_back(
-                        {table, {&keys[q], 0, n}, {q, contexts[q]}});
-                }
-                std::vector<PirResponse> out(kJobs);
-                const AnswerEngine::BatchStats stats =
-                    engine.AnswerBatchNotify(
-                        jobs, [&out](std::size_t q, PirResponse&& resp) {
-                            out[q] = std::move(resp);
-                        });
-                EXPECT_EQ(stats.jobs_skipped, kDeadJobs)
-                    << "shards=" << shards;
-                EXPECT_EQ(stats.shards_skipped, kDeadJobs * shards)
-                    << "shards=" << shards;
-                for (std::size_t q = 0; q < kJobs; ++q) {
-                    if (dead[q]) {
-                        EXPECT_TRUE(out[q].empty())
-                            << "shards=" << shards << " job=" << q;
-                    } else {
-                        EXPECT_EQ(out[q], expected[q])
-                            << "shards=" << shards << " placement="
-                            << ShardPlacementName(placement) << " job=" << q;
+    for (const CpuKernelKind kernel : AllCpuKernelKinds()) {
+        for (const PirTable* table : {&row_major, &tiled}) {
+            for (const std::size_t shards : kShardCounts) {
+                for (const ShardPlacement placement :
+                     {ShardPlacement::kDynamic, ShardPlacement::kPinned}) {
+                    AnswerEngine engine(
+                        ShardingOptions{shards, &pool, placement, kernel});
+                    std::vector<AnswerEngine::TableJob> jobs;
+                    for (std::size_t q = 0; q < kJobs; ++q) {
+                        jobs.push_back(
+                            {table, {&keys[q], 0, n}, {q, contexts[q]}});
+                    }
+                    std::vector<PirResponse> out(kJobs);
+                    const AnswerEngine::BatchStats stats =
+                        engine.AnswerBatchNotify(
+                            jobs, [&out](std::size_t q, PirResponse&& resp) {
+                                out[q] = std::move(resp);
+                            });
+                    EXPECT_EQ(stats.jobs_skipped, kDeadJobs)
+                        << "kernel=" << CpuKernelKindName(kernel)
+                        << " shards=" << shards;
+                    EXPECT_EQ(stats.shards_skipped, kDeadJobs * shards)
+                        << "kernel=" << CpuKernelKindName(kernel)
+                        << " shards=" << shards;
+                    for (std::size_t q = 0; q < kJobs; ++q) {
+                        if (dead[q]) {
+                            EXPECT_TRUE(out[q].empty())
+                                << "kernel=" << CpuKernelKindName(kernel)
+                                << " shards=" << shards << " job=" << q;
+                        } else {
+                            EXPECT_EQ(out[q], expected[q])
+                                << "kernel=" << CpuKernelKindName(kernel)
+                                << " shards=" << shards << " placement="
+                                << ShardPlacementName(placement)
+                                << " job=" << q;
+                        }
                     }
                 }
             }
