@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Concurrency lint for src/: the rules clang-tidy cannot express.
+
+Run by scripts/run_static_analysis.sh (and the static-analysis CI job).
+Pure stdlib, no clang needed, so it runs everywhere.
+
+Rules
+-----
+1. No raw std locking primitives outside src/common/mutex.h: std::mutex,
+   std::condition_variable(_any), std::lock_guard, std::unique_lock,
+   std::scoped_lock, std::shared_mutex. Concurrent code must go through
+   the annotated gpudpf::Mutex / MutexLock / CondVar wrappers so Clang's
+   -Wthread-safety analysis can see the locking. (std::once_flag /
+   std::call_once / std::atomic are fine — they are not lock capabilities
+   the analysis tracks.)
+
+2. Every gpudpf::Mutex member declared in src/ must be associated with at
+   least one annotation naming it in the same file — GPUDPF_GUARDED_BY,
+   GPUDPF_PT_GUARDED_BY, GPUDPF_REQUIRES, GPUDPF_ACQUIRE, GPUDPF_RELEASE,
+   GPUDPF_EXCLUDES or GPUDPF_RETURN_CAPABILITY. A mutex no annotation
+   references guards nothing the compiler can check: either annotate what
+   it protects or delete it.
+
+3. No raw pthread mutex/rwlock/cond API in src/ (pthread thread-affinity
+   calls, which the pool uses for pinning, are fine).
+
+Comments and string literals are stripped before matching, so prose like
+"std::mutex carries no annotations" does not trip rule 1.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# Files allowed to touch the raw std primitives (the wrapper itself).
+RAW_STD_ALLOWED = {SRC / "common" / "mutex.h"}
+
+RAW_STD_RE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex"
+    r"|condition_variable(_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+
+PTHREAD_RE = re.compile(r"\bpthread_(mutex|rwlock|cond)\w*")
+
+# `Mutex name;` (optionally mutable/static, optionally with an annotation
+# between the name and the semicolon) declared as a member or local.
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+|static\s+)*Mutex\s+(\w+)\s*(?:GPUDPF_\w+\([^)]*\)\s*)?;",
+    re.MULTILINE,
+)
+
+ASSOCIATION_MACROS = (
+    "GPUDPF_GUARDED_BY",
+    "GPUDPF_PT_GUARDED_BY",
+    "GPUDPF_REQUIRES",
+    "GPUDPF_REQUIRES_SHARED",
+    "GPUDPF_ACQUIRE",
+    "GPUDPF_ACQUIRE_SHARED",
+    "GPUDPF_RELEASE",
+    "GPUDPF_RELEASE_SHARED",
+    "GPUDPF_TRY_ACQUIRE",
+    "GPUDPF_EXCLUDES",
+    "GPUDPF_ASSERT_CAPABILITY",
+    "GPUDPF_RETURN_CAPABILITY",
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out //, /* */ comments and "..."/'...' literals, keeping
+    newlines so reported line numbers stay meaningful."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        two = text[i : i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.extend(ch if ch == "\n" else " " for ch in text[i:j])
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                j += 1
+            out.append(" " * (j - i))
+            i = j
+            continue
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def main() -> int:
+    errors = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        raw = path.read_text()
+        code = strip_comments_and_strings(raw)
+        rel = path.relative_to(REPO)
+
+        if path not in RAW_STD_ALLOWED:
+            for m in RAW_STD_RE.finditer(code):
+                # std::call_once's header is <mutex>; only flag the lock
+                # types themselves, which the regex already restricts to.
+                errors.append(
+                    f"{rel}:{line_of(code, m.start())}: raw {m.group(0)} — "
+                    f"use gpudpf::Mutex/MutexLock/CondVar "
+                    f"(src/common/mutex.h) so -Wthread-safety can check it"
+                )
+
+        for m in PTHREAD_RE.finditer(code):
+            errors.append(
+                f"{rel}:{line_of(code, m.start())}: raw {m.group(0)} — "
+                f"pthread locking is invisible to the analysis; use the "
+                f"annotated wrappers"
+            )
+
+        for m in MUTEX_DECL_RE.finditer(code):
+            name = m.group(1)
+            associated = any(
+                re.search(rf"{macro}\(\s*{re.escape(name)}\s*\)", code)
+                for macro in ASSOCIATION_MACROS
+            )
+            if not associated:
+                errors.append(
+                    f"{rel}:{line_of(code, m.start())}: Mutex '{name}' has "
+                    f"no GPUDPF_GUARDED_BY/REQUIRES/EXCLUDES association in "
+                    f"this file — annotate what it guards"
+                )
+
+    if errors:
+        print(f"lint_concurrency: {len(errors)} error(s)", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print("lint_concurrency: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

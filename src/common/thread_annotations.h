@@ -1,0 +1,104 @@
+// Clang thread-safety annotation macros (Abseil-style), no-ops elsewhere.
+//
+// These turn the repo's informal locking comments ("guarded by mu_") into
+// contracts the compiler verifies: building with Clang and -Wthread-safety
+// (the CI static-analysis job adds -Werror) rejects any access to a
+// GPUDPF_GUARDED_BY member without its mutex held, any call to a
+// GPUDPF_REQUIRES function without the named capability, and any
+// unbalanced GPUDPF_ACQUIRE/GPUDPF_RELEASE pair. Under GCC (the default
+// local toolchain) every macro expands to nothing, so the annotated tree
+// compiles identically.
+//
+// The analysis only tracks capabilities it can see, so concurrent code in
+// src/ must use the annotated wrappers in src/common/mutex.h
+// (gpudpf::Mutex / gpudpf::MutexLock / gpudpf::CondVar) instead of raw
+// std::mutex / std::lock_guard / std::condition_variable — std's types
+// carry no annotations, so locking through them is invisible to the
+// checker. scripts/lint_concurrency.py enforces that rule mechanically.
+//
+// Known limits (see the Clang ThreadSafetyAnalysis docs):
+//   - The analysis is intra-procedural and matches capability expressions
+//     syntactically: a member guarded by ANOTHER object's mutex (e.g. the
+//     serving front-end's mu_ guarding each Request's pipeline stage)
+//     cannot be expressed; such members keep a "guarded by" comment and
+//     the discipline is covered by the TSan CI jobs instead.
+//   - Lambdas are separate function bodies: either annotate the lambda's
+//     call operator (GNU attribute after the parameter list) or — the
+//     style used here — write explicit wait loops so guarded accesses stay
+//     in the function that visibly holds the lock.
+//   - A function that intentionally breaks the rules (none today) must be
+//     scoped with GPUDPF_NO_THREAD_SAFETY_ANALYSIS plus a justification
+//     comment; bare escapes are rejected in review.
+//
+// Verified by tests/annotations_compile_test: a TU that misuses a
+// GPUDPF_GUARDED_BY member MUST fail to compile under Clang, so this
+// enforcement cannot silently rot.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define GPUDPF_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define GPUDPF_THREAD_ANNOTATION_(x)  // no-op on non-Clang compilers
+#endif
+
+// Declares that a class is a capability (e.g. a mutex type). `x` is the
+// capability kind shown in diagnostics, typically "mutex".
+#define GPUDPF_CAPABILITY(x) GPUDPF_THREAD_ANNOTATION_(capability(x))
+
+// Declares an RAII class that acquires a capability in its constructor and
+// releases it in its destructor (e.g. MutexLock).
+#define GPUDPF_SCOPED_CAPABILITY GPUDPF_THREAD_ANNOTATION_(scoped_lockable)
+
+// Declares that a data member is protected by the given capability: reads
+// and writes require holding it.
+#define GPUDPF_GUARDED_BY(x) GPUDPF_THREAD_ANNOTATION_(guarded_by(x))
+
+// Declares that the data POINTED TO by a pointer member is protected by
+// the given capability (the pointer itself is not).
+#define GPUDPF_PT_GUARDED_BY(x) GPUDPF_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Declares that the calling thread must hold the given capability
+// (exclusively / shared) when calling the function; the function does not
+// acquire or release it. Also usable on a CondVar-style Wait, which
+// releases and re-acquires inside.
+#define GPUDPF_REQUIRES(...) \
+    GPUDPF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define GPUDPF_REQUIRES_SHARED(...) \
+    GPUDPF_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Declares that the function acquires / releases the given capability
+// (its own *this for a mutex type's Lock/Unlock).
+#define GPUDPF_ACQUIRE(...) \
+    GPUDPF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define GPUDPF_ACQUIRE_SHARED(...) \
+    GPUDPF_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define GPUDPF_RELEASE(...) \
+    GPUDPF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define GPUDPF_RELEASE_SHARED(...) \
+    GPUDPF_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// Declares a function that acquires the capability only when it returns
+// the given value (e.g. TryLock returning true).
+#define GPUDPF_TRY_ACQUIRE(...) \
+    GPUDPF_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Declares that the caller must NOT hold the given capability: the
+// function acquires it itself, so calling with it held would deadlock a
+// non-reentrant mutex.
+#define GPUDPF_EXCLUDES(...) \
+    GPUDPF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Declares a runtime assertion that the capability is held (e.g. an
+// AssertHeld() that aborts otherwise); the analysis assumes it afterwards.
+#define GPUDPF_ASSERT_CAPABILITY(x) \
+    GPUDPF_THREAD_ANNOTATION_(assert_capability(x))
+
+// Declares that the function returns a reference to the given capability,
+// so accessor-returned mutexes participate in the analysis.
+#define GPUDPF_RETURN_CAPABILITY(x) GPUDPF_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use must
+// carry a justification comment; scripts/run_static_analysis.sh is the
+// reviewer's grep anchor.
+#define GPUDPF_NO_THREAD_SAFETY_ANALYSIS \
+    GPUDPF_THREAD_ANNOTATION_(no_thread_safety_analysis)

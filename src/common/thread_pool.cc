@@ -28,7 +28,12 @@ std::function<void()> PopTwoLevel(
 
 ThreadPool::ThreadPool(std::size_t threads, bool pin_to_cores) {
     if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-    pinned_.resize(threads);
+    {
+        // No worker exists yet; the lock is for the analysis (pinned_ is
+        // guarded by mu_) and costs one uncontended acquire.
+        MutexLock lock(mu_);
+        pinned_.resize(threads);
+    }
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i) {
         workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -54,39 +59,39 @@ ThreadPool::ThreadPool(std::size_t threads, bool pin_to_cores) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
     }
-    task_cv_.notify_all();
+    task_cv_.NotifyAll();
     for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> fn, TaskPriority priority) {
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         tasks_[static_cast<std::size_t>(priority)].push(std::move(fn));
         ++in_flight_;
     }
-    task_cv_.notify_one();
+    task_cv_.NotifyOne();
 }
 
 void ThreadPool::SubmitTo(std::size_t worker, std::function<void()> fn,
                           TaskPriority priority) {
     worker %= workers_.size();
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         pinned_[worker][static_cast<std::size_t>(priority)].push(
             std::move(fn));
         ++in_flight_;
     }
     // The single condition variable is shared by all workers, so wake them
     // all; the non-target workers re-check their predicates and sleep.
-    task_cv_.notify_all();
+    task_cv_.NotifyAll();
 }
 
 void ThreadPool::Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) done_cv_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
@@ -116,10 +121,10 @@ void ThreadPool::WorkerLoop(std::size_t index) {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            task_cv_.wait(lock, [this, index] {
-                return stop_ || !Empty(tasks_) || !Empty(pinned_[index]);
-            });
+            MutexLock lock(mu_);
+            while (!stop_ && Empty(tasks_) && Empty(pinned_[index])) {
+                task_cv_.Wait(mu_);
+            }
             // Pinned work first (shard residency), shared work second;
             // interactive before batch inside each.
             if (!Empty(pinned_[index])) {
@@ -132,8 +137,8 @@ void ThreadPool::WorkerLoop(std::size_t index) {
         }
         task();
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            if (--in_flight_ == 0) done_cv_.notify_all();
+            MutexLock lock(mu_);
+            if (--in_flight_ == 0) done_cv_.NotifyAll();
         }
     }
 }

@@ -16,17 +16,21 @@
 // interactive task is eligible — acceptable because interactive load is
 // bounded upstream (serving admission caps), so batch work cannot starve
 // indefinitely.
+//
+// Locking discipline is compiler-checked: every queue and counter member
+// is GPUDPF_GUARDED_BY(mu_) (src/common/thread_annotations.h), so a Clang
+// -Wthread-safety build rejects any unlocked access at compile time.
 #pragma once
 
 #include <array>
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace gpudpf {
 
@@ -51,17 +55,19 @@ class ThreadPool {
 
     // Enqueues a task; tasks may not block on other pool tasks.
     void Submit(std::function<void()> fn,
-                TaskPriority priority = TaskPriority::kInteractive);
+                TaskPriority priority = TaskPriority::kInteractive)
+        GPUDPF_EXCLUDES(mu_);
 
     // Enqueues a task that only worker `worker % thread_count()` will run.
     // Pinned tasks of one worker and one priority class run in submission
     // order; the worker drains its pinned queue (interactive then batch)
     // before taking from the shared queue.
     void SubmitTo(std::size_t worker, std::function<void()> fn,
-                  TaskPriority priority = TaskPriority::kInteractive);
+                  TaskPriority priority = TaskPriority::kInteractive)
+        GPUDPF_EXCLUDES(mu_);
 
     // Blocks until every submitted task has finished.
-    void Wait();
+    void Wait() GPUDPF_EXCLUDES(mu_);
 
     // Runs fn(i) for i in [begin, end), split into contiguous chunks across
     // up to max_parallelism workers (0 = all workers), and waits.
@@ -78,16 +84,18 @@ class ThreadPool {
 
     void WorkerLoop(std::size_t index);
 
+    // Immutable after the constructor returns (workers never mutate it),
+    // so thread_count()/SubmitTo() read it lock-free.
     std::vector<std::thread> workers_;
-    TwoLevelQueue tasks_;
+    Mutex mu_;
+    CondVar task_cv_;
+    CondVar done_cv_;
+    TwoLevelQueue tasks_ GPUDPF_GUARDED_BY(mu_);
     // One pinned two-level queue per worker, guarded by mu_ like the
     // shared queue.
-    std::vector<TwoLevelQueue> pinned_;
-    std::mutex mu_;
-    std::condition_variable task_cv_;
-    std::condition_variable done_cv_;
-    std::size_t in_flight_ = 0;
-    bool stop_ = false;
+    std::vector<TwoLevelQueue> pinned_ GPUDPF_GUARDED_BY(mu_);
+    std::size_t in_flight_ GPUDPF_GUARDED_BY(mu_) = 0;
+    bool stop_ GPUDPF_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gpudpf

@@ -12,6 +12,13 @@
 // Arbitrarily many clients may run concurrently against one service; a
 // single Client must be driven from one thread at a time.
 //
+// Thread-safety: the service itself holds no mutexes — its tables, layout
+// and planner are immutable after construction, and the only mutable
+// shared state is the atomic client counter below. All serving-path
+// locking lives in ServingFrontEnd and ThreadPool, whose lock discipline
+// is compiler-checked under Clang -Wthread-safety (see
+// src/common/thread_annotations.h).
+//
 // Quickstart (see examples/quickstart.cc, examples/private_recommendation.cc):
 //   EmbeddingTable emb(...);              // the model's embedding weights
 //   AccessStats stats = ...;              // from the training trace

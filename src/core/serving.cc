@@ -54,13 +54,13 @@ const char* RequestStatusName(RequestStatus status) {
 
 RequestStatus ServingFrontEnd::RequestHandle::status() const {
     if (req_ == nullptr) return RequestStatus::kFailed;
-    std::unique_lock<std::mutex> lock(req_->mu);
+    MutexLock lock(req_->mu);
     return req_->status;
 }
 
 bool ServingFrontEnd::RequestHandle::NextPartial(TablePartial* out) {
     if (req_ == nullptr) return false;
-    std::unique_lock<std::mutex> lock(req_->mu);
+    MutexLock lock(req_->mu);
     if (req_->partials.empty()) return false;
     *out = *req_->partials.front();
     req_->partials.pop_front();
@@ -69,11 +69,11 @@ bool ServingFrontEnd::RequestHandle::NextPartial(TablePartial* out) {
 
 bool ServingFrontEnd::RequestHandle::WaitPartial(TablePartial* out) {
     if (req_ == nullptr) return false;
-    std::unique_lock<std::mutex> lock(req_->mu);
-    req_->cv.wait(lock, [this] {
-        return !req_->partials.empty() ||
-               req_->status != RequestStatus::kInFlight;
-    });
+    MutexLock lock(req_->mu);
+    while (req_->partials.empty() &&
+           req_->status == RequestStatus::kInFlight) {
+        req_->cv.Wait(req_->mu);
+    }
     if (req_->partials.empty()) return false;  // terminal and fully drained
     *out = *req_->partials.front();
     req_->partials.pop_front();
@@ -82,18 +82,16 @@ bool ServingFrontEnd::RequestHandle::WaitPartial(TablePartial* out) {
 
 void ServingFrontEnd::RequestHandle::Wait() {
     if (req_ == nullptr) return;
-    std::unique_lock<std::mutex> lock(req_->mu);
-    req_->cv.wait(lock,
-                  [this] { return req_->status != RequestStatus::kInFlight; });
+    MutexLock lock(req_->mu);
+    while (req_->status == RequestStatus::kInFlight) req_->cv.Wait(req_->mu);
 }
 
 PrivateEmbeddingService::LookupResult ServingFrontEnd::RequestHandle::Result() {
     if (req_ == nullptr) {
         throw std::runtime_error("RequestHandle::Result: request not admitted");
     }
-    std::unique_lock<std::mutex> lock(req_->mu);
-    req_->cv.wait(lock,
-                  [this] { return req_->status != RequestStatus::kInFlight; });
+    MutexLock lock(req_->mu);
+    while (req_->status == RequestStatus::kInFlight) req_->cv.Wait(req_->mu);
     switch (req_->status) {
         case RequestStatus::kComplete:
             return std::move(req_->result);
@@ -114,7 +112,7 @@ bool ServingFrontEnd::RequestHandle::Cancel() {
     }
     bool was_queued = false;
     {
-        std::unique_lock<std::mutex> lock(req_->mu);
+        MutexLock lock(req_->mu);
         if (req_->status != RequestStatus::kInFlight) return false;
         // Holding req_->mu with a still-in-flight status pins the
         // front-end alive for the MarkCancelled call: every completion
@@ -131,7 +129,7 @@ bool ServingFrontEnd::RequestHandle::Cancel() {
         }
     }
     if (was_queued) {
-        req_->cv.notify_all();
+        req_->cv.NotifyAll();
         if (req_->on_complete) req_->on_complete(RequestStatus::kCancelled);
     }
     return true;
@@ -173,16 +171,16 @@ std::size_t ServingFrontEnd::SlotCap(RequestPriority priority) const {
 ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitImpl(
     LookupRequest request, SubmitOptions options, bool blocking) {
     if (request.client == nullptr || request.wanted.empty()) {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++counters_.rejected_invalid;
         return RequestHandle{AdmissionStatus::kInvalidRequest, nullptr, this};
     }
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (blocking) {
-            slot_cv_.wait(lock, [this, &options] {
-                return stop_ || inflight_ < SlotCap(options.priority);
-            });
+            while (!stop_ && inflight_ >= SlotCap(options.priority)) {
+                slot_cv_.Wait(mu_);
+            }
         }
         if (stop_) {
             return RequestHandle{AdmissionStatus::kShutdown, nullptr, this};
@@ -252,16 +250,16 @@ ServingFrontEnd::RequestHandle ServingFrontEnd::Enqueue(
         // Release the slot or the batcher would wait for this request
         // forever (shutdown requires preparing_ == 0).
         {
-            std::unique_lock<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             --inflight_;
             --preparing_;
         }
-        slot_cv_.notify_all();
-        queue_cv_.notify_all();
+        slot_cv_.NotifyAll();
+        queue_cv_.NotifyAll();
         throw;
     }
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         queue_.push_back(req);
         // Inter-arrival EWMA for the adaptive batching window. The decay
         // is time-based (half-life linger_ewma_half_life_us), so a long
@@ -286,7 +284,7 @@ ServingFrontEnd::RequestHandle ServingFrontEnd::Enqueue(
         have_arrival_ = true;
         --preparing_;
     }
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
     return RequestHandle{AdmissionStatus::kAccepted, std::move(req), this};
 }
 
@@ -294,7 +292,7 @@ bool ServingFrontEnd::MarkCancelled(const std::shared_ptr<Request>& req,
                                     bool* was_queued) {
     *was_queued = false;
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (req->stage == Request::Stage::kQueued) {
             // Unwind before dispatch: tombstone the queue entry (the
             // batcher drops it at drain) and hand the slot back now. The
@@ -315,27 +313,27 @@ bool ServingFrontEnd::MarkCancelled(const std::shared_ptr<Request>& req,
             return false;  // batch already finished; completion is racing in
         }
     }
-    if (*was_queued) slot_cv_.notify_all();
+    if (*was_queued) slot_cv_.NotifyAll();
     return true;
 }
 
 void ServingFrontEnd::Shutdown() {
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
     }
-    queue_cv_.notify_all();
-    slot_cv_.notify_all();
+    queue_cv_.NotifyAll();
+    slot_cv_.NotifyAll();
     if (batcher_.joinable()) batcher_.join();
 }
 
 std::size_t ServingFrontEnd::inflight() const {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return inflight_;
 }
 
 ServingFrontEnd::Counters ServingFrontEnd::counters() const {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return counters_;
 }
 
@@ -362,10 +360,10 @@ void ServingFrontEnd::BatcherLoop() {
     for (;;) {
         std::vector<std::shared_ptr<Request>> batch;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            queue_cv_.wait(lock, [this] {
-                return !queue_.empty() || (stop_ && preparing_ == 0);
-            });
+            MutexLock lock(mu_);
+            while (queue_.empty() && !(stop_ && preparing_ == 0)) {
+                queue_cv_.Wait(mu_);
+            }
             if (queue_.empty()) return;  // stopped and fully drained
             if (!stop_ && queue_.size() < options_.max_inflight_requests) {
                 // Give concurrent submitters a window to join this batch,
@@ -402,7 +400,7 @@ void ServingFrontEnd::BatcherLoop() {
                     // Wakes on arrivals (to recompute the deadline cap and
                     // the capacity check), stop, timeout, or spuriously;
                     // the loop re-derives how long is left either way.
-                    queue_cv_.wait_until(lock, cap);
+                    queue_cv_.WaitUntil(mu_, cap);
                 }
             }
             for (auto& req : queue_) {
@@ -439,12 +437,12 @@ void ServingFrontEnd::BatcherLoop() {
         }
         if (!cancelled.empty() || !expired.empty()) {
             {
-                std::unique_lock<std::mutex> lock(mu_);
+                MutexLock lock(mu_);
                 for (auto& req : cancelled) req->stage = Request::Stage::kDone;
                 for (auto& req : expired) req->stage = Request::Stage::kDone;
                 inflight_ -= cancelled.size() + expired.size();
             }
-            slot_cv_.notify_all();
+            slot_cv_.NotifyAll();
             for (auto& req : cancelled) {
                 CompleteRequest(req, RequestStatus::kCancelled);
             }
@@ -464,27 +462,37 @@ void ServingFrontEnd::BatcherLoop() {
                          });
         ProcessBatch(runnable);
         {
-            std::unique_lock<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             for (auto& req : runnable) req->stage = Request::Stage::kDone;
             inflight_ -= runnable.size();
         }
-        slot_cv_.notify_all();
+        slot_cv_.NotifyAll();
         // Complete only after releasing the admission slots, so a caller
         // unblocked by its handle can immediately submit again without
         // bouncing off a stale queue-full.
         for (auto& req : runnable) {
             // result_ready/error were written by pool workers before
-            // AnswerBatchNotify's barrier, so reading them here is safe. A
+            // AnswerBatchNotify's barrier; the snapshot still takes the
+            // request mutex — the members are guarded by it, and "the
+            // barrier happened to order this" is exactly the kind of
+            // implicit contract the annotation pass exists to retire. A
             // cancel that arrived mid-batch wins over every outcome: its
             // Cancel() already returned true. A deadline that passed
             // mid-batch (the engine skipped the remaining work, so no
             // result was assembled) reports kDeadlineExpired, not kFailed
             // — unless a real server-side error landed first.
+            bool result_ready = false;
+            bool has_error = false;
+            {
+                MutexLock lock(req->mu);
+                result_ready = req->result_ready;
+                has_error = req->error != nullptr;
+            }
             RequestStatus final = RequestStatus::kComplete;
             if (req->context->cancelled()) {
                 final = RequestStatus::kCancelled;
-            } else if (!req->result_ready || req->error != nullptr) {
-                final = (req->error == nullptr && req->context->expired())
+            } else if (!result_ready || has_error) {
+                final = (!has_error && req->context->expired())
                             ? RequestStatus::kDeadlineExpired
                             : RequestStatus::kFailed;
             }
@@ -618,14 +626,14 @@ void ServingFrontEnd::ProcessBatch(
                     (g.hot ? req->hot_partial : req->full_partial) = kept;
                     if (!req->context->cancelled()) {
                         {
-                            std::unique_lock<std::mutex> lock(req->mu);
+                            MutexLock lock(req->mu);
                             req->partials.push_back(kept);
                         }
-                        req->cv.notify_all();
+                        req->cv.NotifyAll();
                         if (req->on_partial) req->on_partial(*kept);
                     }
                 } catch (...) {
-                    std::unique_lock<std::mutex> lock(req->mu);
+                    MutexLock lock(req->mu);
                     if (req->error == nullptr) {
                         req->error = std::current_exception();
                     }
@@ -640,17 +648,17 @@ void ServingFrontEnd::ProcessBatch(
             if (req->context->ShouldSkip()) return;
             try {
                 {
-                    std::unique_lock<std::mutex> lock(req->mu);
+                    MutexLock lock(req->mu);
                     if (req->error != nullptr) return;
                 }
                 auto result = service_->FinalizeLookupResult(
                     req->prep, *req->full_partial,
                     req->has_hot ? req->hot_partial.get() : nullptr);
-                std::unique_lock<std::mutex> lock(req->mu);
+                MutexLock lock(req->mu);
                 req->result = std::move(result);
                 req->result_ready = true;
             } catch (...) {
-                std::unique_lock<std::mutex> lock(req->mu);
+                MutexLock lock(req->mu);
                 if (req->error == nullptr) {
                     req->error = std::current_exception();
                 }
@@ -668,7 +676,7 @@ void ServingFrontEnd::ProcessBatch(
                 }
             });
         if (stats.jobs_skipped > 0 || stats.shards_skipped > 0) {
-            std::unique_lock<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             counters_.jobs_skipped += stats.jobs_skipped;
             counters_.shards_skipped += stats.shards_skipped;
         }
@@ -677,7 +685,7 @@ void ServingFrontEnd::ProcessBatch(
         // result yet instead of dropping handles (which would leave their
         // waiters with a generic "request failed" and no cause).
         for (const auto& req : batch) {
-            std::unique_lock<std::mutex> lock(req->mu);
+            MutexLock lock(req->mu);
             if (!req->result_ready && req->error == nullptr) {
                 req->error = std::current_exception();
             }
@@ -700,7 +708,7 @@ void ServingFrontEnd::CompleteRequest(const std::shared_ptr<Request>& req,
     // once per request (queued cancels tombstone the entry the batcher
     // would otherwise complete), so the count can't double.
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         switch (final) {
             case RequestStatus::kComplete:
                 ++counters_.completed;
@@ -717,11 +725,11 @@ void ServingFrontEnd::CompleteRequest(const std::shared_ptr<Request>& req,
         }
     }
     {
-        std::unique_lock<std::mutex> lock(req->mu);
+        MutexLock lock(req->mu);
         if (req->status != RequestStatus::kInFlight) return;
         req->status = final;
     }
-    req->cv.notify_all();
+    req->cv.NotifyAll();
     if (req->on_complete) req->on_complete(final);
 }
 

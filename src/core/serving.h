@@ -53,16 +53,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/service.h"
 #include "src/pir/answer_engine.h"
 
@@ -196,12 +196,12 @@ class ServingFrontEnd {
     // Stops admitting, drains every admitted request to a terminal status,
     // joins the batcher. Idempotent; runs in the destructor if not called
     // explicitly.
-    void Shutdown();
+    void Shutdown() GPUDPF_EXCLUDES(mu_);
 
     // Requests admitted but not yet completed (queued + being answered).
-    std::size_t inflight() const;
+    std::size_t inflight() const GPUDPF_EXCLUDES(mu_);
 
-    Counters counters() const;
+    Counters counters() const GPUDPF_EXCLUDES(mu_);
 
     const Options& options() const { return options_; }
 
@@ -222,24 +222,28 @@ class ServingFrontEnd {
         std::function<void(RequestStatus)> on_complete;
 
         // Where the request sits in the admission pipeline; guarded by the
-        // front-end mutex. kQueued -> kDispatched (batcher drain) or
-        // kQueued -> kDone (queued cancel / deadline triage); kDispatched
-        // -> kDone when its batch finishes. A kDone entry still in the
-        // queue vector is a tombstone the batcher drops at drain.
+        // FRONT-END's mu_ (a cross-object guard the thread-safety analysis
+        // cannot express — see src/common/thread_annotations.h; the TSan
+        // CI jobs cover this member instead). kQueued -> kDispatched
+        // (batcher drain) or kQueued -> kDone (queued cancel / deadline
+        // triage); kDispatched -> kDone when its batch finishes. A kDone
+        // entry still in the queue vector is a tombstone the batcher drops
+        // at drain.
         enum class Stage { kQueued, kDispatched, kDone };
         Stage stage = Stage::kQueued;
 
-        // Result machinery, guarded by mu. Partials are shared, not
-        // copied: one materialization per (request, table) feeds the
-        // stream queue, the callback, and final assembly alike; pull
-        // consumers pay their copy at pop time.
-        std::mutex mu;
-        std::condition_variable cv;
-        std::deque<std::shared_ptr<const TablePartial>> partials;
-        RequestStatus status = RequestStatus::kInFlight;
-        bool result_ready = false;
-        PrivateEmbeddingService::LookupResult result;
-        std::exception_ptr error;
+        // Result machinery, guarded by mu (compiler-checked). Partials are
+        // shared, not copied: one materialization per (request, table)
+        // feeds the stream queue, the callback, and final assembly alike;
+        // pull consumers pay their copy at pop time.
+        Mutex mu;
+        CondVar cv;
+        std::deque<std::shared_ptr<const TablePartial>> partials
+            GPUDPF_GUARDED_BY(mu);
+        RequestStatus status GPUDPF_GUARDED_BY(mu) = RequestStatus::kInFlight;
+        bool result_ready GPUDPF_GUARDED_BY(mu) = false;
+        PrivateEmbeddingService::LookupResult result GPUDPF_GUARDED_BY(mu);
+        std::exception_ptr error GPUDPF_GUARDED_BY(mu);
 
         // The request's shared execution context (src/pir/job_context.h),
         // created at enqueue with the request's priority and deadline and
@@ -317,17 +321,17 @@ class ServingFrontEnd {
   private:
     // Shared admission path behind the public submit entry points.
     RequestHandle SubmitImpl(LookupRequest request, SubmitOptions options,
-                             bool blocking);
+                             bool blocking) GPUDPF_EXCLUDES(mu_);
     // Client-side phase + enqueue, called with an admission slot held.
-    RequestHandle Enqueue(LookupRequest request, SubmitOptions options);
+    RequestHandle Enqueue(LookupRequest request, SubmitOptions options)
+        GPUDPF_EXCLUDES(mu_);
     // kBatch requests only get the bottom 3/4 of the admission slots.
     std::size_t SlotCap(RequestPriority priority) const;
     // Batching window for the next batch, honoring the adaptive policy.
     // The batcher's wait loop additionally caps the window at the
-    // earliest queued deadline, re-derived after every wake-up. Called
-    // under mu_.
-    std::uint64_t ComputeLingerUs() const;
-    void BatcherLoop();
+    // earliest queued deadline, re-derived after every wake-up.
+    std::uint64_t ComputeLingerUs() const GPUDPF_REQUIRES(mu_);
+    void BatcherLoop() GPUDPF_EXCLUDES(mu_);
     // Answers one triaged batch (priority-sorted, no tombstones) through a
     // single cross-table engine submission with per-job completion
     // notifications: per-request hot partials stream out as their groups
@@ -348,25 +352,28 @@ class ServingFrontEnd {
     // has its JobContext cancelled, which the engine's shard tasks and
     // the completion path observe. Returns false if the batch already
     // finished (completion is racing in).
-    bool MarkCancelled(const std::shared_ptr<Request>& req, bool* was_queued);
+    bool MarkCancelled(const std::shared_ptr<Request>& req, bool* was_queued)
+        GPUDPF_EXCLUDES(mu_);
 
     PrivateEmbeddingService* service_;
     Options options_;
     AnswerEngine engine_;
 
-    mutable std::mutex mu_;
-    std::condition_variable queue_cv_;  // batcher wake-up
-    std::condition_variable slot_cv_;   // SubmitRequestOrWait wake-up
-    std::vector<std::shared_ptr<Request>> queue_;
-    std::size_t inflight_ = 0;   // admitted, not yet completed
-    std::size_t preparing_ = 0;  // admitted, not yet enqueued
-    bool stop_ = false;
-    // Adaptive-linger inputs, guarded by mu_.
-    double arrival_ewma_us_ = 0.0;  // 0 = no samples yet
-    bool have_arrival_ = false;
-    std::chrono::steady_clock::time_point last_arrival_{};
-    double depth_ewma_ = 0.0;  // smoothed drained-batch size
-    Counters counters_;
+    mutable Mutex mu_;
+    CondVar queue_cv_;  // batcher wake-up
+    CondVar slot_cv_;   // SubmitRequestOrWait wake-up
+    std::vector<std::shared_ptr<Request>> queue_ GPUDPF_GUARDED_BY(mu_);
+    // Admitted, not yet completed / admitted, not yet enqueued.
+    std::size_t inflight_ GPUDPF_GUARDED_BY(mu_) = 0;
+    std::size_t preparing_ GPUDPF_GUARDED_BY(mu_) = 0;
+    bool stop_ GPUDPF_GUARDED_BY(mu_) = false;
+    // Adaptive-linger inputs.
+    double arrival_ewma_us_ GPUDPF_GUARDED_BY(mu_) = 0.0;  // 0 = no samples
+    bool have_arrival_ GPUDPF_GUARDED_BY(mu_) = false;
+    std::chrono::steady_clock::time_point last_arrival_ GPUDPF_GUARDED_BY(mu_){};
+    // Smoothed drained-batch size.
+    double depth_ewma_ GPUDPF_GUARDED_BY(mu_) = 0.0;
+    Counters counters_ GPUDPF_GUARDED_BY(mu_);
     std::thread batcher_;
 };
 

@@ -37,18 +37,18 @@ GpuDevice::GpuDevice(DeviceSpec spec, ThreadPool* pool)
       pool_(pool != nullptr ? pool : &ThreadPool::Shared()) {}
 
 void GpuDevice::Alloc(std::uint64_t bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     current_alloc_ += bytes;
     peak_alloc_ = std::max(peak_alloc_, current_alloc_);
 }
 
 void GpuDevice::Free(std::uint64_t bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     current_alloc_ = bytes > current_alloc_ ? 0 : current_alloc_ - bytes;
 }
 
 void GpuDevice::ResetPeakAlloc() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     peak_alloc_ = current_alloc_;
 }
 
@@ -96,7 +96,7 @@ void GpuDevice::LaunchCooperative(std::uint32_t grid_dim,
 }
 
 KernelMetrics GpuDevice::ConsumeMetrics() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     KernelMetrics out = metrics_;
     out.peak_device_bytes = std::max<std::uint64_t>(out.peak_device_bytes, peak_alloc_);
     metrics_ = KernelMetrics{};
@@ -104,12 +104,12 @@ KernelMetrics GpuDevice::ConsumeMetrics() {
 }
 
 void GpuDevice::ResetMetrics() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     metrics_ = KernelMetrics{};
 }
 
 void GpuDevice::MergeBlockMetrics(const KernelMetrics& m) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     metrics_ += m;
 }
 

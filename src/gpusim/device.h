@@ -7,12 +7,12 @@
 // drive the analytical cost model.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/gpusim/metrics.h"
 
@@ -66,11 +66,20 @@ class GpuDevice {
     // Tracks allocation watermark; throws std::bad_alloc-like logic is NOT
     // applied — capacity pressure is reported through metrics so benches can
     // show out-of-memory regimes without crashing.
-    void Alloc(std::uint64_t bytes);
-    void Free(std::uint64_t bytes);
-    std::uint64_t current_alloc_bytes() const { return current_alloc_; }
-    std::uint64_t peak_alloc_bytes() const { return peak_alloc_; }
-    void ResetPeakAlloc();
+    void Alloc(std::uint64_t bytes) GPUDPF_EXCLUDES(mu_);
+    void Free(std::uint64_t bytes) GPUDPF_EXCLUDES(mu_);
+    // Lock-discipline fix surfaced by the annotation pass: these getters
+    // used to read the mu_-guarded watermarks without the lock — racy
+    // against concurrent Alloc/Free from kernel blocks.
+    std::uint64_t current_alloc_bytes() const GPUDPF_EXCLUDES(mu_) {
+        MutexLock lock(mu_);
+        return current_alloc_;
+    }
+    std::uint64_t peak_alloc_bytes() const GPUDPF_EXCLUDES(mu_) {
+        MutexLock lock(mu_);
+        return peak_alloc_;
+    }
+    void ResetPeakAlloc() GPUDPF_EXCLUDES(mu_);
 
     // --- Kernel execution ---------------------------------------------------
     using KernelFn = std::function<void(BlockContext&)>;
@@ -90,18 +99,18 @@ class GpuDevice {
                            std::uint32_t phases, const CoopKernelFn& kernel);
 
     // Accumulated metrics since last ResetMetrics().
-    KernelMetrics ConsumeMetrics();
-    void ResetMetrics();
+    KernelMetrics ConsumeMetrics() GPUDPF_EXCLUDES(mu_);
+    void ResetMetrics() GPUDPF_EXCLUDES(mu_);
 
   private:
-    void MergeBlockMetrics(const KernelMetrics& m);
+    void MergeBlockMetrics(const KernelMetrics& m) GPUDPF_EXCLUDES(mu_);
 
     DeviceSpec spec_;
     ThreadPool* pool_;
-    mutable std::mutex mu_;
-    std::uint64_t current_alloc_ = 0;
-    std::uint64_t peak_alloc_ = 0;
-    KernelMetrics metrics_;
+    mutable Mutex mu_;
+    std::uint64_t current_alloc_ GPUDPF_GUARDED_BY(mu_) = 0;
+    std::uint64_t peak_alloc_ GPUDPF_GUARDED_BY(mu_) = 0;
+    KernelMetrics metrics_ GPUDPF_GUARDED_BY(mu_);
 };
 
 }  // namespace gpudpf

@@ -42,6 +42,14 @@
 // worker slots drain the remaining queue, interactive tasks first. For
 // non-skipped jobs the data plane is bit-identical with or without a
 // context attached.
+//
+// Thread-safety: the engine is stateless per call — all cross-task
+// coordination (per-job shard countdowns, skip counters) lives in
+// per-batch atomics with acq_rel ordering, so there is nothing for the
+// Clang -Wthread-safety capability analysis to check here; the lock-based
+// layers it feeds (ThreadPool, ServingFrontEnd) carry the annotations
+// (see src/common/thread_annotations.h). TSan runs the full suite over
+// this file's countdown protocol in CI.
 #pragma once
 
 #include <cstddef>

@@ -15,7 +15,9 @@
 // never un-requested and a fixed deadline only recedes into the past —
 // so once any worker observes ShouldSkip(), every later observer (in
 // the happens-before order the engine's job countdowns establish) does
-// too: a job can never be half-revived.
+// too: a job can never be half-revived. Being lock-free, the context
+// deliberately carries no GPUDPF_CAPABILITY (src/common/thread_annotations.h)
+// — there is no lock order to check, and TSan covers the atomics.
 //
 // Lifetime: contexts are shared_ptr-owned by the request; the engine
 // only borrows a raw pointer for the duration of one AnswerBatchNotify

@@ -1,0 +1,45 @@
+// Deliberate thread-safety violation — this TU must NOT compile.
+//
+// Smoke test for the -Wthread-safety gate (see CMakeLists.txt: the
+// annotations_compile_fail_test ctest entry builds this object target
+// with -Werror=thread-safety and asserts the build FAILS). If a toolchain
+// or flag change ever silently disables the analysis, compiling this file
+// starts succeeding and the WILL_FAIL test turns red.
+//
+// The violation is the canonical one the annotation layer exists to catch:
+// reading a GUARDED_BY member without holding its mutex.
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace gpudpf {
+namespace {
+
+class Counter {
+  public:
+    void Increment() {
+        MutexLock lock(mu_);
+        ++value_;
+    }
+
+    // BUG (intentional): unlocked read of a mu_-guarded member. Under
+    // Clang -Wthread-safety this is error: reading variable 'value_'
+    // requires holding mutex 'mu_'.
+    int UnsafeRead() const { return value_; }
+
+  private:
+    mutable Mutex mu_;
+    int value_ GPUDPF_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+    Counter c;
+    c.Increment();
+    return c.UnsafeRead();
+}
+
+// Keep the symbol alive so the TU is not empty.
+int force_use = Use();
+
+}  // namespace
+}  // namespace gpudpf

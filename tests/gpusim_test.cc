@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 #include "src/gpusim/cost_model.h"
 #include "src/gpusim/device.h"
@@ -80,6 +81,32 @@ TEST(GpuDeviceTest, AllocationWatermark) {
     EXPECT_EQ(device.peak_alloc_bytes(), 1500u);
     device.ResetPeakAlloc();
     EXPECT_EQ(device.peak_alloc_bytes(), 700u);
+}
+
+TEST(GpuDeviceTest, WatermarkReadsAreRaceFreeUnderConcurrentAllocFree) {
+    // Regression for a lock-discipline bug surfaced by the thread-safety
+    // annotation pass: current_alloc_bytes()/peak_alloc_bytes() read the
+    // mu_-guarded watermarks without taking the lock, racing against
+    // Alloc/Free from concurrent kernel blocks. The getters now lock; this
+    // hammers them against a writer so the TSan CI leg would flag any
+    // regression, and checks the invariants a torn read could break.
+    GpuDevice device;
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            device.Alloc(4096);
+            device.Free(4096);
+        }
+    });
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t cur = device.current_alloc_bytes();
+        const std::uint64_t peak = device.peak_alloc_bytes();
+        EXPECT_LE(cur, 4096u);
+        EXPECT_LE(peak, 4096u);
+    }
+    stop.store(true, std::memory_order_release);
+    writer.join();
+    EXPECT_EQ(device.current_alloc_bytes(), 0u);
 }
 
 TEST(GpuCostModelTest, RateFactorSaturates) {
