@@ -39,6 +39,7 @@ Pbr::Plan Pbr::PlanBatch(const std::vector<std::uint64_t>& wanted,
     plan.queries.resize(num_bins_);
     std::vector<bool> used(num_bins_, false);
     std::unordered_set<std::uint64_t> served;
+    served.reserve(wanted.size());
     for (const std::uint64_t idx : wanted) {
         if (idx >= num_entries_) {
             throw std::invalid_argument("Pbr::PlanBatch: index out of range");

@@ -403,6 +403,7 @@ void ServingFrontEnd::BatcherLoop() {
                     queue_cv_.WaitUntil(mu_, cap);
                 }
             }
+            batch.reserve(queue_.size());
             for (auto& req : queue_) {
                 // Tombstones (queued cancels) already completed and
                 // released their slot; just drop them.
@@ -425,6 +426,7 @@ void ServingFrontEnd::BatcherLoop() {
         std::vector<std::shared_ptr<Request>> runnable;
         std::vector<std::shared_ptr<Request>> cancelled;
         std::vector<std::shared_ptr<Request>> expired;
+        runnable.reserve(batch.size());  // the common case: everything runs
         const auto now = std::chrono::steady_clock::now();
         for (auto& req : batch) {
             if (req->context->cancelled()) {
@@ -547,14 +549,12 @@ void ServingFrontEnd::ProcessBatch(
             g.hot = hot;
             g.s0_begin = jobs.size();
             g.s0_count = j0.jobs.size();
-            for (auto& tj : PbrSession::BindJobs(j0, table, binding)) {
-                jobs.push_back(tj);
-            }
+            const auto bound0 = PbrSession::BindJobs(j0, table, binding);
+            jobs.insert(jobs.end(), bound0.begin(), bound0.end());
             g.s1_begin = jobs.size();
             g.s1_count = j1.jobs.size();
-            for (auto& tj : PbrSession::BindJobs(j1, table, binding)) {
-                jobs.push_back(tj);
-            }
+            const auto bound1 = PbrSession::BindJobs(j1, table, binding);
+            jobs.insert(jobs.end(), bound1.begin(), bound1.end());
             g.remaining.store(g.s0_count + g.s1_count,
                               std::memory_order_relaxed);
         };

@@ -147,6 +147,7 @@ class MultiqueryTileKernel final : public CpuKernel {
         const std::size_t w = table.words_per_entry();
         std::vector<std::size_t>& active = scratch->active;
         active.clear();
+        active.reserve(num_tasks);
         for (std::size_t t = 0; t < num_tasks; ++t) active.push_back(t);
         std::uint64_t cur = lo;
         bool first = true;
