@@ -45,6 +45,12 @@ struct JsonResult {
     std::string kernel;
     std::string layout;
     double speedup_vs_scalar = 0.0;
+    // Optional accumulator-ISA metadata, written only when has_isa is set:
+    // which AccumulateIsa produced the row (the accum_* section of
+    // bench_sharded_throughput). speedup_vs_scalar above carries the row's
+    // speedup over the scalar accumulator at the same entry width.
+    bool has_isa = false;
+    std::string isa;
 };
 
 // Nearest-rank percentile (p in [0, 1]) of an ascending-sorted sample.
@@ -116,6 +122,11 @@ inline bool WriteBenchJson(const char* path, const std::string& bench,
                          ",\"speedup_vs_scalar\":%.6g",
                          results[i].kernel.c_str(),
                          results[i].layout.c_str(),
+                         results[i].speedup_vs_scalar);
+        }
+        if (results[i].has_isa) {
+            std::fprintf(f, ",\"isa\":\"%s\",\"speedup_vs_scalar\":%.6g",
+                         results[i].isa.c_str(),
                          results[i].speedup_vs_scalar);
         }
         std::fprintf(f, "}");

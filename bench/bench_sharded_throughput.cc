@@ -12,9 +12,13 @@
 // baseline. A second section pits the CPU kernel strategies (scalar,
 // simd_prg, multiquery_tile) against each other on one thread with the
 // AES-128 MMO PRG, per layout, reporting each kernel's speedup over the
-// scalar reference. Both tables hold identical logical rows and the bench
-// fails (exit 1) if any batched/kernel responses differ from the
-// reference. Speedup of the sharded rows tracks the physical core count:
+// scalar reference. A third section isolates the u128 mat-vec accumulator
+// (src/kernels/accumulate.h): each supported ISA walks the tiled table
+// with precomputed shares, reporting ns/row and speedup over the scalar
+// accumulator as accum_* JSON rows. Both tables hold identical logical
+// rows and the bench fails (exit 1) if any batched/kernel/accumulator
+// results differ from the reference. Speedup of the sharded rows tracks
+// the physical core count:
 // on a 1-core host they only measure the engine's overhead; run on >= 8
 // cores to see the tiled+pinned layout pull ahead.
 #include <cstdio>
@@ -29,6 +33,7 @@
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/common/timer.h"
+#include "src/kernels/accumulate.h"
 #include "src/kernels/cpu_kernel.h"
 #include "src/pir/protocol.h"
 #include "src/pir/table.h"
@@ -225,6 +230,74 @@ int main(int argc, char** argv) {
         }
     }
     std::printf("kernel responses bit-identical to scalar reference: %s\n",
+                responses_identical ? "YES" : "NO");
+
+    // --- accumulator ISAs: fused tiled table walk, one thread --------------
+    // Isolates the mat-vec accumulator (src/kernels/accumulate.h) from DPF
+    // expansion entirely: shares are precomputed, and each ISA's
+    // AccumulateFn walks tiles of the tiled table. The walk is capped to
+    // an L2-resident working set because that is the regime the fused
+    // multi-query kernel creates — a tile is pulled into L2 once and
+    // re-walked per query — so the accumulator's compute, not DRAM
+    // bandwidth, is the bound being measured (a full-table cold walk
+    // levels every ISA at the memory floor). Every vector path is gated
+    // bit-identical to the scalar reference (exit 1 on mismatch).
+    std::printf("\n== accumulator isa (tiled walk, w=%zu words, 1 thread) "
+                "==\n",
+                tiled_table.words_per_entry());
+    const std::size_t w = tiled_table.words_per_entry();
+    const std::uint64_t tile_rows = tiled_table.rows_per_tile();
+    const std::uint64_t accum_rows = std::min<std::uint64_t>(
+        n, (std::uint64_t{1} << 20) / (w * sizeof(u128)));
+    std::vector<u128> shares(accum_rows);
+    Rng share_rng(17);
+    for (std::uint64_t j = 0; j < accum_rows; ++j) {
+        shares[j] = share_rng.Next128();
+    }
+    const auto walk = [&](AccumulateFn fn, u128* resp) {
+        for (std::uint64_t t = 0; t < accum_rows; t += tile_rows) {
+            const std::uint64_t seg =
+                std::min<std::uint64_t>(tile_rows, accum_rows - t);
+            fn(tiled_table.Entry(t), w, shares.data() + t, seg, resp);
+        }
+    };
+    std::vector<u128> scalar_accum(w, 0);
+    walk(GetAccumulateFn(AccumulateIsa::kScalar), scalar_accum.data());
+    double scalar_rows_per_sec = 0.0;
+    std::printf("%-30s %12s %12s %9s\n", "isa", "ns/row", "rows/s",
+                "vs scalar");
+    for (const AccumulateIsa isa : AllAccumulateIsas()) {
+        if (!AccumulateIsaSupported(isa)) continue;
+        AccumulateFn fn = GetAccumulateFn(isa);
+        std::vector<u128> accum(w, 0);
+        walk(fn, accum.data());
+        if (accum != scalar_accum) {
+            responses_identical = false;
+            std::fprintf(stderr, "MISMATCH: accumulator %s\n",
+                         AccumulateIsaName(isa));
+        }
+        std::vector<u128> sink(w, 0);
+        const double sec = MeasureSeconds(iters, [&] {
+            walk(fn, sink.data());
+        });
+        const double rows_per_sec = static_cast<double>(accum_rows) / sec;
+        if (isa == AccumulateIsa::kScalar) {
+            scalar_rows_per_sec = rows_per_sec;
+        }
+        const double speedup = scalar_rows_per_sec > 0
+                                   ? rows_per_sec / scalar_rows_per_sec
+                                   : 0.0;
+        std::printf("%-30s %12.3f %12.3g %8.2fx\n", AccumulateIsaName(isa),
+                    sec / accum_rows * 1e9, rows_per_sec, speedup);
+        bench::JsonResult row;
+        row.name = std::string("accum_") + AccumulateIsaName(isa);
+        row.qps = rows_per_sec;
+        row.has_isa = true;
+        row.isa = AccumulateIsaName(isa);
+        row.speedup_vs_scalar = speedup;
+        json.push_back(std::move(row));
+    }
+    std::printf("accumulator paths bit-identical to scalar reference: %s\n",
                 responses_identical ? "YES" : "NO");
     // The bench name carries the table configuration: several CI runs of
     // this binary (main + tiled smoke) land in one results directory, and

@@ -9,7 +9,8 @@ Each directory holds one JSON file per bench, written by the benches'
 optionally "p50_ms"/"p95_ms"/"p99_ms", the streaming metrics
 "first_partial_p50_ms"/"first_partial_p99_ms"/"deadline_miss_rate", and
 the cancel-heavy reclamation metrics "cancel_rate"/"jobs_skipped"/
-"shards_skipped", and the CPU-kernel metadata "kernel"/"layout"/
+"shards_skipped", the CPU-kernel metadata "kernel"/"layout"/
+"speedup_vs_scalar", and the accumulator-ISA metadata "isa"/
 "speedup_vs_scalar"}]}.
 Results are matched by (bench, name); a current QPS more than `threshold`
 below its baseline counterpart — or a current p99 latency or
@@ -54,6 +55,8 @@ def load_results(directory):
                 for field in optional:
                     row[field] = (float(entry[field])
                                   if field in entry else None)
+                # String-valued metadata (not a float; printed verbatim).
+                row["isa"] = entry.get("isa")
                 results[(bench, entry["name"])] = row
     return results
 
@@ -113,8 +116,12 @@ def main():
         if cur.get("jobs_skipped") is not None:
             line += (f", reclaimed {cur['jobs_skipped']:.0f} jobs"
                      f"/{cur.get('shards_skipped') or 0:.0f} shards")
-        # Kernel speedup is informational: it flips with the host's AES-NI
-        # support, so only the row's absolute QPS is flagged above.
+        # Kernel/accumulator speedup is informational: it flips with the
+        # host's SIMD support, so only the row's absolute QPS is flagged
+        # above. The isa tag identifies accum_* rows on hosts where the
+        # row name alone is ambiguous across artifacts.
+        if cur.get("isa") is not None:
+            line += f", isa={cur['isa']}"
         if cur.get("speedup_vs_scalar") is not None:
             line += f", {cur['speedup_vs_scalar']:.2f}x vs scalar"
         if flagged:

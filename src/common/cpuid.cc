@@ -40,6 +40,7 @@ CpuFeatures Probe() {
     if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7)) {
         f.avx2 = ymm_enabled && (ebx7 & bit_AVX2) != 0;
         f.avx512f = zmm_enabled && (ebx7 & bit_AVX512F) != 0;
+        f.avx512ifma = f.avx512f && (ebx7 & bit_AVX512IFMA) != 0;
         f.vaes = ymm_enabled && (ecx7 & bit_VAES) != 0;
     }
 #endif
@@ -59,6 +60,7 @@ std::string CpuFeatureSummary() {
     if (f.aes_ni) out += "aes_ni ";
     if (f.avx2) out += "avx2 ";
     if (f.avx512f) out += "avx512f ";
+    if (f.avx512ifma) out += "avx512ifma ";
     if (f.vaes) out += "vaes ";
     if (out.empty()) {
         return f.forced_scalar ? "none (forced scalar)" : "none";

@@ -18,6 +18,9 @@ struct CpuFeatures {
     bool aes_ni = false;
     bool avx2 = false;
     bool avx512f = false;
+    // AVX512-IFMA (52-bit multiply-accumulate): the accumulator's AVX-512
+    // path upgrades its multiply scheme when present.
+    bool avx512ifma = false;
     bool vaes = false;
     // GPUDPF_FORCE_SCALAR was set (and masked the flags above).
     bool forced_scalar = false;

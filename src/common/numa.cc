@@ -1,0 +1,101 @@
+#include "src/common/numa.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace gpudpf {
+namespace {
+
+// Counts the nodes in a sysfs range list like "0", "0-1" or "0,2-3".
+// Returns 1 on any parse or read failure: a wrong single-node answer only
+// skips an optimization, never breaks correctness.
+int CountOnlineNodes() {
+    std::ifstream in("/sys/devices/system/node/online");
+    if (!in.is_open()) return 1;
+    std::string line;
+    if (!std::getline(in, line) || line.empty()) return 1;
+    int nodes = 0;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+        char* end = nullptr;
+        const long lo = std::strtol(line.c_str() + pos, &end, 10);
+        if (end == line.c_str() + pos) return 1;
+        pos = static_cast<std::size_t>(end - line.c_str());
+        long hi = lo;
+        if (pos < line.size() && line[pos] == '-') {
+            ++pos;
+            hi = std::strtol(line.c_str() + pos, &end, 10);
+            if (end == line.c_str() + pos || hi < lo) return 1;
+            pos = static_cast<std::size_t>(end - line.c_str());
+        }
+        nodes += static_cast<int>(hi - lo + 1);
+        if (pos < line.size()) {
+            if (line[pos] != ',') break;  // trailing newline/junk
+            ++pos;
+        }
+    }
+    return nodes > 0 ? nodes : 1;
+}
+
+}  // namespace
+
+const NumaTopology& GetNumaTopology() {
+    static const NumaTopology topology = [] {
+        NumaTopology t;
+        t.num_nodes = CountOnlineNodes();
+        return t;
+    }();
+    return topology;
+}
+
+const char* NumaModeName(NumaMode mode) {
+    switch (mode) {
+        case NumaMode::kAuto:
+            return "auto";
+        case NumaMode::kOff:
+            return "off";
+        case NumaMode::kOn:
+            return "on";
+    }
+    return "unknown";
+}
+
+bool ParseNumaMode(const std::string& name, NumaMode* out) {
+    if (name == "auto") {
+        *out = NumaMode::kAuto;
+        return true;
+    }
+    if (name == "off") {
+        *out = NumaMode::kOff;
+        return true;
+    }
+    if (name == "on") {
+        *out = NumaMode::kOn;
+        return true;
+    }
+    return false;
+}
+
+NumaMode DefaultNumaMode() {
+    static const NumaMode mode = [] {
+        NumaMode parsed = NumaMode::kAuto;
+        const char* env = std::getenv("GPUDPF_NUMA");
+        if (env != nullptr) ParseNumaMode(env, &parsed);
+        return parsed;
+    }();
+    return mode;
+}
+
+bool NumaFirstTouchEnabled(NumaMode mode) {
+    switch (mode) {
+        case NumaMode::kOff:
+            return false;
+        case NumaMode::kOn:
+            return true;
+        case NumaMode::kAuto:
+            return GetNumaTopology().num_nodes > 1;
+    }
+    return false;
+}
+
+}  // namespace gpudpf

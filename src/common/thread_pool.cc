@@ -8,25 +8,40 @@
 #endif
 
 namespace gpudpf {
+
 namespace {
 
-bool Empty(const std::array<std::queue<std::function<void()>>, 2>& q) {
+template <typename TwoLevel>
+bool Empty(const TwoLevel& q) {
     return q[0].empty() && q[1].empty();
-}
-
-// Pops the highest-priority task of a two-level queue (interactive before
-// batch, FIFO within a class). Pre: !Empty(q).
-std::function<void()> PopTwoLevel(
-    std::array<std::queue<std::function<void()>>, 2>& q) {
-    auto& level = q[0].empty() ? q[1] : q[0];
-    std::function<void()> task = std::move(level.front());
-    level.pop();
-    return task;
 }
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t threads, bool pin_to_cores) {
+// Pops the highest-priority task: interactive before batch, FIFO within a
+// class — unless the batch head has waited past the promotion bound, in
+// which case it goes first (the aging rule in the header comment).
+// Pre: !Empty(q).
+std::function<void()> ThreadPool::PopTwoLevel(TwoLevelQueue& q) {
+    auto* level = q[0].empty() ? &q[1] : &q[0];
+    if (!q[0].empty() && !q[1].empty() &&
+        std::chrono::steady_clock::now() - q[1].front().enqueued >=
+            batch_promote_age_) {
+        level = &q[1];
+    }
+    std::function<void()> task = std::move(level->front().fn);
+    level->pop();
+    return task;
+}
+
+ThreadPool::ThreadPool(std::size_t threads, bool pin_to_cores,
+                       std::uint64_t batch_promote_age_us)
+    : batch_promote_age_(
+          batch_promote_age_us == kNeverPromoteBatch
+              ? std::chrono::steady_clock::duration::max()
+              : std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::microseconds(batch_promote_age_us))) {
     if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
     {
         // No worker exists yet; the lock is for the analysis (pinned_ is
@@ -69,7 +84,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> fn, TaskPriority priority) {
     {
         MutexLock lock(mu_);
-        tasks_[static_cast<std::size_t>(priority)].push(std::move(fn));
+        tasks_[static_cast<std::size_t>(priority)].push(
+            {std::move(fn), std::chrono::steady_clock::now()});
         ++in_flight_;
     }
     task_cv_.NotifyOne();
@@ -81,7 +97,7 @@ void ThreadPool::SubmitTo(std::size_t worker, std::function<void()> fn,
     {
         MutexLock lock(mu_);
         pinned_[worker][static_cast<std::size_t>(priority)].push(
-            std::move(fn));
+            {std::move(fn), std::chrono::steady_clock::now()});
         ++in_flight_;
     }
     // The single condition variable is shared by all workers, so wake them

@@ -12,10 +12,15 @@
 // shards) go to live interactive work before background work. A worker
 // still drains its pinned queue (both classes) before touching the shared
 // queue, preserving the shard-residency guarantee pinned placement relies
-// on. The scheme is strict, not weighted: batch tasks only run when no
-// interactive task is eligible — acceptable because interactive load is
-// bounded upstream (serving admission caps), so batch work cannot starve
-// indefinitely.
+// on.
+//
+// Priority is strict only up to an aging bound: a batch task that has
+// waited batch_promote_age_us is promoted — the next dequeue takes it
+// ahead of pending interactive work — so a sustained interactive stream
+// delays background work by at most the bound instead of starving it.
+// Promotion is checked at dequeue time, which needs no timers: while
+// interactive work is flowing, workers revisit the queues after every
+// task; when none is flowing, batch runs immediately anyway.
 //
 // Locking discipline is compiler-checked: every queue and counter member
 // is GPUDPF_GUARDED_BY(mu_) (src/common/thread_annotations.h), so a Clang
@@ -23,7 +28,9 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <queue>
 #include <thread>
@@ -41,11 +48,23 @@ enum class TaskPriority { kInteractive, kBatch };
 
 class ThreadPool {
   public:
+    // Default bound on how long a kBatch task can sit behind kInteractive
+    // work before it is promoted (see the aging note above): long against
+    // a sub-millisecond shard task, short against a serving deadline.
+    static constexpr std::uint64_t kDefaultBatchPromoteAgeUs = 20'000;
+    // batch_promote_age_us value that disables promotion entirely,
+    // restoring strict two-level priority.
+    static constexpr std::uint64_t kNeverPromoteBatch = UINT64_MAX;
+
     // Creates a pool with `threads` workers (0 = hardware concurrency).
     // With pin_to_cores, worker i is best-effort bound to CPU core
     // i % hardware_concurrency (Linux only; ignored elsewhere), so pinned
     // task streams keep their cache working set on one physical core.
-    explicit ThreadPool(std::size_t threads = 0, bool pin_to_cores = false);
+    // batch_promote_age_us bounds batch-behind-interactive queueing delay
+    // (kNeverPromoteBatch = strict priority).
+    explicit ThreadPool(
+        std::size_t threads = 0, bool pin_to_cores = false,
+        std::uint64_t batch_promote_age_us = kDefaultBatchPromoteAgeUs);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -79,14 +98,27 @@ class ThreadPool {
     static ThreadPool& Shared();
 
   private:
-    // Index 0 = kInteractive, 1 = kBatch; dequeue scans ascending.
-    using TwoLevelQueue = std::array<std::queue<std::function<void()>>, 2>;
+    // One queued task: the callable plus its enqueue time, which the
+    // dequeue-side aging check compares against batch_promote_age_us.
+    struct QueuedTask {
+        std::function<void()> fn;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+    // Index 0 = kInteractive, 1 = kBatch; dequeue scans ascending unless
+    // the batch head has aged past the promotion bound.
+    using TwoLevelQueue = std::array<std::queue<QueuedTask>, 2>;
 
     void WorkerLoop(std::size_t index);
+
+    // Pops the next task of `q` under the pool's priority rules.
+    // Pre: q not empty; mu_ held (queues are guarded by it).
+    std::function<void()> PopTwoLevel(TwoLevelQueue& q)
+        GPUDPF_REQUIRES(mu_);
 
     // Immutable after the constructor returns (workers never mutate it),
     // so thread_count()/SubmitTo() read it lock-free.
     std::vector<std::thread> workers_;
+    const std::chrono::steady_clock::duration batch_promote_age_;
     Mutex mu_;
     CondVar task_cv_;
     CondVar done_cv_;

@@ -7,19 +7,27 @@
 
 #include "src/common/cpuid.h"
 #include "src/core/serving.h"
+#include "src/kernels/accumulate.h"
 #include "src/kernels/strategy.h"
 
 namespace gpudpf {
 namespace {
 
 // One line per process, on the first service construction: which CPU
-// kernel the answer engines will run and what the feature probe saw, so a
-// deployment can tell from its log whether the AES-NI path is live.
+// kernel and accumulator ISA the answer engines will run, how many NUMA
+// nodes the probe saw, and what the CPU feature probe found — so a
+// deployment can tell from its log whether the AES-NI / AVX paths and
+// first-touch placement are live.
 std::once_flag g_kernel_log_once;
 void LogSelectedKernel(CpuKernelKind kind) {
     std::call_once(g_kernel_log_once, [kind] {
-        std::fprintf(stderr, "gpudpf: cpu kernel '%s' (cpu features: %s)\n",
-                     CpuKernelKindName(kind), CpuFeatureSummary().c_str());
+        std::fprintf(
+            stderr,
+            "gpudpf: cpu kernel '%s' accumulate '%s' numa nodes %d "
+            "(cpu features: %s)\n",
+            CpuKernelKindName(kind),
+            AccumulateIsaName(DefaultAccumulateIsa()),
+            GetNumaTopology().num_nodes, CpuFeatureSummary().c_str());
     });
 }
 
@@ -67,6 +75,15 @@ PrivateEmbeddingService::PrivateEmbeddingService(
                                     config.codesign.q_hot))
                    : nullptr),
       planner_(&layout_, hot_pbr_.get(), &full_pbr_),
+      // The pool is constructed before the tables (declaration order) so
+      // BuildPhysicalTable can route tiled zeroing through its pinned
+      // workers for NUMA first-touch placement.
+      server_pool_(config.server_threads > 0
+                       ? std::make_unique<ThreadPool>(
+                             config.server_threads,
+                             /*pin_to_cores=*/config.shard_placement ==
+                                 ShardPlacement::kPinned)
+                       : nullptr),
       full_table_(BuildPhysicalTable(
           embeddings, [&] {
               std::vector<std::uint64_t> owners(embeddings.vocab());
@@ -74,13 +91,7 @@ PrivateEmbeddingService::PrivateEmbeddingService(
                   owners[i] = i;
               }
               return owners;
-          }())),
-      server_pool_(config.server_threads > 0
-                       ? std::make_unique<ThreadPool>(
-                             config.server_threads,
-                             /*pin_to_cores=*/config.shard_placement ==
-                                 ShardPlacement::kPinned)
-                       : nullptr) {
+          }())) {
     LogSelectedKernel(config_.cpu_kernel);
     if (hot_pbr_ != nullptr) {
         std::vector<std::uint64_t> owners(layout_.hot_size());
@@ -116,7 +127,21 @@ PirTable PrivateEmbeddingService::BuildPhysicalTable(
     const EmbeddingTable& embeddings,
     const std::vector<std::uint64_t>& owners) const {
     const std::size_t row_bytes = layout_.RowBytes(base_entry_bytes_);
-    PirTable table(owners.size(), row_bytes, config_.table_layout);
+    // First-touch placement only helps (and only holds) when tiles have
+    // stable worker owners: tiled layout, pinned shard placement, and a
+    // dedicated pinned pool with more than one worker. The shard count
+    // must match the answer engine's so the zeroing partition is the
+    // serving partition.
+    TilePlacement placement;
+    if (NumaFirstTouchEnabled(config_.numa) &&
+        config_.table_layout == TableLayout::kTiled &&
+        config_.shard_placement == ShardPlacement::kPinned &&
+        server_pool_ != nullptr && server_pool_->thread_count() > 1) {
+        placement.pool = server_pool_.get();
+        placement.num_shards = config_.server_shards;
+    }
+    PirTable table(owners.size(), row_bytes, config_.table_layout,
+                   placement.pool != nullptr ? &placement : nullptr);
     std::vector<std::uint8_t> row(row_bytes, 0);
     for (std::uint64_t r = 0; r < owners.size(); ++r) {
         std::fill(row.begin(), row.end(), 0);

@@ -49,6 +49,7 @@
 #include "src/batchpir/pbr_session.h"
 #include "src/codesign/layout.h"
 #include "src/codesign/planner.h"
+#include "src/common/numa.h"
 #include "src/ml/embedding.h"
 #include "src/net/comm_model.h"
 #include "src/pir/answer_engine.h"
@@ -90,6 +91,15 @@ struct ServiceConfig {
     // GPUDPF_TABLE_LAYOUT for layouts); the selected kernel and the
     // detected CPU features are logged once at service start.
     CpuKernelKind cpu_kernel = DefaultCpuKernelKind();
+    // NUMA first-touch tile placement (src/common/numa.h): with tiled
+    // layout, pinned shard placement and a dedicated multi-worker server
+    // pool, each pinned worker zeroes (first-touches) its own shard's
+    // tiles at table build time, so tile pages land on the worker's node.
+    // kAuto enables this only on multi-node hosts; kOn forces the
+    // placement code path even single-node; kOff keeps the seed's
+    // loader-thread zeroing. Defaults to the process default, which
+    // honors GPUDPF_NUMA.
+    NumaMode numa = DefaultNumaMode();
     // Serving front-end admission control: requests admitted but not yet
     // completed are capped at `max_inflight_requests`; beyond that,
     // ServingFrontEnd::Submit rejects with kQueueFull (backpressure).
@@ -256,13 +266,16 @@ class PrivateEmbeddingService {
     Pbr full_pbr_;
     std::unique_ptr<Pbr> hot_pbr_;
     QueryPlanner planner_;
+    // Dedicated answer pool when config.server_threads > 0; the engines
+    // fall back to ThreadPool::Shared() otherwise. Declared (and thus
+    // constructed) before the tables: BuildPhysicalTable routes the tiled
+    // layout's first-touch zeroing pass through this pool's pinned
+    // workers when NUMA placement is on.
+    std::unique_ptr<ThreadPool> server_pool_;
     // Tables are logically replicated on two non-colluding servers; both
     // "servers" answer from the same in-process copy here.
     PirTable full_table_;
     std::unique_ptr<PirTable> hot_table_;
-    // Dedicated answer pool when config.server_threads > 0; the engines
-    // fall back to ThreadPool::Shared() otherwise.
-    std::unique_ptr<ThreadPool> server_pool_;
     std::atomic<std::uint64_t> clients_made_{0};
     // Declared last: its destructor joins the batcher thread while the
     // tables and pool above are still alive.

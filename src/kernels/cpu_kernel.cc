@@ -4,21 +4,14 @@
 #include <cstdlib>
 
 #include "src/common/cpuid.h"
+#include "src/kernels/accumulate.h"
 
 namespace gpudpf {
 namespace {
-
-// shares^T * rows over one tile-contiguous segment: rows `row` points at
-// `count` consecutive rows of `w` words each with no tile break between
-// them, so the pointer just strides.
-void AccumulateSegment(const u128* row, std::size_t w, const u128* shares,
-                       std::uint64_t count, u128* resp) {
-    for (std::uint64_t j = 0; j < count; ++j, row += w) {
-        const u128 v = shares[j];
-        if (v == 0) continue;
-        for (std::size_t k = 0; k < w; ++k) resp[k] += v * row[k];
-    }
-}
+// The shares^T * rows inner loop over one tile-contiguous segment lives in
+// src/kernels/accumulate.{h,cc}: every kernel below calls the dispatched
+// AccumulateSegment, so the ISA choice (scalar/avx2/avx512) applies
+// uniformly and stays bit-identical to the scalar reference.
 
 // Frontier cap of the level-order kernels: bounds EvalRangeBatched's
 // O(segment) scratch on untiled tables (tiled segments are already tile-
@@ -184,19 +177,18 @@ class MultiqueryTileKernel final : public CpuKernel {
                                            scratch->shares.data() + ai * seg,
                                            &scratch->range);
             }
-            // One pass over the segment's rows for the whole group. Rows
-            // are tile-contiguous (SegmentEnd clips to the tile grid), so
-            // the pointer strides. Per query the accumulation still runs
-            // in increasing row order — bit-identical to the one-query
-            // kernels.
-            const u128* row = table.Entry(row_begin + cur);
-            for (std::uint64_t j = 0; j < seg; ++j, row += w) {
-                for (std::size_t ai = 0; ai < active.size(); ++ai) {
-                    const u128 v = scratch->shares[ai * seg + j];
-                    if (v == 0) continue;
-                    u128* resp = tasks[active[ai]].resp;
-                    for (std::size_t k = 0; k < w; ++k) resp[k] += v * row[k];
-                }
+            // One dispatched accumulate per live query over the segment's
+            // rows. Rows are tile-contiguous (SegmentEnd clips to the tile
+            // grid), so the pointer strides, and the segment cap keeps the
+            // tile cache-resident across the group's re-walks. Per query
+            // the accumulation runs in increasing row order with exactly
+            // the reference's per-(row, word) terms — bit-identical to the
+            // one-query kernels.
+            const u128* seg_rows = table.Entry(row_begin + cur);
+            for (std::size_t ai = 0; ai < active.size(); ++ai) {
+                AccumulateSegment(seg_rows, w,
+                                  scratch->shares.data() + ai * seg, seg,
+                                  tasks[active[ai]].resp);
             }
             cur = seg_end;
         }

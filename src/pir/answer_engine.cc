@@ -11,27 +11,15 @@
 namespace gpudpf {
 namespace {
 
-// Job-relative boundary of shard s out of `shards`: interior boundaries
-// snap down to the table's tile grid (in absolute rows) so no tile is
-// split across two shard tasks; the first and last keep the job's exact
-// ends. Snapping only applies while every shard spans at least one full
-// tile (tile_rows <= chunk) — beyond that, aligning would collapse
-// boundaries and serialize the job, so small jobs fall back to unaligned
-// chunks and accept split tiles. Monotonic in s, so empty shards are
-// possible but never inverted.
+// Job-relative boundary of shard s out of `shards`. The tile-snapping
+// partition lives in table_layout (ShardRowBoundary) because the NUMA
+// first-touch pass must reproduce it exactly: the worker that zeroed a
+// tile at load time is the worker the answer engine hands that tile to.
 std::uint64_t ShardBoundary(const AnswerEngine::Job& job,
                             std::uint64_t tile_rows, std::size_t shards,
                             std::size_t s) {
-    if (s == 0) return 0;
-    if (s >= shards) return job.num_rows;
-    const std::uint64_t chunk = (job.num_rows + shards - 1) / shards;
-    std::uint64_t b = std::min<std::uint64_t>(job.num_rows, s * chunk);
-    if (tile_rows > 0 && tile_rows <= chunk) {
-        const std::uint64_t snapped =
-            (job.row_begin + b) / tile_rows * tile_rows;
-        b = snapped > job.row_begin ? snapped - job.row_begin : 0;
-    }
-    return b;
+    return ShardRowBoundary(job.row_begin, job.num_rows, tile_rows, shards,
+                            s);
 }
 
 void ValidateJob(const PirTable& table, const AnswerEngine::Job& job) {

@@ -1,0 +1,229 @@
+// Accumulator ISA bit-identity matrix: every dispatchable path must
+// reproduce the scalar reference exactly (wraparound mod 2^128) across
+// entry widths (vector blocks + tails), segment lengths (SIMD remainders),
+// alignment offsets, and zero/dense/max-carry share mixes — plus the
+// dispatch plumbing itself (env default, forced-scalar masking,
+// SetAccumulateIsa round-trips).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/cpuid.h"
+#include "src/common/rng.h"
+#include "src/common/u128.h"
+#include "src/kernels/accumulate.h"
+
+namespace gpudpf {
+namespace {
+
+// Widths cover the AVX-512 block (8), the AVX2 block (4), both together
+// (12, 13), every scalar tail length, and the sub-block sizes.
+constexpr std::size_t kWidths[] = {1, 2, 3, 4, 5, 7, 8, 9, 11, 12, 13, 16};
+// Lengths cover empty, single-row, and values around typical unroll /
+// remainder boundaries.
+constexpr std::uint64_t kCounts[] = {0, 1, 2, 3, 7, 8, 9, 63, 64, 65, 300};
+
+enum class ShareMix { kAllZero, kSparse, kDense, kMaxCarry };
+constexpr ShareMix kMixes[] = {ShareMix::kAllZero, ShareMix::kSparse,
+                               ShareMix::kDense, ShareMix::kMaxCarry};
+
+std::vector<u128> MakeShares(ShareMix mix, std::uint64_t count, Rng& rng) {
+    std::vector<u128> shares(count, 0);
+    const u128 all_ones = ~static_cast<u128>(0);
+    for (std::uint64_t j = 0; j < count; ++j) {
+        switch (mix) {
+            case ShareMix::kAllZero:
+                break;
+            case ShareMix::kSparse:
+                // Mostly zero, with full-width survivors: exercises the
+                // v == 0 skip against real accumulation.
+                shares[j] = (j % 5 == 0) ? MakeU128(rng.Next64(), rng.Next64())
+                                         : 0;
+                break;
+            case ShareMix::kDense:
+                shares[j] = MakeU128(rng.Next64(), rng.Next64());
+                break;
+            case ShareMix::kMaxCarry:
+                // All-ones shares against all-ones rows maximize every
+                // partial product, stressing the column accumulators'
+                // carry bookkeeping.
+                shares[j] = all_ones;
+                break;
+        }
+    }
+    return shares;
+}
+
+std::vector<u128> MakeRows(ShareMix mix, std::uint64_t count, std::size_t w,
+                           Rng& rng) {
+    std::vector<u128> rows(count * w);
+    for (u128& word : rows) {
+        word = mix == ShareMix::kMaxCarry ? ~static_cast<u128>(0)
+                                          : MakeU128(rng.Next64(),
+                                                     rng.Next64());
+    }
+    return rows;
+}
+
+const char* MixName(ShareMix mix) {
+    switch (mix) {
+        case ShareMix::kAllZero:
+            return "all_zero";
+        case ShareMix::kSparse:
+            return "sparse";
+        case ShareMix::kDense:
+            return "dense";
+        case ShareMix::kMaxCarry:
+            return "max_carry";
+    }
+    return "?";
+}
+
+TEST(AccumulateIsaTest, NamesParseRoundTrip) {
+    for (const AccumulateIsa isa : AllAccumulateIsas()) {
+        AccumulateIsa parsed;
+        ASSERT_TRUE(ParseAccumulateIsa(AccumulateIsaName(isa), &parsed));
+        EXPECT_EQ(parsed, isa);
+    }
+    AccumulateIsa parsed;
+    EXPECT_FALSE(ParseAccumulateIsa("sse9", &parsed));
+    EXPECT_FALSE(ParseAccumulateIsa("", &parsed));
+}
+
+TEST(AccumulateIsaTest, ScalarAlwaysSupported) {
+    EXPECT_TRUE(AccumulateIsaSupported(AccumulateIsa::kScalar));
+    EXPECT_NE(GetAccumulateFn(AccumulateIsa::kScalar), nullptr);
+}
+
+TEST(AccumulateIsaTest, UnsupportedPathsHaveNoFunction) {
+    for (const AccumulateIsa isa : AllAccumulateIsas()) {
+        if (AccumulateIsaSupported(isa)) {
+            EXPECT_NE(GetAccumulateFn(isa), nullptr)
+                << AccumulateIsaName(isa);
+        } else {
+            EXPECT_EQ(GetAccumulateFn(isa), nullptr)
+                << AccumulateIsaName(isa);
+            EXPECT_FALSE(SetAccumulateIsa(isa)) << AccumulateIsaName(isa);
+        }
+    }
+}
+
+TEST(AccumulateIsaTest, ForcedScalarMasksVectorPaths) {
+    // Meaningful under the CI forced-scalar legs: the policy override must
+    // flow through to the accumulator dispatch.
+    if (!GetCpuFeatures().forced_scalar) {
+        GTEST_SKIP() << "GPUDPF_FORCE_SCALAR not set";
+    }
+    EXPECT_EQ(DefaultAccumulateIsa(), AccumulateIsa::kScalar);
+    EXPECT_FALSE(AccumulateIsaSupported(AccumulateIsa::kAvx2));
+    EXPECT_FALSE(AccumulateIsaSupported(AccumulateIsa::kAvx512));
+    EXPECT_EQ(CurrentAccumulateIsa(), AccumulateIsa::kScalar);
+}
+
+TEST(AccumulateIsaTest, SetAccumulateIsaRoundTrips) {
+    for (const AccumulateIsa isa : AllAccumulateIsas()) {
+        if (!AccumulateIsaSupported(isa)) continue;
+        ASSERT_TRUE(SetAccumulateIsa(isa)) << AccumulateIsaName(isa);
+        EXPECT_EQ(CurrentAccumulateIsa(), isa);
+    }
+    ASSERT_TRUE(SetAccumulateIsa(DefaultAccumulateIsa()));
+    EXPECT_EQ(CurrentAccumulateIsa(), DefaultAccumulateIsa());
+}
+
+// The full bit-identity matrix. Rows are drawn from a buffer with a +1
+// word offset variant, so vector loads see both 32-byte-aligned and
+// misaligned row bases.
+TEST(AccumulateBitIdentityTest, MatchesScalarAcrossMatrix) {
+    const AccumulateFn scalar = GetAccumulateFn(AccumulateIsa::kScalar);
+    ASSERT_NE(scalar, nullptr);
+    Rng rng(4242);
+    for (const AccumulateIsa isa : AllAccumulateIsas()) {
+        if (isa == AccumulateIsa::kScalar) continue;
+        const AccumulateFn fn = GetAccumulateFn(isa);
+        if (fn == nullptr) continue;  // unsupported on this host/leg
+        for (const std::size_t w : kWidths) {
+            for (const std::uint64_t count : kCounts) {
+                for (const ShareMix mix : kMixes) {
+                    const std::vector<u128> shares =
+                        MakeShares(mix, count, rng);
+                    // One spare word so the offset variant stays in
+                    // bounds.
+                    std::vector<u128> buffer =
+                        MakeRows(mix, count, w, rng);
+                    buffer.push_back(MakeU128(rng.Next64(), rng.Next64()));
+                    for (const std::size_t offset : {std::size_t{0},
+                                                     std::size_t{1}}) {
+                        const u128* rows = buffer.data() + offset;
+                        // Nonzero initial resp: accumulation must add,
+                        // not overwrite.
+                        std::vector<u128> expected(w);
+                        for (std::size_t k = 0; k < w; ++k) {
+                            expected[k] = MakeU128(k + 1, ~k);
+                        }
+                        std::vector<u128> got = expected;
+                        scalar(rows, w, shares.data(), count,
+                               expected.data());
+                        fn(rows, w, shares.data(), count, got.data());
+                        ASSERT_EQ(0, std::memcmp(got.data(),
+                                                 expected.data(),
+                                                 w * sizeof(u128)))
+                            << "isa=" << AccumulateIsaName(isa)
+                            << " w=" << w << " count=" << count
+                            << " mix=" << MixName(mix)
+                            << " offset=" << offset;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// Crosses the internal flush boundary (2^20 rows): the column
+// accumulators must combine into resp mid-segment and restart exactly.
+TEST(AccumulateBitIdentityTest, MatchesScalarAcrossFlushBoundary) {
+    const std::uint64_t count = (std::uint64_t{1} << 20) + 3;
+    const std::size_t w = 4;
+    Rng rng(99);
+    std::vector<u128> shares(count);
+    for (u128& v : shares) v = MakeU128(rng.Next64(), rng.Next64());
+    std::vector<u128> rows(count * w);
+    for (u128& word : rows) word = MakeU128(rng.Next64(), rng.Next64());
+    const AccumulateFn scalar = GetAccumulateFn(AccumulateIsa::kScalar);
+    std::vector<u128> expected(w, 0);
+    scalar(rows.data(), w, shares.data(), count, expected.data());
+    for (const AccumulateIsa isa : AllAccumulateIsas()) {
+        const AccumulateFn fn = GetAccumulateFn(isa);
+        if (fn == nullptr) continue;
+        std::vector<u128> got(w, 0);
+        fn(rows.data(), w, shares.data(), count, got.data());
+        EXPECT_EQ(0, std::memcmp(got.data(), expected.data(),
+                                 w * sizeof(u128)))
+            << AccumulateIsaName(isa);
+    }
+}
+
+// The dispatched entry follows SetAccumulateIsa and stays bit-identical.
+TEST(AccumulateDispatchTest, DispatchedSegmentMatchesScalar) {
+    const std::size_t w = 13;
+    const std::uint64_t count = 257;
+    Rng rng(7);
+    const std::vector<u128> shares = MakeShares(ShareMix::kDense, count, rng);
+    const std::vector<u128> rows = MakeRows(ShareMix::kDense, count, w, rng);
+    std::vector<u128> expected(w, 0);
+    GetAccumulateFn(AccumulateIsa::kScalar)(rows.data(), w, shares.data(),
+                                            count, expected.data());
+    for (const AccumulateIsa isa : AllAccumulateIsas()) {
+        if (!AccumulateIsaSupported(isa)) continue;
+        ASSERT_TRUE(SetAccumulateIsa(isa));
+        std::vector<u128> got(w, 0);
+        AccumulateSegment(rows.data(), w, shares.data(), count, got.data());
+        EXPECT_EQ(0, std::memcmp(got.data(), expected.data(),
+                                 w * sizeof(u128)))
+            << AccumulateIsaName(isa);
+    }
+    ASSERT_TRUE(SetAccumulateIsa(DefaultAccumulateIsa()));
+}
+
+}  // namespace
+}  // namespace gpudpf

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <set>
@@ -174,9 +175,12 @@ TEST(ThreadPoolTest, SubmitAndWait) {
 }
 
 // Single worker, gated so every task below queues up while it is blocked:
-// the dequeue order after release is then deterministic.
+// the dequeue order after release is then deterministic. The order
+// assertions below pin promotion off (kNeverPromoteBatch) so a slow run
+// (TSan, loaded CI) can't age a batch task past the default bound and
+// flip the expected strict order.
 TEST(ThreadPoolTest, SharedQueueDequeuesInteractiveBeforeBatch) {
-    ThreadPool pool(1);
+    ThreadPool pool(1, false, ThreadPool::kNeverPromoteBatch);
     std::promise<void> gate;
     std::shared_future<void> released = gate.get_future().share();
     pool.Submit([released] { released.wait(); });
@@ -197,7 +201,7 @@ TEST(ThreadPoolTest, SharedQueueDequeuesInteractiveBeforeBatch) {
 }
 
 TEST(ThreadPoolTest, PinnedQueueIsTwoLevelAndFifoWithinClass) {
-    ThreadPool pool(2);
+    ThreadPool pool(2, false, ThreadPool::kNeverPromoteBatch);
     std::promise<void> gate;
     std::shared_future<void> released = gate.get_future().share();
     std::thread::id worker0;
@@ -231,7 +235,7 @@ TEST(ThreadPoolTest, PinnedTasksStillRunBeforeSharedTasks) {
     // A pinned batch-class task beats a shared interactive task on its
     // worker: the pinned queue keeps absolute precedence (shard cache
     // residency), and priority only orders classes inside each queue.
-    ThreadPool pool(1);
+    ThreadPool pool(1, false, ThreadPool::kNeverPromoteBatch);
     std::promise<void> gate;
     std::shared_future<void> released = gate.get_future().share();
     pool.Submit([released] { released.wait(); });
@@ -242,6 +246,61 @@ TEST(ThreadPoolTest, PinnedTasksStillRunBeforeSharedTasks) {
     gate.set_value();
     pool.Wait();
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// Aging: a batch task that has waited past batch_promote_age_us is
+// promoted over pending interactive work, so a sustained interactive
+// stream delays background work by a bounded amount instead of
+// indefinitely. The sleep guarantees the batch head is older than the
+// 1 ms bound by the time the gated worker dequeues — deterministic
+// regardless of scheduling.
+TEST(ThreadPoolTest, AgedBatchTaskPromotedOverInteractive) {
+    ThreadPool pool(1, false, /*batch_promote_age_us=*/1'000);
+    std::promise<void> gate;
+    std::shared_future<void> released = gate.get_future().share();
+    pool.Submit([released] { released.wait(); });
+
+    std::vector<int> order;  // only the worker writes it
+    pool.Submit([&order] { order.push_back(100); }, TaskPriority::kBatch);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    pool.Submit([&order] { order.push_back(0); });
+    gate.set_value();
+    pool.Wait();
+    EXPECT_EQ(order, (std::vector<int>{100, 0}));
+}
+
+// The same aging rule applies inside a worker's pinned queue.
+TEST(ThreadPoolTest, PinnedQueuePromotesAgedBatchTask) {
+    ThreadPool pool(1, false, /*batch_promote_age_us=*/1'000);
+    std::promise<void> gate;
+    std::shared_future<void> released = gate.get_future().share();
+    pool.SubmitTo(0, [released] { released.wait(); });
+
+    std::vector<int> order;
+    pool.SubmitTo(0, [&order] { order.push_back(100); },
+                  TaskPriority::kBatch);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    pool.SubmitTo(0, [&order] { order.push_back(0); });
+    gate.set_value();
+    pool.Wait();
+    EXPECT_EQ(order, (std::vector<int>{100, 0}));
+}
+
+// kNeverPromoteBatch restores strict priority: the same aged batch task
+// still dequeues after the interactive one.
+TEST(ThreadPoolTest, NeverPromoteKeepsStrictPriorityForAgedBatch) {
+    ThreadPool pool(1, false, ThreadPool::kNeverPromoteBatch);
+    std::promise<void> gate;
+    std::shared_future<void> released = gate.get_future().share();
+    pool.Submit([released] { released.wait(); });
+
+    std::vector<int> order;
+    pool.Submit([&order] { order.push_back(100); }, TaskPriority::kBatch);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    pool.Submit([&order] { order.push_back(0); });
+    gate.set_value();
+    pool.Wait();
+    EXPECT_EQ(order, (std::vector<int>{0, 100}));
 }
 
 TEST(ThreadPoolTest, BatchTasksDoNotStarveUnderInteractiveLoad) {

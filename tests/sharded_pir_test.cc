@@ -15,6 +15,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/service.h"
 #include "src/dpf/dpf.h"
+#include "src/kernels/accumulate.h"
 #include "src/ml/embedding.h"
 #include "src/pir/answer_engine.h"
 #include "src/pir/protocol.h"
@@ -262,6 +263,57 @@ TEST(CpuKernelMatrixTest, AllKernelsBitIdenticalAcrossLayoutsShardsPlacements) {
             }
         }
     }
+}
+
+TEST(CpuKernelMatrixTest, AllAccumulateIsasBitIdenticalAcrossKernels) {
+    // The accumulator-ISA axis of the matrix: with the dispatch pinned to
+    // each supported AccumulateIsa in turn, every CPU kernel stays
+    // bit-identical to the sequential reference on both layouts. Exercises
+    // the vector accumulators through real kernel call sites (segment
+    // offsets, tile tails, multi-query fusion) rather than synthetic
+    // buffers.
+    Rng rng_a(59);
+    Rng rng_b(59);
+    const std::uint64_t n = 700;
+    PirTable row_major(n, 208, TableLayout::kRowMajor);
+    PirTable tiled(n, 208, TableLayout::kTiled);
+    row_major.FillRandom(rng_a);
+    tiled.FillRandom(rng_b);
+    PirClient client(10, PrfKind::kAes128, /*seed=*/29);
+    ThreadPool pool(4);
+
+    std::vector<std::vector<std::uint8_t>> keys;
+    std::vector<PirResponse> expected;
+    for (std::size_t i = 0; i < 4; ++i) {
+        PirQuery q = client.Query((i * 173) % n);
+        expected.push_back(ReferenceAnswer(
+            row_major, DpfKey::Deserialize(q.key_for_server0.data(),
+                                           q.key_for_server0.size())));
+        keys.push_back(std::move(q.key_for_server0));
+    }
+
+    for (const AccumulateIsa isa : AllAccumulateIsas()) {
+        if (!AccumulateIsaSupported(isa)) continue;
+        ASSERT_TRUE(SetAccumulateIsa(isa));
+        for (const CpuKernelKind kernel : AllCpuKernelKinds()) {
+            for (const PirTable* table : {&row_major, &tiled}) {
+                PirServer server(table, ShardingOptions{3, &pool,
+                                                        ShardPlacement::kPinned,
+                                                        kernel});
+                const auto responses = server.BatchAnswer(keys);
+                ASSERT_EQ(responses.size(), keys.size());
+                for (std::size_t i = 0; i < keys.size(); ++i) {
+                    ASSERT_EQ(responses[i], expected[i])
+                        << "accumulate=" << AccumulateIsaName(isa)
+                        << " kernel=" << CpuKernelKindName(kernel)
+                        << " layout="
+                        << (table == &tiled ? "tiled" : "row-major")
+                        << " query=" << i;
+                }
+            }
+        }
+    }
+    SetAccumulateIsa(DefaultAccumulateIsa());
 }
 
 TEST(ShardedServiceTest, TiledLayoutLookupMatchesRowMajor) {

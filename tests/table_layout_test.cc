@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/numa.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/dpf/dpf.h"
@@ -99,6 +100,124 @@ TEST(TableLayoutTest, SetAndGetRoundTripsInEveryLayout) {
         EXPECT_THROW(table.SetEntry(300, payload.data(), payload.size()),
                      std::out_of_range);
     }
+}
+
+TEST(NumaTest, TopologyProbeAndModePolicy) {
+    // The sysfs probe must report at least one node everywhere (it falls
+    // back to 1 when /sys is unreadable), and the mode policy follows the
+    // contract in numa.h: kOn always runs the first-touch pass, kOff
+    // never, kAuto only on multi-node hosts.
+    EXPECT_GE(GetNumaTopology().num_nodes, 1);
+    EXPECT_TRUE(NumaFirstTouchEnabled(NumaMode::kOn));
+    EXPECT_FALSE(NumaFirstTouchEnabled(NumaMode::kOff));
+    EXPECT_EQ(NumaFirstTouchEnabled(NumaMode::kAuto),
+              GetNumaTopology().num_nodes > 1);
+
+    EXPECT_STREQ(NumaModeName(NumaMode::kAuto), "auto");
+    EXPECT_STREQ(NumaModeName(NumaMode::kOff), "off");
+    EXPECT_STREQ(NumaModeName(NumaMode::kOn), "on");
+    NumaMode mode = NumaMode::kOff;
+    EXPECT_TRUE(ParseNumaMode("on", &mode));
+    EXPECT_EQ(mode, NumaMode::kOn);
+    EXPECT_TRUE(ParseNumaMode("auto", &mode));
+    EXPECT_EQ(mode, NumaMode::kAuto);
+    EXPECT_FALSE(ParseNumaMode("interleave", &mode));
+    EXPECT_EQ(mode, NumaMode::kAuto);  // unchanged on failure
+}
+
+// First-touch smoke test: a tiled table zeroed by pinned workers (the
+// NumaMode::kOn code path, exercised here regardless of node count) is
+// still zero-initialized, holds content identical to an unplaced table,
+// and answers queries bit-identically. On a single-node host the pass
+// degrades to plain placement with no behavioral difference — which is
+// exactly what this asserts.
+TEST(TableLayoutTest, FirstTouchPlacedTableMatchesUnplaced) {
+    ThreadPool pool(3, /*pin_to_cores=*/true);
+    TilePlacement placement;
+    placement.pool = &pool;
+    placement.num_shards = 3;
+
+    PirTable placed(10'000, 48, TableLayout::kTiled, &placement);
+    PirTable plain(10'000, 48, TableLayout::kTiled);
+    for (std::uint64_t i = 0; i < placed.num_entries(); ++i) {
+        ASSERT_EQ(placed.EntryBytes(i), std::vector<std::uint8_t>(48, 0))
+            << "row " << i;
+    }
+
+    Rng rng_a(91);
+    Rng rng_b(91);
+    placed.FillRandom(rng_a);
+    plain.FillRandom(rng_b);
+    for (std::uint64_t i = 0; i < placed.num_entries(); ++i) {
+        ASSERT_EQ(placed.EntryBytes(i), plain.EntryBytes(i)) << "row " << i;
+    }
+
+    PirClient client(14, PrfKind::kChacha20, /*seed=*/9);
+    PirQuery q = client.Query(1234);
+    const DpfKey key = DpfKey::Deserialize(q.key_for_server0.data(),
+                                           q.key_for_server0.size());
+    AnswerEngine engine(
+        ShardingOptions{3, &pool, ShardPlacement::kPinned});
+    EXPECT_EQ(engine.Answer(placed, key, 0, placed.num_entries()),
+              ReferenceAnswer(plain, key, plain.num_entries()));
+}
+
+// Degenerate placements fall back to the loader-thread memset rather than
+// deadlocking or crashing: null pool, zero shards, single-threaded pool.
+TEST(TableLayoutTest, InvalidPlacementFallsBackToPlainZeroing) {
+    TilePlacement null_pool;
+    null_pool.num_shards = 4;
+    PirTable a(500, 32, TableLayout::kTiled, &null_pool);
+    EXPECT_EQ(a.EntryBytes(499), std::vector<std::uint8_t>(32, 0));
+
+    ThreadPool single(1);
+    TilePlacement single_thread;
+    single_thread.pool = &single;
+    single_thread.num_shards = 4;
+    PirTable b(500, 32, TableLayout::kTiled, &single_thread);
+    EXPECT_EQ(b.EntryBytes(499), std::vector<std::uint8_t>(32, 0));
+
+    ThreadPool pool(2);
+    TilePlacement zero_shards;
+    zero_shards.pool = &pool;
+    zero_shards.num_shards = 0;
+    PirTable c(500, 32, TableLayout::kTiled, &zero_shards);
+    EXPECT_EQ(c.EntryBytes(499), std::vector<std::uint8_t>(32, 0));
+
+    // More shards than tiles: trailing shards own empty tile ranges.
+    TilePlacement many_shards;
+    many_shards.pool = &pool;
+    many_shards.num_shards = 64;
+    PirTable d(500, 32, TableLayout::kTiled, &many_shards);
+    EXPECT_EQ(d.EntryBytes(499), std::vector<std::uint8_t>(32, 0));
+    EXPECT_EQ(d.EntryBytes(0), std::vector<std::uint8_t>(32, 0));
+}
+
+TEST(TableLayoutTest, ShardRowBoundaryPartitionsAndSnapsToTiles) {
+    // Monotonic cover of [0, num_rows] with interior boundaries on the
+    // tile grid (in absolute rows) whenever shards span full tiles.
+    const std::uint64_t row_begin = 96;
+    const std::uint64_t num_rows = 1'000;
+    const std::uint64_t tile_rows = 64;
+    const std::size_t shards = 4;
+    std::uint64_t prev = ShardRowBoundary(row_begin, num_rows, tile_rows,
+                                          shards, 0);
+    EXPECT_EQ(prev, 0u);
+    for (std::size_t s = 1; s <= shards; ++s) {
+        const std::uint64_t b =
+            ShardRowBoundary(row_begin, num_rows, tile_rows, shards, s);
+        EXPECT_GE(b, prev) << "shard " << s;
+        if (s < shards) {
+            EXPECT_EQ((row_begin + b) % tile_rows, 0u) << "shard " << s;
+        }
+        prev = b;
+    }
+    EXPECT_EQ(prev, num_rows);
+
+    // Small jobs (tile taller than a chunk) keep unaligned chunks instead
+    // of collapsing boundaries.
+    EXPECT_EQ(ShardRowBoundary(0, 10, 64, 4, 1), 3u);
+    EXPECT_EQ(ShardRowBoundary(0, 10, 64, 4, 4), 10u);
 }
 
 TEST(TableLayoutTest, FillRandomContentIdenticalAcrossLayouts) {
