@@ -45,6 +45,16 @@ struct JsonResult {
     std::string kernel;
     std::string layout;
     double speedup_vs_scalar = 0.0;
+    // Optional replicated-serving metrics (bench_replicated_serving),
+    // written only when has_net is set: the replica count behind the
+    // router, how many lookups needed the failover retry (rerouted), the
+    // failed attempts that triggered them, and how many replicas were
+    // healthy when the run ended.
+    bool has_net = false;
+    double replicas = 0.0;
+    double failovers = 0.0;
+    double transport_errors = 0.0;
+    double healthy_replicas = 0.0;
     // Optional accumulator-ISA metadata, written only when has_isa is set:
     // which AccumulateIsa produced the row (the accum_* section of
     // bench_sharded_throughput). speedup_vs_scalar above carries the row's
@@ -123,6 +133,15 @@ inline bool WriteBenchJson(const char* path, const std::string& bench,
                          results[i].kernel.c_str(),
                          results[i].layout.c_str(),
                          results[i].speedup_vs_scalar);
+        }
+        if (results[i].has_net) {
+            std::fprintf(f,
+                         ",\"replicas\":%.6g,\"failovers\":%.6g"
+                         ",\"transport_errors\":%.6g"
+                         ",\"healthy_replicas\":%.6g",
+                         results[i].replicas, results[i].failovers,
+                         results[i].transport_errors,
+                         results[i].healthy_replicas);
         }
         if (results[i].has_isa) {
             std::fprintf(f, ",\"isa\":\"%s\",\"speedup_vs_scalar\":%.6g",

@@ -1,5 +1,7 @@
 #include "src/common/cpuid.h"
 
+#include "src/common/env.h"
+
 #include <cstdlib>
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -10,7 +12,7 @@ namespace gpudpf {
 namespace {
 
 bool EnvForcesScalar() {
-    const char* env = std::getenv("GPUDPF_FORCE_SCALAR");
+    const char* env = GpudpfEnv("GPUDPF_FORCE_SCALAR");
     if (env == nullptr) return false;
     // Any value other than the explicit "off" spellings forces scalar, so
     // `GPUDPF_FORCE_SCALAR=1 ctest` behaves the way CI writes it.

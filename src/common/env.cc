@@ -1,0 +1,85 @@
+#include "src/common/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+extern char** environ;
+
+namespace gpudpf {
+
+const std::vector<GpudpfEnvVar>& GpudpfEnvTable() {
+    static const std::vector<GpudpfEnvVar> kTable = {
+        {"GPUDPF_TABLE_LAYOUT",
+         "process-default physical table layout: row_major | tiled"},
+        {"GPUDPF_CPU_KERNEL",
+         "process-default CPU kernel: scalar | simd_prg | multiquery_tile"},
+        {"GPUDPF_FORCE_SCALAR",
+         "1 = mask the CPU-feature probe (software AES, scalar accumulate)"},
+        {"GPUDPF_ACCUMULATE",
+         "process-default mat-vec accumulator ISA: scalar | avx2 | avx512"},
+        {"GPUDPF_NUMA",
+         "NUMA first-touch tile placement: auto | on | off"},
+        {"GPUDPF_NET_MAX_FRAME_MB",
+         "wire-protocol frame payload cap in MiB (default 64)"},
+        {"GPUDPF_NET_REQUEST_TIMEOUT_MS",
+         "replica-router per-request timeout in ms (default 10000)"},
+        {"GPUDPF_NET_HEALTH_PERIOD_MS",
+         "replica-router health-check period in ms (default 100)"},
+    };
+    return kTable;
+}
+
+const char* GpudpfEnv(const char* name) {
+    for (const GpudpfEnvVar& var : GpudpfEnvTable()) {
+        if (std::strcmp(var.name, name) == 0) return std::getenv(name);
+    }
+    throw std::logic_error(std::string("GpudpfEnv: unregistered knob '") +
+                           name + "' — add it to GpudpfEnvTable()");
+}
+
+std::uint64_t GpudpfEnvU64(const char* name, std::uint64_t fallback) {
+    const char* value = GpudpfEnv(name);
+    if (value == nullptr || *value == '\0') return fallback;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0') return fallback;
+    return static_cast<std::uint64_t>(parsed);
+}
+
+std::vector<std::string> UnrecognizedGpudpfEnv() {
+    std::vector<std::string> unknown;
+    if (environ == nullptr) return unknown;
+    for (char** entry = environ; *entry != nullptr; ++entry) {
+        const char* eq = std::strchr(*entry, '=');
+        if (eq == nullptr) continue;
+        const std::string name(*entry, eq - *entry);
+        if (name.rfind("GPUDPF_", 0) != 0) continue;
+        bool known = false;
+        for (const GpudpfEnvVar& var : GpudpfEnvTable()) {
+            if (name == var.name) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) unknown.push_back(name);
+    }
+    return unknown;
+}
+
+void WarnUnrecognizedGpudpfEnv() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        for (const std::string& name : UnrecognizedGpudpfEnv()) {
+            std::fprintf(stderr,
+                         "gpudpf: warning: unrecognized environment variable "
+                         "'%s' (known GPUDPF_* knobs: see src/common/env.h); "
+                         "it will be ignored\n",
+                         name.c_str());
+        }
+    });
+}
+
+}  // namespace gpudpf

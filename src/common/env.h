@@ -1,0 +1,56 @@
+// Central registry of every GPUDPF_* environment knob.
+//
+// The process-default selections scattered across the tree (table layout,
+// CPU kernel, accumulator ISA, NUMA mode, feature-probe mask, networked
+// serving) all read their env overrides through GpudpfEnv(), which only
+// accepts names registered in the table below. That gives one documented
+// list (`GpudpfEnvTable()`, mirrored in the README), and lets service
+// startup warn about GPUDPF_* variables the process will silently ignore —
+// the classic "typo'd knob looked applied" failure.
+//
+//   GPUDPF_TABLE_LAYOUT            row_major | tiled
+//   GPUDPF_CPU_KERNEL              scalar | simd_prg | multiquery_tile
+//   GPUDPF_FORCE_SCALAR            1 = mask the CPU-feature probe
+//   GPUDPF_ACCUMULATE              scalar | avx2 | avx512
+//   GPUDPF_NUMA                    auto | on | off
+//   GPUDPF_NET_MAX_FRAME_MB        wire-frame payload cap, MiB (default 64)
+//   GPUDPF_NET_REQUEST_TIMEOUT_MS  router per-request timeout (default 10000)
+//   GPUDPF_NET_HEALTH_PERIOD_MS    router health-check period (default 100)
+//
+// Thread-safety: the table is immutable static data; GpudpfEnv is a thin
+// std::getenv wrapper (same caveats: don't setenv concurrently);
+// WarnUnrecognizedGpudpfEnv logs once per process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpudpf {
+
+struct GpudpfEnvVar {
+    const char* name;
+    const char* description;
+};
+
+// Every knob the process reads, with its one-line doc.
+const std::vector<GpudpfEnvVar>& GpudpfEnvTable();
+
+// std::getenv restricted to registered knobs: throws std::logic_error for a
+// name missing from the table, so a new knob cannot bypass the registry.
+const char* GpudpfEnv(const char* name);
+
+// Registered-knob getenv with an integer parse: returns `fallback` when the
+// variable is unset or does not parse as a non-negative integer.
+std::uint64_t GpudpfEnvU64(const char* name, std::uint64_t fallback);
+
+// GPUDPF_*-prefixed environment variables that are NOT in the table —
+// knobs the process will ignore (typos, removed flags).
+std::vector<std::string> UnrecognizedGpudpfEnv();
+
+// Logs one warning line per unrecognized GPUDPF_* variable to stderr, once
+// per process. Called at service and server-node startup.
+void WarnUnrecognizedGpudpfEnv();
+
+}  // namespace gpudpf

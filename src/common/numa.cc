@@ -1,5 +1,7 @@
 #include "src/common/numa.h"
 
+#include "src/common/env.h"
+
 #include <cstdlib>
 #include <fstream>
 
@@ -79,7 +81,7 @@ bool ParseNumaMode(const std::string& name, NumaMode* out) {
 NumaMode DefaultNumaMode() {
     static const NumaMode mode = [] {
         NumaMode parsed = NumaMode::kAuto;
-        const char* env = std::getenv("GPUDPF_NUMA");
+        const char* env = GpudpfEnv("GPUDPF_NUMA");
         if (env != nullptr) ParseNumaMode(env, &parsed);
         return parsed;
     }();

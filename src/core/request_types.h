@@ -1,0 +1,165 @@
+// Client-visible request lifecycle vocabulary, shared by the in-process
+// serving front-end (src/core/serving.h) and the networked tier
+// (src/net/wire.h): admission outcomes, scheduling classes, and terminal
+// request states. Factored out of serving.h so the wire protocol can
+// serialize them without pulling in the whole service, and so both layers
+// agree on one set of values — a networked reply carries exactly the
+// status the in-process handle would have reported.
+//
+// The u8 codecs at the bottom are the wire encoding: stable small values,
+// decode rejecting anything out of range (never trusting a cast).
+#pragma once
+
+#include <cstdint>
+
+namespace gpudpf {
+
+// Admission-control outcome of one submission.
+enum class AdmissionStatus {
+    kAccepted,        // handle is live and will reach a terminal status
+    kQueueFull,       // backpressure: admission slots exhausted
+    kShutdown,        // front-end no longer accepts work
+    kInvalidRequest,  // malformed (null client / empty wanted); nothing ran
+};
+
+inline const char* AdmissionStatusName(AdmissionStatus status) {
+    switch (status) {
+        case AdmissionStatus::kAccepted:
+            return "accepted";
+        case AdmissionStatus::kQueueFull:
+            return "queue-full";
+        case AdmissionStatus::kShutdown:
+            return "shutdown";
+        case AdmissionStatus::kInvalidRequest:
+            return "invalid-request";
+    }
+    return "unknown";
+}
+
+// Scheduling class of a request (see src/core/serving.h).
+enum class RequestPriority { kInteractive, kBatch };
+
+inline const char* RequestPriorityName(RequestPriority priority) {
+    switch (priority) {
+        case RequestPriority::kInteractive:
+            return "interactive";
+        case RequestPriority::kBatch:
+            return "batch";
+    }
+    return "unknown";
+}
+
+// Lifecycle of an admitted request. kInFlight until the front-end
+// completes it; exactly one terminal state is ever reached.
+enum class RequestStatus {
+    kInFlight,
+    kComplete,         // full result available
+    kCancelled,        // Cancel() won before the result was delivered
+    kDeadlineExpired,  // deadline passed while still queued
+    kFailed,           // server-side error; Result() rethrows it
+};
+
+inline const char* RequestStatusName(RequestStatus status) {
+    switch (status) {
+        case RequestStatus::kInFlight:
+            return "in-flight";
+        case RequestStatus::kComplete:
+            return "complete";
+        case RequestStatus::kCancelled:
+            return "cancelled";
+        case RequestStatus::kDeadlineExpired:
+            return "deadline-expired";
+        case RequestStatus::kFailed:
+            return "failed";
+    }
+    return "unknown";
+}
+
+// --- wire codecs (used by src/net/wire.cc) ---------------------------------
+
+inline std::uint8_t EncodeAdmissionStatus(AdmissionStatus status) {
+    switch (status) {
+        case AdmissionStatus::kAccepted:
+            return 0;
+        case AdmissionStatus::kQueueFull:
+            return 1;
+        case AdmissionStatus::kShutdown:
+            return 2;
+        case AdmissionStatus::kInvalidRequest:
+            return 3;
+    }
+    return 3;
+}
+
+inline bool DecodeAdmissionStatus(std::uint8_t value, AdmissionStatus* out) {
+    switch (value) {
+        case 0:
+            *out = AdmissionStatus::kAccepted;
+            return true;
+        case 1:
+            *out = AdmissionStatus::kQueueFull;
+            return true;
+        case 2:
+            *out = AdmissionStatus::kShutdown;
+            return true;
+        case 3:
+            *out = AdmissionStatus::kInvalidRequest;
+            return true;
+    }
+    return false;
+}
+
+inline std::uint8_t EncodeRequestPriority(RequestPriority priority) {
+    return priority == RequestPriority::kBatch ? 1 : 0;
+}
+
+inline bool DecodeRequestPriority(std::uint8_t value, RequestPriority* out) {
+    switch (value) {
+        case 0:
+            *out = RequestPriority::kInteractive;
+            return true;
+        case 1:
+            *out = RequestPriority::kBatch;
+            return true;
+    }
+    return false;
+}
+
+inline std::uint8_t EncodeRequestStatus(RequestStatus status) {
+    switch (status) {
+        case RequestStatus::kInFlight:
+            return 0;
+        case RequestStatus::kComplete:
+            return 1;
+        case RequestStatus::kCancelled:
+            return 2;
+        case RequestStatus::kDeadlineExpired:
+            return 3;
+        case RequestStatus::kFailed:
+            return 4;
+    }
+    return 4;
+}
+
+inline bool DecodeRequestStatus(std::uint8_t value, RequestStatus* out) {
+    switch (value) {
+        case 0:
+            *out = RequestStatus::kInFlight;
+            return true;
+        case 1:
+            *out = RequestStatus::kComplete;
+            return true;
+        case 2:
+            *out = RequestStatus::kCancelled;
+            return true;
+        case 3:
+            *out = RequestStatus::kDeadlineExpired;
+            return true;
+        case 4:
+            *out = RequestStatus::kFailed;
+            return true;
+    }
+    return false;
+}
+
+}  // namespace gpudpf

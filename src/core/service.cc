@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "src/common/cpuid.h"
+#include "src/common/env.h"
 #include "src/core/serving.h"
 #include "src/kernels/accumulate.h"
 #include "src/kernels/strategy.h"
@@ -21,6 +22,10 @@ namespace {
 std::once_flag g_kernel_log_once;
 void LogSelectedKernel(CpuKernelKind kind) {
     std::call_once(g_kernel_log_once, [kind] {
+        // Surface GPUDPF_* typos before logging what was selected: every
+        // knob is read through the src/common/env.h registry, so anything
+        // unrecognized here is a variable nothing will ever parse.
+        WarnUnrecognizedGpudpfEnv();
         std::fprintf(
             stderr,
             "gpudpf: cpu kernel '%s' accumulate '%s' numa nodes %d "
@@ -172,7 +177,7 @@ PrivateEmbeddingService::Client::Client(PrivateEmbeddingService* service,
 
 PrivateEmbeddingService::PreparedLookup
 PrivateEmbeddingService::Client::Prepare(
-    const std::vector<std::uint64_t>& wanted) {
+    const std::vector<std::uint64_t>& wanted, bool keep_wire_keys) {
     PreparedLookup prep;
     prep.wanted = wanted;
     prep.plan = service_->planner_.Plan(wanted, rng_);
@@ -182,6 +187,10 @@ PrivateEmbeddingService::Client::Prepare(
     prep.upload_bytes += full_req.UploadBytesPerServer();
     prep.full_server0 = full_session_.ParseJobs(full_req.keys_for_server0);
     prep.full_server1 = full_session_.ParseJobs(full_req.keys_for_server1);
+    if (keep_wire_keys) {
+        prep.wire_full_keys0 = std::move(full_req.keys_for_server0);
+        prep.wire_full_keys1 = std::move(full_req.keys_for_server1);
+    }
 
     if (hot_session_ != nullptr) {
         PbrSession::Request hot_req =
@@ -189,8 +198,23 @@ PrivateEmbeddingService::Client::Prepare(
         prep.upload_bytes += hot_req.UploadBytesPerServer();
         prep.hot_server0 = hot_session_->ParseJobs(hot_req.keys_for_server0);
         prep.hot_server1 = hot_session_->ParseJobs(hot_req.keys_for_server1);
+        if (keep_wire_keys) {
+            prep.wire_hot_keys0 = std::move(hot_req.keys_for_server0);
+            prep.wire_hot_keys1 = std::move(hot_req.keys_for_server1);
+        }
     }
     return prep;
+}
+
+PrivateEmbeddingService::TablePartial
+PrivateEmbeddingService::Client::ReconstructTablePartial(
+    const PreparedLookup& prep, bool hot, const std::vector<PirResponse>& r0,
+    const std::vector<PirResponse>& r1) const {
+    const PbrSession& session = hot ? *hot_session_ : full_session_;
+    const std::size_t row_bytes =
+        service_->layout_.RowBytes(service_->base_entry_bytes_);
+    const auto rows = session.Reconstruct(r0, r1, row_bytes);
+    return service_->AssembleTablePartial(prep, hot, rows);
 }
 
 PrivateEmbeddingService::LookupResult

@@ -182,6 +182,15 @@ class PrivateEmbeddingService {
         PbrSession::BinJobs full_server1;
         PbrSession::BinJobs hot_server0;
         PbrSession::BinJobs hot_server1;
+        // The exact serialized per-bin keys the BinJobs above were parsed
+        // from, retained only when prepared with keep_wire_keys: the
+        // networked client (src/net/remote_client.h) uploads these to a
+        // server node; the in-process path parses and drops them.
+        // Index-aligned with the corresponding jobs.
+        std::vector<std::vector<std::uint8_t>> wire_full_keys0;
+        std::vector<std::vector<std::uint8_t>> wire_full_keys1;
+        std::vector<std::vector<std::uint8_t>> wire_hot_keys0;
+        std::vector<std::vector<std::uint8_t>> wire_hot_keys1;
     };
 
     class Client {
@@ -195,15 +204,34 @@ class PrivateEmbeddingService {
         // (ServiceConfig::default_deadline_us) expired before dispatch.
         LookupResult Lookup(const std::vector<std::uint64_t>& wanted);
 
+        // Client-side phase of one lookup, split out for callers that ship
+        // the keys somewhere other than the in-process front-end: plans
+        // the inference and generates/parses both servers' keys, advancing
+        // this client's RNG (hence: one thread at a time). The RNG
+        // consumption is identical either way, so a client that alternates
+        // local and networked lookups stays on one deterministic stream.
+        // With keep_wire_keys the serialized per-bin keys are retained in
+        // the PreparedLookup for a networked upload.
+        PreparedLookup Prepare(const std::vector<std::uint64_t>& wanted,
+                               bool keep_wire_keys = false);
+
+        // Client-side half of answering from raw shares: reconstructs one
+        // table's rows from the two servers' per-bin responses (the
+        // RawTablePartial a remote node streamed back, or a local
+        // engine's) and decodes them into that table's TablePartial.
+        // Byte-identical to what the in-process front-end streams for the
+        // same PreparedLookup, because it runs the same session
+        // Reconstruct and service decode.
+        TablePartial ReconstructTablePartial(
+            const PreparedLookup& prep, bool hot,
+            const std::vector<PirResponse>& r0,
+            const std::vector<PirResponse>& r1) const;
+
       private:
         friend class PrivateEmbeddingService;
         friend class ServingFrontEnd;
 
         Client(PrivateEmbeddingService* service, std::uint64_t seed);
-
-        // Plans the inference and generates/parses both servers' keys,
-        // advancing this client's RNG (hence: one thread at a time).
-        PreparedLookup Prepare(const std::vector<std::uint64_t>& wanted);
 
         PrivateEmbeddingService* service_;
         Rng rng_;
@@ -232,20 +260,13 @@ class PrivateEmbeddingService {
     const ServiceConfig& config() const { return config_; }
     int dim() const { return dim_; }
 
-  private:
-    friend class Client;
-    friend class ServingFrontEnd;
-
-    // Builds a physical PIR table with co-located rows for the given row
-    // owners (identity for the full table, hot contents for the hot table).
-    PirTable BuildPhysicalTable(const EmbeddingTable& embeddings,
-                                const std::vector<std::uint64_t>& owners) const;
-
     // Per-table half of result assembly: decodes one table's reconstructed
     // rows into the embeddings that table serves, independently of the
     // other table, so the front-end can stream it the moment the table's
     // jobs finish. `hot` selects the hot-table decode (row owners mapped
-    // through the layout's hot contents).
+    // through the layout's hot contents). Public because the networked
+    // client assembles on its side of the wire from raw shares (usually
+    // through Client::ReconstructTablePartial).
     TablePartial AssembleTablePartial(
         const PreparedLookup& prep, bool hot,
         const std::vector<std::vector<std::uint8_t>>& rows) const;
@@ -258,6 +279,15 @@ class PrivateEmbeddingService {
     LookupResult FinalizeLookupResult(const PreparedLookup& prep,
                                       const TablePartial& full,
                                       const TablePartial* hot) const;
+
+  private:
+    friend class Client;
+    friend class ServingFrontEnd;
+
+    // Builds a physical PIR table with co-located rows for the given row
+    // owners (identity for the full table, hot contents for the hot table).
+    PirTable BuildPhysicalTable(const EmbeddingTable& embeddings,
+                                const std::vector<std::uint64_t>& owners) const;
 
     ServiceConfig config_;
     int dim_;

@@ -9,46 +9,6 @@
 
 namespace gpudpf {
 
-const char* AdmissionStatusName(AdmissionStatus status) {
-    switch (status) {
-        case AdmissionStatus::kAccepted:
-            return "accepted";
-        case AdmissionStatus::kQueueFull:
-            return "queue-full";
-        case AdmissionStatus::kShutdown:
-            return "shutdown";
-        case AdmissionStatus::kInvalidRequest:
-            return "invalid-request";
-    }
-    return "unknown";
-}
-
-const char* RequestPriorityName(RequestPriority priority) {
-    switch (priority) {
-        case RequestPriority::kInteractive:
-            return "interactive";
-        case RequestPriority::kBatch:
-            return "batch";
-    }
-    return "unknown";
-}
-
-const char* RequestStatusName(RequestStatus status) {
-    switch (status) {
-        case RequestStatus::kInFlight:
-            return "in-flight";
-        case RequestStatus::kComplete:
-            return "complete";
-        case RequestStatus::kCancelled:
-            return "cancelled";
-        case RequestStatus::kDeadlineExpired:
-            return "deadline-expired";
-        case RequestStatus::kFailed:
-            return "failed";
-    }
-    return "unknown";
-}
-
 // ---------------------------------------------------------------------------
 // RequestHandle
 
@@ -149,7 +109,7 @@ ServingFrontEnd::ServingFrontEnd(PrivateEmbeddingService* service,
     batcher_ = std::thread([this] { BatcherLoop(); });
 }
 
-ServingFrontEnd::~ServingFrontEnd() { Shutdown(); }
+ServingFrontEnd::~ServingFrontEnd() { Stop(); }
 
 std::size_t ServingFrontEnd::SlotCap(RequestPriority priority) const {
     if (priority == RequestPriority::kInteractive) {
@@ -261,28 +221,85 @@ ServingFrontEnd::RequestHandle ServingFrontEnd::Enqueue(
     {
         MutexLock lock(mu_);
         queue_.push_back(req);
-        // Inter-arrival EWMA for the adaptive batching window. The decay
-        // is time-based (half-life linger_ewma_half_life_us), so a long
-        // quiet gap discounts stale history on its own.
-        const auto now = std::chrono::steady_clock::now();
-        if (have_arrival_) {
-            const double dt_us =
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    now - last_arrival_)
-                    .count() /
-                1e3;
-            if (options_.linger_ewma_half_life_us > 0) {
-                const double w = std::exp2(
-                    -dt_us /
-                    static_cast<double>(options_.linger_ewma_half_life_us));
-                arrival_ewma_us_ = w * arrival_ewma_us_ + (1.0 - w) * dt_us;
-            } else {
-                arrival_ewma_us_ = dt_us;
-            }
-        }
-        last_arrival_ = now;
-        have_arrival_ = true;
+        NoteArrival(std::chrono::steady_clock::now());
         --preparing_;
+    }
+    queue_cv_.NotifyOne();
+    return RequestHandle{AdmissionStatus::kAccepted, std::move(req), this};
+}
+
+void ServingFrontEnd::NoteArrival(std::chrono::steady_clock::time_point now) {
+    // Inter-arrival EWMA for the adaptive batching window. The decay
+    // is time-based (half-life linger_ewma_half_life_us), so a long
+    // quiet gap discounts stale history on its own.
+    if (have_arrival_) {
+        const double dt_us =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - last_arrival_)
+                .count() /
+            1e3;
+        if (options_.linger_ewma_half_life_us > 0) {
+            const double w = std::exp2(
+                -dt_us /
+                static_cast<double>(options_.linger_ewma_half_life_us));
+            arrival_ewma_us_ = w * arrival_ewma_us_ + (1.0 - w) * dt_us;
+        } else {
+            arrival_ewma_us_ = dt_us;
+        }
+    }
+    last_arrival_ = now;
+    have_arrival_ = true;
+}
+
+ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitRaw(
+    RawLookup raw, RawSubmitOptions options) {
+    // The jobs were parsed off the wire, not produced by a local client:
+    // re-check shape here so a malformed (but individually-parseable)
+    // upload is rejected before it can poison a pooled batch. Both logical
+    // servers must cover the same bins of each submitted table.
+    const bool shape_ok =
+        !raw.full_server0.jobs.empty() &&
+        raw.full_server0.jobs.size() == raw.full_server1.jobs.size() &&
+        (!raw.has_hot ||
+         (!raw.hot_server0.jobs.empty() &&
+          raw.hot_server0.jobs.size() == raw.hot_server1.jobs.size()));
+    if (!shape_ok) {
+        MutexLock lock(mu_);
+        ++counters_.rejected_invalid;
+        return RequestHandle{AdmissionStatus::kInvalidRequest, nullptr, this};
+    }
+    const auto admitted_at = std::chrono::steady_clock::now();
+    auto req = std::make_shared<Request>();
+    req->raw = true;
+    req->raw_prep = std::move(raw);
+    req->priority = options.priority;
+    std::uint64_t deadline_us = options.deadline_us;
+    if (deadline_us == 0) deadline_us = options_.default_deadline_us;
+    if (deadline_us != 0 && deadline_us != kNoDeadline) {
+        req->has_deadline = true;
+        req->deadline = admitted_at + std::chrono::microseconds(deadline_us);
+    }
+    req->on_raw_partial = std::move(options.on_raw_partial);
+    req->on_complete = std::move(options.on_complete);
+    req->context = std::make_shared<JobContext>(
+        options.priority == RequestPriority::kBatch
+            ? TaskPriority::kBatch
+            : TaskPriority::kInteractive);
+    if (req->has_deadline) req->context->set_deadline(req->deadline);
+    {
+        MutexLock lock(mu_);
+        if (stop_) {
+            return RequestHandle{AdmissionStatus::kShutdown, nullptr, this};
+        }
+        if (inflight_ >= SlotCap(options.priority)) {
+            ++counters_.rejected_queue_full;
+            return RequestHandle{AdmissionStatus::kQueueFull, nullptr, this};
+        }
+        // No client-side phase to run: admit and enqueue in one critical
+        // section (no preparing_ window).
+        ++inflight_;
+        queue_.push_back(req);
+        NoteArrival(admitted_at);
     }
     queue_cv_.NotifyOne();
     return RequestHandle{AdmissionStatus::kAccepted, std::move(req), this};
@@ -317,13 +334,20 @@ bool ServingFrontEnd::MarkCancelled(const std::shared_ptr<Request>& req,
     return true;
 }
 
-void ServingFrontEnd::Shutdown() {
+void ServingFrontEnd::Stop() {
+    // Phase 1 — reject: every Submit* that takes mu_ after this sees
+    // stop_ and returns kShutdown; nothing new enters the queue.
     {
         MutexLock lock(mu_);
         stop_ = true;
     }
     queue_cv_.NotifyAll();
     slot_cv_.NotifyAll();
+    // Phases 2+3 — drain, then join: the batcher loop only exits once the
+    // queue is empty AND no admitted request is still in its client-side
+    // preparation (preparing_ == 0), so every admitted handle reaches a
+    // terminal status before join returns. Idempotent: a second Stop()
+    // finds the thread unjoinable and returns immediately.
     if (batcher_.joinable()) batcher_.join();
 }
 
@@ -518,20 +542,39 @@ void ServingFrontEnd::ProcessBatch(
         };
         std::deque<Group> groups;  // stable addresses; atomics can't move
         std::vector<AnswerEngine::TableJob> jobs;
+
+        // Raw requests carry their parsed jobs in raw_prep (no client ran
+        // locally); local requests in the client-prepared prep. The job
+        // pooling below is source-agnostic through these two accessors.
+        auto jobs0 = [](const Request& req,
+                        bool hot) -> const PbrSession::BinJobs& {
+            if (req.raw) {
+                return hot ? req.raw_prep.hot_server0
+                           : req.raw_prep.full_server0;
+            }
+            return hot ? req.prep.hot_server0 : req.prep.full_server0;
+        };
+        auto jobs1 = [](const Request& req,
+                        bool hot) -> const PbrSession::BinJobs& {
+            if (req.raw) {
+                return hot ? req.raw_prep.hot_server1
+                           : req.raw_prep.full_server1;
+            }
+            return hot ? req.prep.hot_server1 : req.prep.full_server1;
+        };
+
         std::size_t total = 0;
         for (const auto& req : batch) {
-            total += req->prep.full_server0.jobs.size() +
-                     req->prep.full_server1.jobs.size() +
-                     req->prep.hot_server0.jobs.size() +
-                     req->prep.hot_server1.jobs.size();
+            total += jobs0(*req, false).jobs.size() +
+                     jobs1(*req, false).jobs.size() +
+                     jobs0(*req, true).jobs.size() +
+                     jobs1(*req, true).jobs.size();
         }
         jobs.reserve(total);
 
         auto append_group = [&](Request* req, bool hot) {
-            const PbrSession::BinJobs& j0 =
-                hot ? req->prep.hot_server0 : req->prep.full_server0;
-            const PbrSession::BinJobs& j1 =
-                hot ? req->prep.hot_server1 : req->prep.full_server1;
+            const PbrSession::BinJobs& j0 = jobs0(*req, hot);
+            const PbrSession::BinJobs& j1 = jobs1(*req, hot);
             const PirTable* table = hot ? service_->hot_table_.get()
                                         : &service_->full_table_;
             // The tag routes completions back to the group; the context
@@ -567,7 +610,8 @@ void ServingFrontEnd::ProcessBatch(
         // finish, which is what makes time-to-first-partial beat the
         // one-shot latency.
         for (const auto& req : batch) {
-            req->has_hot = req->client->hot_session_ != nullptr;
+            req->has_hot = req->raw ? req->raw_prep.has_hot
+                                    : req->client->hot_session_ != nullptr;
             req->groups_remaining.store(req->has_hot ? 2 : 1,
                                         std::memory_order_relaxed);
             req->full_partial.reset();
@@ -615,22 +659,39 @@ void ServingFrontEnd::ProcessBatch(
                             std::make_move_iterator(responses.begin() +
                                                     begin + n));
                     };
-                    const auto r0 = slice(g.s0_begin, g.s0_count);
-                    const auto r1 = slice(g.s1_begin, g.s1_count);
-                    PbrSession& session = g.hot ? *req->client->hot_session_
-                                                : req->client->full_session_;
-                    const auto rows = session.Reconstruct(r0, r1, row_bytes);
-                    auto kept = std::make_shared<const TablePartial>(
-                        service_->AssembleTablePartial(req->prep, g.hot,
-                                                       rows));
-                    (g.hot ? req->hot_partial : req->full_partial) = kept;
-                    if (!req->context->cancelled()) {
-                        {
-                            MutexLock lock(req->mu);
-                            req->partials.push_back(kept);
+                    auto r0 = slice(g.s0_begin, g.s0_count);
+                    auto r1 = slice(g.s1_begin, g.s1_count);
+                    if (req->raw) {
+                        // Networked request: this table's shares leave the
+                        // node verbatim — reconstruction happens on the
+                        // remote client, with the same PbrSession code the
+                        // in-process path runs, so the final bytes match.
+                        if (!req->context->cancelled() &&
+                            req->on_raw_partial) {
+                            RawTablePartial part;
+                            part.hot = g.hot;
+                            part.server0 = std::move(r0);
+                            part.server1 = std::move(r1);
+                            req->on_raw_partial(std::move(part));
                         }
-                        req->cv.NotifyAll();
-                        if (req->on_partial) req->on_partial(*kept);
+                    } else {
+                        PbrSession& session =
+                            g.hot ? *req->client->hot_session_
+                                  : req->client->full_session_;
+                        const auto rows =
+                            session.Reconstruct(r0, r1, row_bytes);
+                        auto kept = std::make_shared<const TablePartial>(
+                            service_->AssembleTablePartial(req->prep, g.hot,
+                                                           rows));
+                        (g.hot ? req->hot_partial : req->full_partial) = kept;
+                        if (!req->context->cancelled()) {
+                            {
+                                MutexLock lock(req->mu);
+                                req->partials.push_back(kept);
+                            }
+                            req->cv.NotifyAll();
+                            if (req->on_partial) req->on_partial(*kept);
+                        }
                     }
                 } catch (...) {
                     MutexLock lock(req->mu);
@@ -646,6 +707,14 @@ void ServingFrontEnd::ProcessBatch(
             // Last group of this request: the acq_rel countdown makes the
             // other group's kept partial visible here.
             if (req->context->ShouldSkip()) return;
+            if (req->raw) {
+                // Nothing to assemble node-side — the raw partials already
+                // streamed out. Flag readiness so completion reports
+                // kComplete (unless an error landed first).
+                MutexLock lock(req->mu);
+                if (req->error == nullptr) req->result_ready = true;
+                return;
+            }
             try {
                 {
                     MutexLock lock(req->mu);

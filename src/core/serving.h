@@ -46,9 +46,10 @@
 // interleaving, shard count, layout, and placement — and reassembling the
 // streamed partials reproduces the same bytes.
 //
-// Shutdown() (also run by the destructor) stops admitting, drains every
+// Stop() (also run by the destructor) stops admitting, drains every
 // already-admitted request so no handle is left dangling, and joins the
-// batcher thread.
+// batcher thread — see its comment for the three-phase ordering the
+// networked server node layers its own shutdown on.
 #pragma once
 
 #include <atomic>
@@ -63,43 +64,42 @@
 
 #include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
+#include "src/core/request_types.h"
 #include "src/core/service.h"
 #include "src/pir/answer_engine.h"
 
 namespace gpudpf {
-
-// Admission-control outcome of one submission.
-enum class AdmissionStatus {
-    kAccepted,        // handle is live and will reach a terminal status
-    kQueueFull,       // backpressure: admission slots exhausted
-    kShutdown,        // front-end no longer accepts work
-    kInvalidRequest,  // malformed (null client / empty wanted); nothing ran
-};
-
-const char* AdmissionStatusName(AdmissionStatus status);
-
-// Scheduling class of a request (see the file comment).
-enum class RequestPriority { kInteractive, kBatch };
-
-const char* RequestPriorityName(RequestPriority priority);
-
-// Lifecycle of an admitted request. kInFlight until the front-end
-// completes it; exactly one terminal state is ever reached.
-enum class RequestStatus {
-    kInFlight,
-    kComplete,         // full result available
-    kCancelled,        // Cancel() won before the result was delivered
-    kDeadlineExpired,  // deadline passed while still queued
-    kFailed,           // server-side error; Result() rethrows it
-};
-
-const char* RequestStatusName(RequestStatus status);
 
 // One client's lookup, addressed to the front-end. The client pointer must
 // stay valid until the request reaches a terminal status.
 struct LookupRequest {
     PrivateEmbeddingService::Client* client = nullptr;
     std::vector<std::uint64_t> wanted;
+};
+
+// A lookup whose client-side phase (planning + DPF key generation) already
+// ran somewhere else — on the other end of a network connection
+// (src/net/server_node.h deserializes wire frames into this). Both tables'
+// per-bin jobs for both logical servers, parsed and ready to pool into the
+// next batch alongside in-process requests.
+struct RawLookup {
+    PbrSession::BinJobs full_server0;
+    PbrSession::BinJobs full_server1;
+    PbrSession::BinJobs hot_server0;
+    PbrSession::BinJobs hot_server1;
+    bool has_hot = false;
+};
+
+// One table's raw answer shares of a RawLookup, streamed as soon as that
+// table's job group completes — the networked mirror of TablePartial,
+// before any client-side reconstruction. `server0[b]`/`server1[b]` are the
+// two logical servers' shares for bin b, index-aligned with the submitted
+// bin jobs; sending them back verbatim keeps the remote client's
+// Reconstruct() bit-identical to the in-process path.
+struct RawTablePartial {
+    bool hot = false;
+    std::vector<PirResponse> server0;
+    std::vector<PirResponse> server1;
 };
 
 class ServingFrontEnd {
@@ -193,10 +193,49 @@ class ServingFrontEnd {
                                       SubmitOptions options);
     RequestHandle SubmitRequestOrWait(LookupRequest request);
 
-    // Stops admitting, drains every admitted request to a terminal status,
-    // joins the batcher. Idempotent; runs in the destructor if not called
+    // Per-request knobs of the raw (already-prepared) submission path.
+    // Mirrors SubmitOptions, with the partial callback carrying the
+    // un-reconstructed wire shares instead of decoded embeddings.
+    struct RawSubmitOptions {
+        RequestPriority priority = RequestPriority::kInteractive;
+        std::uint64_t deadline_us = 0;
+        // Fired once per table with that table's raw shares, from the
+        // answer-pool worker that finished the group. Same contract as
+        // SubmitOptions::on_partial: thread-safe, non-throwing,
+        // non-blocking on pool work.
+        std::function<void(RawTablePartial&&)> on_raw_partial;
+        std::function<void(RequestStatus)> on_complete;
+    };
+
+    // Non-blocking admission of a lookup whose client-side phase already
+    // ran remotely (see RawLookup). Shares the admission slots, priority
+    // caps, batching, deadline and cancellation machinery with
+    // SubmitRequest — a server node forwarding wire requests here gets
+    // max_inflight_requests backpressure (kQueueFull, surfaced over the
+    // wire as an explicit rejection) for free. The handle's streamed
+    // results arrive only through on_raw_partial; Result() is not
+    // meaningful for raw requests (there is no client to reconstruct) and
+    // returns an empty LookupResult once the request completes.
+    RequestHandle SubmitRaw(RawLookup raw, RawSubmitOptions options)
+        GPUDPF_EXCLUDES(mu_);
+
+    // Stops the front-end in three explicit, strictly ordered phases —
+    // the same drain ordering a networked node layers its own shutdown on
+    // (reject new connections, drain in-flight handles, then join):
+    //   1. reject: every later Submit*() returns kShutdown; no new
+    //      request can enter the queue.
+    //   2. drain: the batcher keeps dispatching until every admitted
+    //      request — queued, mid-preparation, or mid-batch — has reached
+    //      a terminal status, so no handle is left dangling.
+    //   3. join: the batcher thread exits and is joined.
+    // Idempotent and safe to race with concurrent submissions: a
+    // submission either lands before phase 1 (and is drained by phase 2)
+    // or observes kShutdown. Runs in the destructor if not called
     // explicitly.
-    void Shutdown() GPUDPF_EXCLUDES(mu_);
+    void Stop() GPUDPF_EXCLUDES(mu_);
+
+    // Back-compat alias for Stop().
+    void Shutdown() GPUDPF_EXCLUDES(mu_) { Stop(); }
 
     // Requests admitted but not yet completed (queued + being answered).
     std::size_t inflight() const GPUDPF_EXCLUDES(mu_);
@@ -215,6 +254,13 @@ class ServingFrontEnd {
         // Immutable after enqueue.
         PrivateEmbeddingService::Client* client = nullptr;
         PrivateEmbeddingService::PreparedLookup prep;
+        // Raw-mode request (SubmitRaw): the parsed jobs arrived off the
+        // wire instead of from a local client (`prep` stays empty), and
+        // per-table results leave as raw shares through on_raw_partial
+        // instead of decoded TablePartials.
+        bool raw = false;
+        RawLookup raw_prep;
+        std::function<void(RawTablePartial&&)> on_raw_partial;
         RequestPriority priority = RequestPriority::kInteractive;
         bool has_deadline = false;
         std::chrono::steady_clock::time_point deadline{};
@@ -327,6 +373,9 @@ class ServingFrontEnd {
         GPUDPF_EXCLUDES(mu_);
     // kBatch requests only get the bottom 3/4 of the admission slots.
     std::size_t SlotCap(RequestPriority priority) const;
+    // Records one request arrival into the adaptive-linger EWMA.
+    void NoteArrival(std::chrono::steady_clock::time_point now)
+        GPUDPF_REQUIRES(mu_);
     // Batching window for the next batch, honoring the adaptive policy.
     // The batcher's wait loop additionally caps the window at the
     // earliest queued deadline, re-derived after every wake-up.

@@ -32,6 +32,8 @@
 
 #include "src/kernels/accumulate.h"
 
+#include "src/common/env.h"
+
 #include <atomic>
 #include <cstdlib>
 
@@ -483,7 +485,7 @@ AccumulateFn GetAccumulateFn(AccumulateIsa isa) {
 AccumulateIsa DefaultAccumulateIsa() {
     static const AccumulateIsa isa = [] {
         AccumulateIsa parsed;
-        const char* env = std::getenv("GPUDPF_ACCUMULATE");
+        const char* env = GpudpfEnv("GPUDPF_ACCUMULATE");
         if (env != nullptr && ParseAccumulateIsa(env, &parsed) &&
             AccumulateIsaSupported(parsed)) {
             return parsed;

@@ -1,5 +1,7 @@
 #include "src/kernels/cpu_kernel.h"
 
+#include "src/common/env.h"
+
 #include <algorithm>
 #include <cstdlib>
 
@@ -235,7 +237,7 @@ const std::vector<CpuKernelKind>& AllCpuKernelKinds() {
 CpuKernelKind DefaultCpuKernelKind() {
     static const CpuKernelKind kind = [] {
         CpuKernelKind parsed;
-        const char* env = std::getenv("GPUDPF_CPU_KERNEL");
+        const char* env = GpudpfEnv("GPUDPF_CPU_KERNEL");
         if (env != nullptr && ParseCpuKernelKind(env, &parsed)) {
             return parsed;
         }

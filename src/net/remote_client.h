@@ -1,0 +1,71 @@
+// Client side of one connection to a PirServerNode: dial + hello
+// handshake, then synchronous lookup exchanges (upload keys, collect the
+// streamed kTablePartial frames and the terminal kLookupComplete) and
+// health pings. One NodeConnection is driven by one thread at a time; the
+// ReplicaRouter pools them per replica.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/request_types.h"
+#include "src/net/wire.h"
+
+namespace gpudpf {
+namespace net {
+
+class NodeConnection {
+  public:
+    // Connects to host:port, sends kClientHello with `hello`, and verifies
+    // the node echoes the same geometry. Returns nullptr on connect,
+    // timeout, protocol, or geometry failure.
+    static std::unique_ptr<NodeConnection> Dial(const std::string& host,
+                                                std::uint16_t port,
+                                                const Hello& hello,
+                                                int timeout_ms);
+
+    ~NodeConnection();
+
+    NodeConnection(const NodeConnection&) = delete;
+    NodeConnection& operator=(const NodeConnection&) = delete;
+
+    enum class LookupStatus {
+        kComplete,   // kLookupComplete(kComplete) received; partials valid
+        kRejected,   // explicit kRejected frame; see `rejection`
+        kFailed,     // terminal status other than kComplete; see `final_status`
+        kTransport,  // timeout, EOF, socket error, or protocol violation —
+                     // the connection is dead and the request's fate is
+                     // unknown (the router's retry-once case)
+    };
+
+    struct LookupReply {
+        LookupStatus status = LookupStatus::kTransport;
+        AdmissionStatus rejection = AdmissionStatus::kQueueFull;
+        RequestStatus final_status = RequestStatus::kFailed;
+        TablePartialFrame full;
+        TablePartialFrame hot;
+        bool has_hot = false;
+    };
+
+    // Sends one kLookupRequest and reads frames until the request's
+    // terminal frame (or `timeout_ms` without progress). Frames for other
+    // request ids are a protocol violation (this connection runs one
+    // lookup at a time).
+    LookupReply Lookup(const LookupRequestFrame& request, int timeout_ms);
+
+    // One kPing/kPong round trip; false leaves the connection unusable.
+    bool Ping(std::uint64_t nonce, int timeout_ms);
+
+    // True until a Lookup/Ping hit a transport or protocol failure.
+    bool usable() const { return usable_; }
+
+  private:
+    explicit NodeConnection(int fd) : fd_(fd) {}
+
+    int fd_;
+    bool usable_ = true;
+};
+
+}  // namespace net
+}  // namespace gpudpf

@@ -1,0 +1,273 @@
+#include "src/net/replica_router.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/env.h"
+#include "src/net/server_node.h"
+
+namespace gpudpf {
+namespace net {
+
+namespace {
+// Idle connections kept per replica; beyond this, released connections
+// are simply closed.
+constexpr std::size_t kMaxIdlePerReplica = 16;
+}  // namespace
+
+ReplicaRouter::ReplicaRouter(PrivateEmbeddingService* service,
+                             std::vector<Endpoint> replicas, Options options)
+    : service_(service),
+      options_(options),
+      hello_(ServiceHello(*service)) {
+    if (replicas.empty()) {
+        throw std::invalid_argument("ReplicaRouter: no replicas");
+    }
+    if (options_.request_timeout_ms <= 0) {
+        options_.request_timeout_ms = static_cast<int>(
+            GpudpfEnvU64("GPUDPF_NET_REQUEST_TIMEOUT_MS", 10'000));
+    }
+    if (options_.health_period_ms <= 0) {
+        options_.health_period_ms = static_cast<int>(
+            GpudpfEnvU64("GPUDPF_NET_HEALTH_PERIOD_MS", 100));
+    }
+    replicas_.reserve(replicas.size());
+    for (auto& endpoint : replicas) {
+        auto state = std::make_unique<ReplicaState>();
+        state->endpoint = std::move(endpoint);
+        replicas_.push_back(std::move(state));
+    }
+    {
+        MutexLock lock(mu_);
+        answered_.assign(replicas_.size(), 0);
+    }
+    if (options_.health_thread) {
+        health_thread_ = std::thread([this] { HealthLoop(); });
+    }
+}
+
+ReplicaRouter::~ReplicaRouter() { Stop(); }
+
+void ReplicaRouter::Stop() {
+    {
+        MutexLock lock(mu_);
+        stop_ = true;
+    }
+    stop_cv_.NotifyAll();
+    if (health_thread_.joinable()) health_thread_.join();
+    for (auto& replica : replicas_) {
+        MutexLock lock(replica->mu);
+        replica->idle.clear();
+    }
+}
+
+ReplicaRouter::Stats ReplicaRouter::stats() const {
+    MutexLock lock(mu_);
+    return stats_;
+}
+
+std::vector<std::uint64_t> ReplicaRouter::per_replica_answered() const {
+    MutexLock lock(mu_);
+    return answered_;
+}
+
+std::size_t ReplicaRouter::healthy_count() const {
+    std::size_t count = 0;
+    for (const auto& replica : replicas_) {
+        MutexLock lock(replica->mu);
+        if (replica->healthy) ++count;
+    }
+    return count;
+}
+
+std::size_t ReplicaRouter::PickReplica(std::ptrdiff_t exclude) {
+    const std::size_t n = replicas_.size();
+    auto eligible = [&](std::size_t i, bool need_healthy) {
+        if (static_cast<std::ptrdiff_t>(i) == exclude && n > 1) return false;
+        if (!need_healthy) return true;
+        MutexLock lock(replicas_[i]->mu);
+        return replicas_[i]->healthy;
+    };
+    // Healthy replicas first; if none qualify, fall back to the full set —
+    // the attempt doubles as a recovery probe during a total outage.
+    for (const bool need_healthy : {true, false}) {
+        if (options_.balance == Balance::kLeastInflight) {
+            std::ptrdiff_t best = -1;
+            std::size_t best_load = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!eligible(i, need_healthy)) continue;
+                std::size_t load = 0;
+                {
+                    MutexLock lock(replicas_[i]->mu);
+                    load = replicas_[i]->inflight;
+                }
+                if (best < 0 || load < best_load) {
+                    best = static_cast<std::ptrdiff_t>(i);
+                    best_load = load;
+                }
+            }
+            if (best >= 0) return static_cast<std::size_t>(best);
+        } else {
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::size_t i =
+                    rr_next_.fetch_add(1, std::memory_order_relaxed) % n;
+                if (eligible(i, need_healthy)) return i;
+            }
+        }
+    }
+    // Single replica that just failed: retry it anyway.
+    return exclude >= 0 ? static_cast<std::size_t>(exclude) : 0;
+}
+
+std::unique_ptr<NodeConnection> ReplicaRouter::Acquire(ReplicaState& replica) {
+    {
+        MutexLock lock(replica.mu);
+        while (!replica.idle.empty()) {
+            auto conn = std::move(replica.idle.back());
+            replica.idle.pop_back();
+            if (conn->usable()) return conn;
+        }
+    }
+    return NodeConnection::Dial(replica.endpoint.host, replica.endpoint.port,
+                                hello_, options_.request_timeout_ms);
+}
+
+void ReplicaRouter::Release(ReplicaState& replica,
+                            std::unique_ptr<NodeConnection> conn) {
+    if (conn == nullptr || !conn->usable()) return;
+    MutexLock lock(replica.mu);
+    if (replica.idle.size() < kMaxIdlePerReplica) {
+        replica.idle.push_back(std::move(conn));
+    }
+}
+
+void ReplicaRouter::MarkHealth(ReplicaState& replica, bool healthy) {
+    MutexLock lock(replica.mu);
+    replica.healthy = healthy;
+    // A replica that just failed has a pool of connections into the same
+    // failure; drop them so recovery starts from fresh dials.
+    if (!healthy) replica.idle.clear();
+}
+
+ReplicaRouter::LookupOutcome ReplicaRouter::Lookup(
+    PrivateEmbeddingService::Client* client,
+    const std::vector<std::uint64_t>& wanted, RequestPriority priority) {
+    auto prep = client->Prepare(wanted, /*keep_wire_keys=*/true);
+    LookupRequestFrame req;
+    req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    req.priority = priority;
+    req.has_hot = !prep.wire_hot_keys0.empty();
+    req.full_keys0 = std::move(prep.wire_full_keys0);
+    req.full_keys1 = std::move(prep.wire_full_keys1);
+    req.hot_keys0 = std::move(prep.wire_hot_keys0);
+    req.hot_keys1 = std::move(prep.wire_hot_keys1);
+
+    std::ptrdiff_t failed_on = -1;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const std::size_t idx = PickReplica(failed_on);
+        ReplicaState& replica = *replicas_[idx];
+        {
+            MutexLock lock(replica.mu);
+            ++replica.inflight;
+        }
+        auto conn = Acquire(replica);
+        NodeConnection::LookupReply reply;
+        if (conn != nullptr) {
+            reply = conn->Lookup(req, options_.request_timeout_ms);
+        }
+        {
+            MutexLock lock(replica.mu);
+            --replica.inflight;
+        }
+        if (conn == nullptr ||
+            reply.status == NodeConnection::LookupStatus::kTransport) {
+            // The replica is unreachable or died mid-request. The keys are
+            // deterministic and any replica reconstructs the same bytes,
+            // so the retry is transparent.
+            MarkHealth(replica, false);
+            {
+                MutexLock lock(mu_);
+                ++stats_.transport_errors;
+            }
+            failed_on = static_cast<std::ptrdiff_t>(idx);
+            continue;
+        }
+        Release(replica, std::move(conn));
+        if (reply.status == NodeConnection::LookupStatus::kRejected) {
+            {
+                MutexLock lock(mu_);
+                ++stats_.rejected;
+            }
+            throw ReplicaRequestError(
+                std::string("replica rejected request: ") +
+                    AdmissionStatusName(reply.rejection),
+                reply.rejection, RequestStatus::kFailed);
+        }
+        if (reply.status == NodeConnection::LookupStatus::kFailed) {
+            throw ReplicaRequestError(
+                std::string("replica request finished ") +
+                    RequestStatusName(reply.final_status),
+                AdmissionStatus::kAccepted, reply.final_status);
+        }
+
+        // Local reconstruction: same session code, same decode, same
+        // merge as the in-process path — the bytes match it exactly.
+        auto full = client->ReconstructTablePartial(
+            prep, /*hot=*/false, reply.full.server0, reply.full.server1);
+        PrivateEmbeddingService::TablePartial hot;
+        if (req.has_hot) {
+            hot = client->ReconstructTablePartial(
+                prep, /*hot=*/true, reply.hot.server0, reply.hot.server1);
+        }
+        LookupOutcome outcome;
+        outcome.result = service_->FinalizeLookupResult(
+            prep, full, req.has_hot ? &hot : nullptr);
+        outcome.replica = idx;
+        outcome.rerouted = attempt > 0;
+        {
+            MutexLock lock(mu_);
+            ++stats_.requests;
+            if (attempt > 0) ++stats_.failovers;
+            ++answered_[idx];
+        }
+        return outcome;
+    }
+    throw std::runtime_error(
+        "ReplicaRouter::Lookup: request failed on two replicas (transport)");
+}
+
+void ReplicaRouter::Probe(ReplicaState& replica) {
+    {
+        MutexLock lock(mu_);
+        ++stats_.health_probes;
+    }
+    auto conn = Acquire(replica);
+    const std::uint64_t nonce =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    if (conn != nullptr && conn->Ping(nonce, options_.request_timeout_ms)) {
+        MarkHealth(replica, true);
+        Release(replica, std::move(conn));
+    } else {
+        MarkHealth(replica, false);
+    }
+}
+
+void ReplicaRouter::CheckNow() {
+    for (auto& replica : replicas_) Probe(*replica);
+}
+
+void ReplicaRouter::HealthLoop() {
+    const auto period = std::chrono::milliseconds(options_.health_period_ms);
+    for (;;) {
+        {
+            MutexLock lock(mu_);
+            if (stop_) return;
+            stop_cv_.WaitUntil(mu_, std::chrono::steady_clock::now() + period);
+            if (stop_) return;
+        }
+        CheckNow();
+    }
+}
+
+}  // namespace net
+}  // namespace gpudpf

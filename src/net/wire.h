@@ -1,0 +1,225 @@
+// Versioned wire protocol of the networked serving tier.
+//
+// Every message is one length-prefixed frame:
+//
+//   offset  size  field
+//   0       4     magic 0x47445046 ("GPDF" little-endian on the wire)
+//   4       2     protocol version (kProtocolVersion), little-endian
+//   6       2     frame type (FrameType), little-endian
+//   8       4     payload length in bytes, little-endian
+//   12      n     payload (layout per frame type, all integers little-endian)
+//
+// Frame types and payloads:
+//
+//   kClientHello / kServerHello — session setup. Both carry a Hello: the
+//     PIR geometry (per-table bin counts and sizes, embedding dim, physical
+//     row bytes) the speaker is configured with. The server rejects a
+//     mismatched client by closing; the client verifies the echoed geometry
+//     before sending keys — bit-identity with the in-process path is only
+//     guaranteed against an identically-configured node.
+//   kLookupRequest — one lookup's client-side output: request id, priority,
+//     deadline, and both logical servers' serialized per-bin DPF keys for
+//     the full (and optionally hot) table.
+//   kRejected — admission rejection (AdmissionStatus) for a request id;
+//     carries the front-end's max_inflight_requests backpressure
+//     (kQueueFull) and drain-time kShutdown to the remote client.
+//   kTablePartial — one table's raw answer shares for a request id, both
+//     logical servers, streamed as soon as that table's job group finishes
+//     (the in-process streaming contract, over the wire).
+//   kLookupComplete — terminal RequestStatus for a request id; after the
+//     last kTablePartial on success.
+//   kPing / kPong — router health checks; echo the 8-byte nonce.
+//
+// Deserialization is strictly bounds-checked: decoders never read past the
+// buffer, reject truncated and trailing bytes, validate every element count
+// against the bytes actually remaining (a frame lying about counts cannot
+// trigger a large allocation), and cap whole-frame payloads at
+// MaxFramePayload() (GPUDPF_NET_MAX_FRAME_MB). Malformed input is an error
+// return, never UB — tests/net_test.cc fuzzes truncations and bit flips
+// under asan/ubsan.
+//
+// The socket helpers at the bottom (poll()-timeout framed reads, EINTR- and
+// partial-write-safe framed writes) are shared by the server node, the
+// remote client, and the router's health checker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/request_types.h"
+#include "src/pir/answer_engine.h"
+
+namespace gpudpf {
+namespace net {
+
+inline constexpr std::uint32_t kMagic = 0x47445046u;
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 12;
+
+enum class FrameType : std::uint16_t {
+    kClientHello = 1,
+    kServerHello = 2,
+    kLookupRequest = 3,
+    kRejected = 4,
+    kTablePartial = 5,
+    kLookupComplete = 6,
+    kPing = 7,
+    kPong = 8,
+};
+
+const char* FrameTypeName(FrameType type);
+
+// Whole-frame payload cap: GPUDPF_NET_MAX_FRAME_MB MiB (default 64).
+std::size_t MaxFramePayload();
+
+struct Frame {
+    FrameType type = FrameType::kPing;
+    std::vector<std::uint8_t> payload;
+};
+
+// --- header ----------------------------------------------------------------
+
+enum class DecodeStatus {
+    kOk,
+    kTruncated,   // fewer bytes than the header/payload claims to need
+    kBadMagic,    // not a protocol frame at all
+    kBadVersion,  // version skew: peer speaks a different protocol revision
+    kBadType,     // type value outside FrameType
+    kOversized,   // payload length exceeds the max_payload cap
+    kMalformed,   // payload structure invalid (counts, enums, trailing bytes)
+};
+
+const char* DecodeStatusName(DecodeStatus status);
+
+struct FrameHeader {
+    std::uint16_t version = 0;
+    FrameType type = FrameType::kPing;
+    std::uint32_t payload_len = 0;
+};
+
+// Decodes the 12-byte header from `data` (`len` >= kHeaderBytes or
+// kTruncated), validating magic, version, type, and payload_len against
+// `max_payload`.
+DecodeStatus DecodeFrameHeader(const std::uint8_t* data, std::size_t len,
+                               std::size_t max_payload, FrameHeader* out);
+
+// One contiguous buffer: header + payload.
+std::vector<std::uint8_t> EncodeFrame(const Frame& frame);
+
+// Decodes a complete frame from a contiguous buffer (header validation,
+// exact length match — trailing bytes are kMalformed).
+DecodeStatus DecodeFrame(const std::uint8_t* data, std::size_t len,
+                         std::size_t max_payload, Frame* out);
+
+// --- payloads --------------------------------------------------------------
+
+// PIR geometry both ends must agree on (see file comment). Sent by the
+// client (kClientHello) and echoed by the server (kServerHello).
+struct Hello {
+    std::uint64_t full_num_bins = 0;
+    std::uint64_t full_bin_size = 0;
+    std::uint64_t hot_num_bins = 0;  // 0 = no hot table
+    std::uint64_t hot_bin_size = 0;
+    std::uint32_t dim = 0;
+    std::uint32_t row_bytes = 0;
+
+    friend bool operator==(const Hello& a, const Hello& b) {
+        return a.full_num_bins == b.full_num_bins &&
+               a.full_bin_size == b.full_bin_size &&
+               a.hot_num_bins == b.hot_num_bins &&
+               a.hot_bin_size == b.hot_bin_size && a.dim == b.dim &&
+               a.row_bytes == b.row_bytes;
+    }
+    friend bool operator!=(const Hello& a, const Hello& b) {
+        return !(a == b);
+    }
+};
+
+std::vector<std::uint8_t> EncodeHello(const Hello& hello);
+bool DecodeHello(const std::uint8_t* data, std::size_t len, Hello* out);
+
+// One lookup's upload: both logical servers' serialized per-bin DPF keys.
+// Key lists are index-aligned (keys0[b] and keys1[b] are bin b's pair) and
+// the decoder enforces equal counts per table.
+struct LookupRequestFrame {
+    std::uint64_t request_id = 0;
+    RequestPriority priority = RequestPriority::kInteractive;
+    std::uint64_t deadline_us = 0;  // 0 = node default
+    bool has_hot = false;
+    std::vector<std::vector<std::uint8_t>> full_keys0;
+    std::vector<std::vector<std::uint8_t>> full_keys1;
+    std::vector<std::vector<std::uint8_t>> hot_keys0;
+    std::vector<std::vector<std::uint8_t>> hot_keys1;
+};
+
+std::vector<std::uint8_t> EncodeLookupRequest(const LookupRequestFrame& req);
+bool DecodeLookupRequest(const std::uint8_t* data, std::size_t len,
+                         LookupRequestFrame* out);
+
+struct RejectedFrame {
+    std::uint64_t request_id = 0;
+    AdmissionStatus status = AdmissionStatus::kQueueFull;
+};
+
+std::vector<std::uint8_t> EncodeRejected(const RejectedFrame& rej);
+bool DecodeRejected(const std::uint8_t* data, std::size_t len,
+                    RejectedFrame* out);
+
+// One table's raw shares: server0[b]/server1[b] are the two logical
+// servers' per-bin responses, index-aligned with the uploaded keys. The
+// u128 share words travel little-endian; re-encoding a decoded frame
+// reproduces the exact bytes.
+struct TablePartialFrame {
+    std::uint64_t request_id = 0;
+    bool hot = false;
+    std::vector<PirResponse> server0;
+    std::vector<PirResponse> server1;
+};
+
+std::vector<std::uint8_t> EncodeTablePartial(const TablePartialFrame& part);
+bool DecodeTablePartial(const std::uint8_t* data, std::size_t len,
+                        TablePartialFrame* out);
+
+struct LookupCompleteFrame {
+    std::uint64_t request_id = 0;
+    RequestStatus status = RequestStatus::kComplete;
+};
+
+std::vector<std::uint8_t> EncodeLookupComplete(const LookupCompleteFrame& done);
+bool DecodeLookupComplete(const std::uint8_t* data, std::size_t len,
+                          LookupCompleteFrame* out);
+
+struct PingFrame {
+    std::uint64_t nonce = 0;
+};
+
+std::vector<std::uint8_t> EncodePing(const PingFrame& ping);
+bool DecodePing(const std::uint8_t* data, std::size_t len, PingFrame* out);
+
+// --- socket framing --------------------------------------------------------
+
+enum class IoStatus {
+    kOk,
+    kTimeout,   // poll() deadline passed before the full frame arrived
+    kClosed,    // orderly EOF from the peer
+    kError,     // socket error (errno-level)
+    kBadFrame,  // protocol violation; see the DecodeStatus out-param
+};
+
+const char* IoStatusName(IoStatus status);
+
+// Writes header + payload, handling partial writes and EINTR; never raises
+// SIGPIPE. Returns kOk, kClosed (EPIPE/ECONNRESET), or kError.
+IoStatus WriteFrame(int fd, const Frame& frame);
+
+// Reads exactly one frame. `timeout_ms` bounds the wait for EACH burst of
+// bytes (poll()-based; < 0 blocks indefinitely); a peer that stalls
+// mid-frame times out. On kBadFrame, *decode_status (if non-null) says
+// what was wrong.
+IoStatus ReadFrame(int fd, Frame* out, int timeout_ms,
+                   std::size_t max_payload = MaxFramePayload(),
+                   DecodeStatus* decode_status = nullptr);
+
+}  // namespace net
+}  // namespace gpudpf

@@ -1,5 +1,7 @@
 #include "src/pir/table_layout.h"
 
+#include "src/common/env.h"
+
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -173,7 +175,7 @@ bool ParseTableLayout(const std::string& name, TableLayout* out) {
 TableLayout DefaultTableLayout() {
     static const TableLayout layout = [] {
         TableLayout parsed = TableLayout::kRowMajor;
-        const char* env = std::getenv("GPUDPF_TABLE_LAYOUT");
+        const char* env = GpudpfEnv("GPUDPF_TABLE_LAYOUT");
         if (env != nullptr) ParseTableLayout(env, &parsed);
         return parsed;
     }();

@@ -10,6 +10,10 @@
 #include <thread>
 #include <vector>
 
+#include <cstdlib>
+#include <string>
+
+#include "src/common/env.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/table_printer.h"
@@ -353,6 +357,59 @@ TEST(TablePrinterTest, AlignsColumns) {
 TEST(TablePrinterTest, RejectsArityMismatch) {
     TablePrinter t({"a", "b"});
     EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(EnvRegistryTest, TableDocumentsEveryKnob) {
+    const auto& table = GpudpfEnvTable();
+    ASSERT_FALSE(table.empty());
+    bool has_kernel = false, has_net = false;
+    for (const auto& var : table) {
+        EXPECT_EQ(std::string(var.name).rfind("GPUDPF_", 0), 0u) << var.name;
+        EXPECT_NE(var.description[0], '\0') << var.name;
+        if (std::string(var.name) == "GPUDPF_CPU_KERNEL") has_kernel = true;
+        if (std::string(var.name) == "GPUDPF_NET_REQUEST_TIMEOUT_MS") {
+            has_net = true;
+        }
+    }
+    EXPECT_TRUE(has_kernel);
+    EXPECT_TRUE(has_net);
+}
+
+TEST(EnvRegistryTest, RejectsUnregisteredName) {
+    // A knob that bypassed the registry would dodge the documentation
+    // table and the startup typo warning — reading one is a logic error.
+    EXPECT_THROW(GpudpfEnv("GPUDPF_NOT_A_KNOB"), std::logic_error);
+    EXPECT_THROW(GpudpfEnvU64("GPUDPF_NOT_A_KNOB", 1), std::logic_error);
+}
+
+TEST(EnvRegistryTest, U64ParseAndFallback) {
+    // Registered knob not read through a process-lifetime cache, safe to
+    // toggle here (tests are single-threaded).
+    ::unsetenv("GPUDPF_NET_HEALTH_PERIOD_MS");
+    EXPECT_EQ(GpudpfEnvU64("GPUDPF_NET_HEALTH_PERIOD_MS", 250), 250u);
+    ::setenv("GPUDPF_NET_HEALTH_PERIOD_MS", "7", 1);
+    EXPECT_EQ(GpudpfEnvU64("GPUDPF_NET_HEALTH_PERIOD_MS", 250), 7u);
+    ::setenv("GPUDPF_NET_HEALTH_PERIOD_MS", "not-a-number", 1);
+    EXPECT_EQ(GpudpfEnvU64("GPUDPF_NET_HEALTH_PERIOD_MS", 250), 250u);
+    ::unsetenv("GPUDPF_NET_HEALTH_PERIOD_MS");
+}
+
+TEST(EnvRegistryTest, FlagsUnrecognizedGpudpfVariables) {
+    ::setenv("GPUDPF_CPU_KERNAL", "scalar", 1);  // the classic typo
+    const auto unknown = UnrecognizedGpudpfEnv();
+    bool found = false;
+    for (const auto& name : unknown) {
+        if (name == "GPUDPF_CPU_KERNAL") found = true;
+        // Registered knobs never show up as unrecognized.
+        for (const auto& var : GpudpfEnvTable()) {
+            EXPECT_NE(name, var.name);
+        }
+    }
+    EXPECT_TRUE(found);
+    ::unsetenv("GPUDPF_CPU_KERNAL");
+    for (const auto& name : UnrecognizedGpudpfEnv()) {
+        EXPECT_NE(name, "GPUDPF_CPU_KERNAL");
+    }
 }
 
 }  // namespace

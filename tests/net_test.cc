@@ -1,0 +1,555 @@
+// Networked serving tier tests.
+//
+// Wire layer: every decoder is exercised against an adversarial corpus —
+// truncations at every byte boundary, single-bit flips at every position,
+// frames whose element counts lie about the payload, version skew, bad
+// magic, oversized payloads — and must return an error (or a benign
+// decode) without crashing; the CI asan/ubsan jobs make "without
+// crashing" a real check. Socket framing is covered over a socketpair.
+//
+// Serving tier: a ReplicaRouter over 1/2/4 loopback PirServerNodes must
+// produce results BIT-IDENTICAL to in-process serving for every batch
+// size, admission backpressure on a node must propagate to the remote
+// caller as an explicit rejection, and killing a replica mid-run must
+// reroute to the survivors with every request still completing.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/core/service.h"
+#include "src/core/serving.h"
+#include "src/ml/embedding.h"
+#include "src/net/remote_client.h"
+#include "src/net/replica_router.h"
+#include "src/net/server_node.h"
+#include "src/net/wire.h"
+#include "src/workloads/dataset.h"
+
+namespace gpudpf {
+namespace {
+
+using net::DecodeStatus;
+using net::Frame;
+using net::FrameType;
+using net::IoStatus;
+
+// --- wire-layer fixtures ---------------------------------------------------
+
+net::LookupRequestFrame SampleLookupRequest() {
+    net::LookupRequestFrame req;
+    req.request_id = 42;
+    req.priority = RequestPriority::kBatch;
+    req.deadline_us = 5'000;
+    req.has_hot = true;
+    req.full_keys0 = {{1, 2, 3}, {4, 5}};
+    req.full_keys1 = {{6}, {7, 8, 9, 10}};
+    req.hot_keys0 = {{11, 12}};
+    req.hot_keys1 = {{13}};
+    return req;
+}
+
+net::TablePartialFrame SampleTablePartial() {
+    net::TablePartialFrame part;
+    part.request_id = 42;
+    part.hot = false;
+    part.server0 = {{MakeU128(1, 2), MakeU128(3, 4)}, {MakeU128(5, 6)}};
+    part.server1 = {{MakeU128(7, 8), MakeU128(9, 10)}, {}};
+    return part;
+}
+
+TEST(WireTest, FrameHeaderValidation) {
+    Frame frame;
+    frame.type = FrameType::kPing;
+    frame.payload = net::EncodePing({99});
+    std::vector<std::uint8_t> bytes = net::EncodeFrame(frame);
+
+    Frame out;
+    EXPECT_EQ(net::DecodeFrame(bytes.data(), bytes.size(),
+                               net::MaxFramePayload(), &out),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.type, FrameType::kPing);
+
+    // Bad magic.
+    auto bad = bytes;
+    bad[0] ^= 0xff;
+    EXPECT_EQ(net::DecodeFrame(bad.data(), bad.size(), net::MaxFramePayload(),
+                               &out),
+              DecodeStatus::kBadMagic);
+
+    // Version skew.
+    bad = bytes;
+    bad[4] += 1;
+    EXPECT_EQ(net::DecodeFrame(bad.data(), bad.size(), net::MaxFramePayload(),
+                               &out),
+              DecodeStatus::kBadVersion);
+
+    // Unknown frame type.
+    bad = bytes;
+    bad[6] = 0x7f;
+    EXPECT_EQ(net::DecodeFrame(bad.data(), bad.size(), net::MaxFramePayload(),
+                               &out),
+              DecodeStatus::kBadType);
+
+    // Payload length beyond the cap.
+    bad = bytes;
+    const std::uint32_t huge = 0xffffffffu;
+    std::memcpy(bad.data() + 8, &huge, 4);
+    EXPECT_EQ(net::DecodeFrame(bad.data(), bad.size(), net::MaxFramePayload(),
+                               &out),
+              DecodeStatus::kOversized);
+
+    // Trailing garbage after a complete frame.
+    bad = bytes;
+    bad.push_back(0);
+    EXPECT_EQ(net::DecodeFrame(bad.data(), bad.size(), net::MaxFramePayload(),
+                               &out),
+              DecodeStatus::kMalformed);
+}
+
+TEST(WireTest, PayloadRoundtrips) {
+    net::Hello hello;
+    hello.full_num_bins = 8;
+    hello.full_bin_size = 64;
+    hello.hot_num_bins = 4;
+    hello.hot_bin_size = 16;
+    hello.dim = 16;
+    hello.row_bytes = 192;
+    auto bytes = net::EncodeHello(hello);
+    net::Hello hello2;
+    ASSERT_TRUE(net::DecodeHello(bytes.data(), bytes.size(), &hello2));
+    EXPECT_EQ(hello, hello2);
+
+    const auto req = SampleLookupRequest();
+    bytes = net::EncodeLookupRequest(req);
+    net::LookupRequestFrame req2;
+    ASSERT_TRUE(net::DecodeLookupRequest(bytes.data(), bytes.size(), &req2));
+    EXPECT_EQ(req2.request_id, req.request_id);
+    EXPECT_EQ(req2.priority, req.priority);
+    EXPECT_EQ(req2.deadline_us, req.deadline_us);
+    EXPECT_EQ(req2.has_hot, req.has_hot);
+    EXPECT_EQ(req2.full_keys0, req.full_keys0);
+    EXPECT_EQ(req2.full_keys1, req.full_keys1);
+    EXPECT_EQ(req2.hot_keys0, req.hot_keys0);
+    EXPECT_EQ(req2.hot_keys1, req.hot_keys1);
+
+    const auto part = SampleTablePartial();
+    bytes = net::EncodeTablePartial(part);
+    net::TablePartialFrame part2;
+    ASSERT_TRUE(net::DecodeTablePartial(bytes.data(), bytes.size(), &part2));
+    EXPECT_EQ(part2.request_id, part.request_id);
+    EXPECT_EQ(part2.hot, part.hot);
+    EXPECT_EQ(part2.server0, part.server0);
+    EXPECT_EQ(part2.server1, part.server1);
+    // Re-encoding reproduces the exact bytes (the bit-identity contract at
+    // the frame level).
+    EXPECT_EQ(net::EncodeTablePartial(part2), bytes);
+
+    net::RejectedFrame rej{7, AdmissionStatus::kQueueFull};
+    bytes = net::EncodeRejected(rej);
+    net::RejectedFrame rej2;
+    ASSERT_TRUE(net::DecodeRejected(bytes.data(), bytes.size(), &rej2));
+    EXPECT_EQ(rej2.request_id, 7u);
+    EXPECT_EQ(rej2.status, AdmissionStatus::kQueueFull);
+
+    net::LookupCompleteFrame done{9, RequestStatus::kDeadlineExpired};
+    bytes = net::EncodeLookupComplete(done);
+    net::LookupCompleteFrame done2;
+    ASSERT_TRUE(
+        net::DecodeLookupComplete(bytes.data(), bytes.size(), &done2));
+    EXPECT_EQ(done2.request_id, 9u);
+    EXPECT_EQ(done2.status, RequestStatus::kDeadlineExpired);
+}
+
+// Decoding any truncation of a valid frame must fail cleanly.
+TEST(WireTest, TruncationCorpusNeverCrashes) {
+    Frame frame;
+    frame.type = FrameType::kLookupRequest;
+    frame.payload = net::EncodeLookupRequest(SampleLookupRequest());
+    const auto bytes = net::EncodeFrame(frame);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        Frame out;
+        EXPECT_NE(net::DecodeFrame(bytes.data(), len, net::MaxFramePayload(),
+                                   &out),
+                  DecodeStatus::kOk)
+            << "truncated to " << len;
+        // Payload decoders on truncated payloads: must return false, not
+        // crash.
+        net::LookupRequestFrame req;
+        if (len > net::kHeaderBytes) {
+            EXPECT_FALSE(net::DecodeLookupRequest(
+                bytes.data() + net::kHeaderBytes, len - net::kHeaderBytes,
+                &req))
+                << "payload truncated to " << (len - net::kHeaderBytes);
+        }
+    }
+    // Same corpus against the table-partial decoder.
+    const auto part_bytes = net::EncodeTablePartial(SampleTablePartial());
+    for (std::size_t len = 0; len < part_bytes.size(); ++len) {
+        net::TablePartialFrame part;
+        EXPECT_FALSE(net::DecodeTablePartial(part_bytes.data(), len, &part));
+    }
+}
+
+// Flipping any single bit must produce either a clean error or a benign
+// alternative decode — never a crash or out-of-bounds access (asan/ubsan
+// enforce the latter in CI).
+TEST(WireTest, BitFlipCorpusNeverCrashes) {
+    Frame frame;
+    frame.type = FrameType::kLookupRequest;
+    frame.payload = net::EncodeLookupRequest(SampleLookupRequest());
+    const auto bytes = net::EncodeFrame(frame);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        for (int bit = 0; bit < 8; ++bit) {
+            auto mutated = bytes;
+            mutated[i] ^= static_cast<std::uint8_t>(1u << bit);
+            Frame out;
+            const DecodeStatus status =
+                net::DecodeFrame(mutated.data(), mutated.size(),
+                                 net::MaxFramePayload(), &out);
+            if (status != DecodeStatus::kOk) continue;
+            net::LookupRequestFrame req;
+            net::TablePartialFrame part;
+            net::PingFrame ping;
+            net::Hello hello;
+            switch (out.type) {
+                case FrameType::kLookupRequest:
+                    net::DecodeLookupRequest(out.payload.data(),
+                                             out.payload.size(), &req);
+                    break;
+                case FrameType::kTablePartial:
+                    net::DecodeTablePartial(out.payload.data(),
+                                            out.payload.size(), &part);
+                    break;
+                case FrameType::kClientHello:
+                case FrameType::kServerHello:
+                    net::DecodeHello(out.payload.data(), out.payload.size(),
+                                     &hello);
+                    break;
+                default:
+                    net::DecodePing(out.payload.data(), out.payload.size(),
+                                    &ping);
+                    break;
+            }
+        }
+    }
+}
+
+// Element counts that lie about the payload must be rejected before any
+// allocation sized from them.
+TEST(WireTest, LengthLyingCountsRejected) {
+    // LookupRequest claiming 2^32-1 bins in a tiny payload.
+    std::vector<std::uint8_t> payload(8 + 1 + 8 + 1, 0);
+    const std::uint32_t lie = 0xffffffffu;
+    payload.resize(payload.size() + 4);
+    std::memcpy(payload.data() + payload.size() - 4, &lie, 4);
+    net::LookupRequestFrame req;
+    EXPECT_FALSE(
+        net::DecodeLookupRequest(payload.data(), payload.size(), &req));
+
+    // TablePartial claiming a huge bin count.
+    std::vector<std::uint8_t> part_payload(8 + 1, 0);
+    part_payload.resize(part_payload.size() + 4);
+    std::memcpy(part_payload.data() + part_payload.size() - 4, &lie, 4);
+    net::TablePartialFrame part;
+    EXPECT_FALSE(net::DecodeTablePartial(part_payload.data(),
+                                         part_payload.size(), &part));
+
+    // TablePartial whose response word count exceeds the actual bytes.
+    net::TablePartialFrame honest;
+    honest.request_id = 1;
+    honest.server0 = {{MakeU128(1, 1)}};
+    honest.server1 = {{MakeU128(2, 2)}};
+    auto bytes = net::EncodeTablePartial(honest);
+    // The first response's word count lives right after id(8)+hot(1)+n(4).
+    const std::uint32_t lying_words = 1u << 30;
+    std::memcpy(bytes.data() + 13, &lying_words, 4);
+    EXPECT_FALSE(net::DecodeTablePartial(bytes.data(), bytes.size(), &part));
+}
+
+TEST(WireTest, SocketFraming) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    Frame frame;
+    frame.type = FrameType::kPing;
+    frame.payload = net::EncodePing({1234});
+    ASSERT_EQ(net::WriteFrame(fds[0], frame), IoStatus::kOk);
+    Frame in;
+    ASSERT_EQ(net::ReadFrame(fds[1], &in, /*timeout_ms=*/1'000),
+              IoStatus::kOk);
+    EXPECT_EQ(in.type, FrameType::kPing);
+    EXPECT_EQ(in.payload, frame.payload);
+
+    // Nothing pending: timeout, not a hang.
+    EXPECT_EQ(net::ReadFrame(fds[1], &in, /*timeout_ms=*/10),
+              IoStatus::kTimeout);
+
+    // Garbage header: kBadFrame with the decode reason.
+    const std::uint8_t junk[net::kHeaderBytes] = {0xde, 0xad, 0xbe, 0xef};
+    ASSERT_EQ(::send(fds[0], junk, sizeof(junk), 0),
+              static_cast<ssize_t>(sizeof(junk)));
+    DecodeStatus ds = DecodeStatus::kOk;
+    EXPECT_EQ(net::ReadFrame(fds[1], &in, /*timeout_ms=*/1'000,
+                             net::MaxFramePayload(), &ds),
+              IoStatus::kBadFrame);
+    EXPECT_EQ(ds, DecodeStatus::kBadMagic);
+
+    // Orderly close: kClosed.
+    ::close(fds[0]);
+    EXPECT_EQ(net::ReadFrame(fds[1], &in, /*timeout_ms=*/1'000),
+              IoStatus::kClosed);
+    ::close(fds[1]);
+}
+
+// --- serving-tier fixtures -------------------------------------------------
+
+ServiceConfig NetBaseConfig() {
+    ServiceConfig config;
+    config.codesign.hot_size = 64;
+    config.codesign.colocate_c = 2;
+    config.codesign.q_hot = 16;
+    config.codesign.q_full = 8;
+    return config;
+}
+
+// Everything needed for a replicated loopback deployment: one in-process
+// reference service (expected results), one planning service (the remote
+// client's side of the wire), and N identically-configured replica
+// services, each behind a PirServerNode.
+struct NetWorld {
+    NetWorld(const ServiceConfig& config, std::size_t num_replicas,
+             std::uint64_t vocab = 512) {
+        RecWorkloadSpec spec;
+        spec.name = "net-test";
+        spec.vocab = vocab;
+        spec.num_train = 1'200;
+        spec.num_test = 100;
+        spec.min_history = 4;
+        spec.max_history = 10;
+        spec.num_clusters = 8;
+        spec.seed = 17;
+        const RecDataset dataset = GenerateRecDataset(spec);
+        stats = ComputeRecStats(dataset, 4);
+        emb = std::make_unique<EmbeddingTable>(vocab, spec.dim);
+        Rng rng(7);
+        emb->InitRandom(rng, 0.2f);
+        expected = Make(config);
+        planning = Make(config);
+        for (std::size_t i = 0; i < num_replicas; ++i) {
+            replicas.push_back(Make(config));
+            nodes.push_back(std::make_unique<net::PirServerNode>(
+                replicas.back().get(), net::PirServerNode::Options{}));
+        }
+    }
+
+    std::unique_ptr<PrivateEmbeddingService> Make(
+        const ServiceConfig& config) {
+        return std::make_unique<PrivateEmbeddingService>(*emb, stats, config);
+    }
+
+    std::vector<net::ReplicaRouter::Endpoint> Endpoints() const {
+        std::vector<net::ReplicaRouter::Endpoint> endpoints;
+        for (const auto& node : nodes) {
+            endpoints.push_back({"127.0.0.1", node->port()});
+        }
+        return endpoints;
+    }
+
+    std::unique_ptr<EmbeddingTable> emb;
+    AccessStats stats;
+    std::unique_ptr<PrivateEmbeddingService> expected;
+    std::unique_ptr<PrivateEmbeddingService> planning;
+    std::vector<std::unique_ptr<PrivateEmbeddingService>> replicas;
+    std::vector<std::unique_ptr<net::PirServerNode>> nodes;
+};
+
+using LookupResult = PrivateEmbeddingService::LookupResult;
+
+void ExpectBitIdentical(const LookupResult& a, const LookupResult& b) {
+    ASSERT_EQ(a.retrieved, b.retrieved);
+    ASSERT_EQ(a.embeddings, b.embeddings);
+    EXPECT_EQ(a.upload_bytes, b.upload_bytes);
+    EXPECT_EQ(a.download_bytes, b.download_bytes);
+}
+
+// Networked results must be bit-identical to in-process serving for every
+// replica count and batch size.
+TEST(NetServingTest, LoopbackBitIdentityMatrix) {
+    const std::vector<std::vector<std::uint64_t>> batches = {
+        {3},
+        {1, 65, 200, 511},
+        {0, 7, 64, 65, 128, 300, 400, 500},
+    };
+    for (const std::size_t num_replicas : {1u, 2u, 4u}) {
+        NetWorld world(NetBaseConfig(), num_replicas);
+        net::ReplicaRouter::Options opts;
+        opts.health_thread = false;  // deterministic replica choice
+        net::ReplicaRouter router(world.planning.get(), world.Endpoints(),
+                                  opts);
+        auto expected_client = world.expected->MakeClient();
+        auto remote_client = world.planning->MakeClient();
+        std::size_t lookups = 0;
+        for (int round = 0; round < 2; ++round) {
+            for (const auto& wanted : batches) {
+                const LookupResult want = expected_client->Lookup(wanted);
+                const auto got = router.Lookup(remote_client.get(), wanted);
+                ExpectBitIdentical(want, got.result);
+                EXPECT_FALSE(got.rerouted);
+                ++lookups;
+            }
+        }
+        const auto stats = router.stats();
+        EXPECT_EQ(stats.requests, lookups);
+        EXPECT_EQ(stats.failovers, 0u);
+        // Round-robin spreads the work over every replica.
+        const auto answered = router.per_replica_answered();
+        ASSERT_EQ(answered.size(), num_replicas);
+        for (std::size_t i = 0; i < answered.size(); ++i) {
+            EXPECT_GT(answered[i], 0u) << "replica " << i << " never answered"
+                                       << " (replicas=" << num_replicas << ")";
+        }
+    }
+}
+
+// A node at its admission cap rejects over the wire with kQueueFull, and
+// the router surfaces that as an explicit non-retried error.
+TEST(NetServingTest, AdmissionRejectionPropagates) {
+    ServiceConfig config = NetBaseConfig();
+    // Four slots, fixed 1s linger (adaptive linger would dispatch the
+    // fillers as soon as the queue deepens, releasing their slots). kBatch
+    // traffic is capped at 3 of the 4 slots, so three queued interactive
+    // fillers deterministically exhaust the kBatch cap while the batcher
+    // lingers — whenever it wakes, queue.size() < 4 keeps the window open.
+    config.max_inflight_requests = 4;
+    config.batcher_linger_us = 1'000'000;
+    config.adaptive_linger = false;
+    NetWorld world(config, /*num_replicas=*/1);
+    auto& replica = *world.replicas[0];
+
+    auto filler = replica.MakeClient();
+    auto h1 = replica.front_end().SubmitRequest({filler.get(), {1, 2}});
+    auto h2 = replica.front_end().SubmitRequest({filler.get(), {3, 4}});
+    auto h3 = replica.front_end().SubmitRequest({filler.get(), {5, 6}});
+    ASSERT_TRUE(h1.ok());
+    ASSERT_TRUE(h2.ok());
+    ASSERT_TRUE(h3.ok());
+
+    net::ReplicaRouter::Options opts;
+    opts.health_thread = false;
+    net::ReplicaRouter router(world.planning.get(), world.Endpoints(), opts);
+    auto client = world.planning->MakeClient();
+    try {
+        router.Lookup(client.get(), {7, 8}, RequestPriority::kBatch);
+        FAIL() << "expected ReplicaRequestError";
+    } catch (const net::ReplicaRequestError& e) {
+        EXPECT_EQ(e.admission(), AdmissionStatus::kQueueFull);
+    }
+    EXPECT_EQ(router.stats().rejected, 1u);
+    const auto node_stats = world.nodes[0]->stats();
+    EXPECT_EQ(node_stats.rejected, 1u);
+
+    h1.Wait();
+    h2.Wait();
+    h3.Wait();
+}
+
+// Killing a replica mid-run: the router marks it unhealthy, reroutes the
+// failed request to a survivor, and every request still completes with
+// bit-identical results.
+TEST(NetServingTest, FailoverReroutesAndCompletes) {
+    NetWorld world(NetBaseConfig(), /*num_replicas=*/2);
+    net::ReplicaRouter::Options opts;
+    opts.health_thread = false;
+    opts.request_timeout_ms = 2'000;
+    net::ReplicaRouter router(world.planning.get(), world.Endpoints(), opts);
+    auto expected_client = world.expected->MakeClient();
+    auto remote_client = world.planning->MakeClient();
+
+    const std::vector<std::uint64_t> wanted = {1, 65, 200, 511};
+    for (int i = 0; i < 2; ++i) {
+        ExpectBitIdentical(expected_client->Lookup(wanted),
+                           router.Lookup(remote_client.get(), wanted).result);
+    }
+    EXPECT_EQ(router.healthy_count(), 2u);
+
+    // Kill replica 0 hard (connections die mid-stream, listener closes).
+    world.nodes[0]->Abort();
+
+    // Every subsequent request completes; the ones that pick the dead
+    // replica first are transparently rerouted.
+    std::uint64_t rerouted = 0;
+    for (int i = 0; i < 6; ++i) {
+        const LookupResult want = expected_client->Lookup(wanted);
+        const auto got = router.Lookup(remote_client.get(), wanted);
+        ExpectBitIdentical(want, got.result);
+        EXPECT_EQ(got.replica, 1u);
+        if (got.rerouted) ++rerouted;
+    }
+    EXPECT_GE(rerouted, 1u);
+    EXPECT_EQ(router.stats().failovers, rerouted);
+    EXPECT_GE(router.stats().transport_errors, rerouted);
+
+    // A health sweep confirms the death; later picks skip the replica
+    // without burning a retry.
+    router.CheckNow();
+    EXPECT_EQ(router.healthy_count(), 1u);
+    const auto got = router.Lookup(remote_client.get(), wanted);
+    EXPECT_EQ(got.replica, 1u);
+    EXPECT_FALSE(got.rerouted);
+}
+
+// The background health thread flips a dead replica unhealthy on its own.
+TEST(NetServingTest, HealthThreadMarksDeadReplica) {
+    NetWorld world(NetBaseConfig(), /*num_replicas=*/2);
+    net::ReplicaRouter::Options opts;
+    opts.health_period_ms = 20;
+    opts.request_timeout_ms = 500;
+    net::ReplicaRouter router(world.planning.get(), world.Endpoints(), opts);
+    world.nodes[1]->Abort();
+    // Wait for a sweep to notice (bounded).
+    for (int i = 0; i < 200 && router.healthy_count() != 1; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(router.healthy_count(), 1u);
+    EXPECT_GT(router.stats().health_probes, 0u);
+}
+
+// A node configured with a different PIR geometry refuses the handshake —
+// the router cannot silently reconstruct garbage from a mismatched node.
+TEST(NetServingTest, MismatchedGeometryRefused) {
+    NetWorld world(NetBaseConfig(), /*num_replicas=*/1);
+    ServiceConfig other = NetBaseConfig();
+    other.codesign.q_full = 4;  // different full-table binning
+    auto other_service = world.Make(other);
+
+    const net::Hello mine = net::ServiceHello(*other_service);
+    auto conn = net::NodeConnection::Dial("127.0.0.1", world.nodes[0]->port(),
+                                          mine, /*timeout_ms=*/2'000);
+    EXPECT_EQ(conn, nullptr);
+    EXPECT_EQ(world.nodes[0]->stats().hello_rejected, 1u);
+}
+
+// Graceful Stop(): in-flight requests drain with terminal frames before
+// the connection dies; later requests are rejected at dial time.
+TEST(NetServingTest, StopDrainsBeforeClosing) {
+    NetWorld world(NetBaseConfig(), /*num_replicas=*/1);
+    net::ReplicaRouter::Options opts;
+    opts.health_thread = false;
+    net::ReplicaRouter router(world.planning.get(), world.Endpoints(), opts);
+    auto client = world.planning->MakeClient();
+    ASSERT_NO_THROW(router.Lookup(client.get(), {1, 2, 3}));
+
+    world.nodes[0]->Stop();
+    EXPECT_THROW(router.Lookup(client.get(), {4, 5}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gpudpf

@@ -847,5 +847,80 @@ TEST(RequestHandleTest, AdaptiveLingerStaysBitIdenticalUnderLoad) {
     EXPECT_LE(world.service->front_end().counters().last_linger_us, 300u);
 }
 
+// Stop() ordering regression: submissions racing Stop() must each either
+// be admitted and drain to completion, or be rejected with an explicit
+// kShutdown/kQueueFull — never hang, crash, or get silently dropped.
+TEST(ServingFrontEndTest, SubmitRacingStopDrainsOrRejectsCleanly) {
+    ServiceConfig config = BaseConfig();
+    config.batcher_linger_us = 200;
+    ServingWorld world(config);
+    auto& fe = world.service->front_end();
+
+    constexpr std::size_t kThreads = 3;
+    std::vector<std::unique_ptr<PrivateEmbeddingService::Client>> clients;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        clients.push_back(world.service->MakeClient());
+    }
+    std::atomic<std::size_t> completed{0};
+    std::atomic<std::size_t> shut_out{0};
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::size_t l = 0; l < 8; ++l) {
+                auto handle = fe.SubmitRequest(
+                    {clients[t].get(), {t + l, 100 + 3 * l, 511 - 5 * t}});
+                if (handle.ok()) {
+                    // Admitted before the stop: the drain guarantee means
+                    // this completes with a result.
+                    handle.Wait();
+                    EXPECT_EQ(handle.status(), RequestStatus::kComplete);
+                    ++completed;
+                } else {
+                    EXPECT_TRUE(
+                        handle.admission() == AdmissionStatus::kShutdown ||
+                        handle.admission() == AdmissionStatus::kQueueFull)
+                        << AdmissionStatusName(handle.admission());
+                    if (handle.admission() == AdmissionStatus::kShutdown) {
+                        ++shut_out;
+                    }
+                }
+            }
+        });
+    }
+    // Let a few submissions land, then stop mid-stream.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    fe.Stop();
+    for (auto& t : threads) t.join();
+
+    // Everything admitted drained; post-stop submissions were shut out.
+    EXPECT_EQ(fe.inflight(), 0u);
+    auto post = fe.SubmitRequest({clients[0].get(), {1}});
+    EXPECT_EQ(post.admission(), AdmissionStatus::kShutdown);
+    // Stop is idempotent, and the legacy Shutdown() alias still works.
+    fe.Stop();
+    fe.Shutdown();
+    EXPECT_GT(completed.load() + shut_out.load(), 0u);
+}
+
+// SubmitRaw admission edges: a structurally-invalid raw upload (the shape
+// a malformed wire request would produce) and a post-stop submission are
+// both rejected with explicit statuses.
+TEST(ServingFrontEndTest, SubmitRawRejectsMalformedShapeAndShutdown) {
+    ServingWorld world(BaseConfig());
+    auto& fe = world.service->front_end();
+
+    // Empty full-table jobs: invalid regardless of the hot table.
+    RawLookup empty;
+    auto handle = fe.SubmitRaw(std::move(empty), {});
+    EXPECT_EQ(handle.admission(), AdmissionStatus::kInvalidRequest);
+
+    fe.Stop();
+    RawLookup late;
+    late.full_server0.jobs.resize(1);
+    late.full_server1.jobs.resize(1);
+    handle = fe.SubmitRaw(std::move(late), {});
+    EXPECT_EQ(handle.admission(), AdmissionStatus::kShutdown);
+}
+
 }  // namespace
 }  // namespace gpudpf
