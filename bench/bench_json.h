@@ -55,6 +55,21 @@ struct JsonResult {
     double failovers = 0.0;
     double transport_errors = 0.0;
     double healthy_replicas = 0.0;
+    // Optional sharded-fleet metrics (bench_sharded_fleet), written only
+    // when has_shard is set: the shard count behind the sharded router,
+    // the mean rows scanned per node per request (the 1/K per-node-work
+    // evidence), and the failover count of each shard (the smoke test's
+    // proof that a killed shard owner was covered by a sibling replica).
+    bool has_shard = false;
+    double shards = 0.0;
+    double rows_per_request = 0.0;
+    std::vector<double> shard_failovers;
+    // Optional construction-cost metrics, written only when has_build is
+    // set: wall time to build a full service (physical tables included)
+    // vs its planning-only twin (what a router process builds).
+    bool has_build = false;
+    double build_full_ms = 0.0;
+    double build_planning_ms = 0.0;
     // Optional accumulator-ISA metadata, written only when has_isa is set:
     // which AccumulateIsa produced the row (the accum_* section of
     // bench_sharded_throughput). speedup_vs_scalar above carries the row's
@@ -142,6 +157,24 @@ inline bool WriteBenchJson(const char* path, const std::string& bench,
                          results[i].replicas, results[i].failovers,
                          results[i].transport_errors,
                          results[i].healthy_replicas);
+        }
+        if (results[i].has_shard) {
+            std::fprintf(f,
+                         ",\"shards\":%.6g,\"rows_per_request\":%.6g"
+                         ",\"shard_failovers\":[",
+                         results[i].shards, results[i].rows_per_request);
+            for (std::size_t j = 0; j < results[i].shard_failovers.size();
+                 ++j) {
+                std::fprintf(f, "%s%.6g", j == 0 ? "" : ",",
+                             results[i].shard_failovers[j]);
+            }
+            std::fprintf(f, "]");
+        }
+        if (results[i].has_build) {
+            std::fprintf(f,
+                         ",\"build_full_ms\":%.6g,\"build_planning_ms\":%.6g",
+                         results[i].build_full_ms,
+                         results[i].build_planning_ms);
         }
         if (results[i].has_isa) {
             std::fprintf(f, ",\"isa\":\"%s\",\"speedup_vs_scalar\":%.6g",

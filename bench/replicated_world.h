@@ -59,6 +59,15 @@ struct ReplicatedWorld {
             *emb, stats, ReplicatedBenchConfig());
     }
 
+    // Router/client-side twin: same geometry and client machinery, but no
+    // physical tables (ServiceConfig::planning_only) — a routing process
+    // never scans a table, so it skips the dominant construction cost.
+    std::unique_ptr<PrivateEmbeddingService> MakePlanningService() const {
+        ServiceConfig config = ReplicatedBenchConfig();
+        config.planning_only = true;
+        return std::make_unique<PrivateEmbeddingService>(*emb, stats, config);
+    }
+
     AccessStats stats;
     std::unique_ptr<EmbeddingTable> emb;
 };

@@ -28,6 +28,8 @@ const std::vector<GpudpfEnvVar>& GpudpfEnvTable() {
          "replica-router per-request timeout in ms (default 10000)"},
         {"GPUDPF_NET_HEALTH_PERIOD_MS",
          "replica-router health-check period in ms (default 100)"},
+        {"GPUDPF_NET_SHARD_ATTEMPTS",
+         "sharded-router attempts per shard per lookup (default 2)"},
     };
     return kTable;
 }

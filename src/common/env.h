@@ -16,6 +16,7 @@
 //   GPUDPF_NET_MAX_FRAME_MB        wire-frame payload cap, MiB (default 64)
 //   GPUDPF_NET_REQUEST_TIMEOUT_MS  router per-request timeout (default 10000)
 //   GPUDPF_NET_HEALTH_PERIOD_MS    router health-check period (default 100)
+//   GPUDPF_NET_SHARD_ATTEMPTS      sharded-router attempts/shard (default 2)
 //
 // Thread-safety: the table is immutable static data; GpudpfEnv is a thin
 // std::getenv wrapper (same caveats: don't setenv concurrently);

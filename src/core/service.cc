@@ -89,16 +89,20 @@ PrivateEmbeddingService::PrivateEmbeddingService(
                              /*pin_to_cores=*/config.shard_placement ==
                                  ShardPlacement::kPinned)
                        : nullptr),
-      full_table_(BuildPhysicalTable(
-          embeddings, [&] {
-              std::vector<std::uint64_t> owners(embeddings.vocab());
-              for (std::uint64_t i = 0; i < embeddings.vocab(); ++i) {
-                  owners[i] = i;
-              }
-              return owners;
-          }())) {
+      full_table_(config.planning_only
+                      ? nullptr
+                      : std::make_unique<PirTable>(BuildPhysicalTable(
+                            embeddings, [&] {
+                                std::vector<std::uint64_t> owners(
+                                    embeddings.vocab());
+                                for (std::uint64_t i = 0;
+                                     i < embeddings.vocab(); ++i) {
+                                    owners[i] = i;
+                                }
+                                return owners;
+                            }()))) {
     LogSelectedKernel(config_.cpu_kernel);
-    if (hot_pbr_ != nullptr) {
+    if (hot_pbr_ != nullptr && !config_.planning_only) {
         std::vector<std::uint64_t> owners(layout_.hot_size());
         for (std::uint64_t s = 0; s < layout_.hot_size(); ++s) {
             owners[s] = layout_.HotContent(s);

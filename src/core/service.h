@@ -132,6 +132,15 @@ struct ServiceConfig {
     // reclaimed throughput); the front-end lifecycle semantics (partials
     // stop, mid-batch expiry ends kDeadlineExpired) apply either way.
     bool skip_abandoned_work = true;
+    // Client-side planning context: skip building the physical PIR tables
+    // (the TableStorage fill is by far the dominant construction cost), so
+    // a process that only PLANS lookups — a replica/sharded router doing
+    // key generation and reconstruction, never answering — is cheap to
+    // stand up. A planning-only service still builds the layout, PBRs,
+    // planner and clients (Prepare/ReconstructTablePartial/Finalize all
+    // work), but its front-end rejects every submission with
+    // kInvalidRequest: there is no table to answer from.
+    bool planning_only = false;
 };
 
 class PrivateEmbeddingService {
@@ -259,6 +268,9 @@ class PrivateEmbeddingService {
     const QueryPlanner& planner() const { return planner_; }
     const ServiceConfig& config() const { return config_; }
     int dim() const { return dim_; }
+    // True for a client-side planning context (no physical tables; the
+    // front-end rejects every submission). See ServiceConfig::planning_only.
+    bool planning_only() const { return config_.planning_only; }
 
     // Per-table half of result assembly: decodes one table's reconstructed
     // rows into the embeddings that table serves, independently of the
@@ -303,8 +315,10 @@ class PrivateEmbeddingService {
     // workers when NUMA placement is on.
     std::unique_ptr<ThreadPool> server_pool_;
     // Tables are logically replicated on two non-colluding servers; both
-    // "servers" answer from the same in-process copy here.
-    PirTable full_table_;
+    // "servers" answer from the same in-process copy here. Null on a
+    // planning-only service (ServiceConfig::planning_only), which never
+    // answers.
+    std::unique_ptr<PirTable> full_table_;
     std::unique_ptr<PirTable> hot_table_;
     std::atomic<std::uint64_t> clients_made_{0};
     // Declared last: its destructor joins the batcher thread while the

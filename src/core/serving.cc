@@ -130,6 +130,13 @@ std::size_t ServingFrontEnd::SlotCap(RequestPriority priority) const {
 
 ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitImpl(
     LookupRequest request, SubmitOptions options, bool blocking) {
+    if (service_->planning_only()) {
+        // A planning-only service has no tables to answer from; reject
+        // before any slot accounting or client-side work.
+        MutexLock lock(mu_);
+        ++counters_.rejected_invalid;
+        return RequestHandle{AdmissionStatus::kInvalidRequest, nullptr, this};
+    }
     if (request.client == nullptr || request.wanted.empty()) {
         MutexLock lock(mu_);
         ++counters_.rejected_invalid;
@@ -256,13 +263,31 @@ ServingFrontEnd::RequestHandle ServingFrontEnd::SubmitRaw(
     // The jobs were parsed off the wire, not produced by a local client:
     // re-check shape here so a malformed (but individually-parseable)
     // upload is rejected before it can poison a pooled batch. Both logical
-    // servers must cover the same bins of each submitted table.
+    // servers must cover the same bins of each submitted table, and a
+    // ranged (sharded) request's eval windows must sit inside every bin
+    // (begin <= end <= bin rows) — an out-of-range window would throw in
+    // the engine's batch validation, failing co-batched requests.
+    auto range_ok = [](const PbrSession::BinJobs& jobs, std::uint64_t begin,
+                       std::uint64_t end) {
+        if (begin > end) return false;
+        for (const AnswerEngine::Job& job : jobs.jobs) {
+            if (end > job.num_rows) return false;
+        }
+        return true;
+    };
     const bool shape_ok =
-        !raw.full_server0.jobs.empty() &&
+        !service_->planning_only() && !raw.full_server0.jobs.empty() &&
         raw.full_server0.jobs.size() == raw.full_server1.jobs.size() &&
         (!raw.has_hot ||
          (!raw.hot_server0.jobs.empty() &&
-          raw.hot_server0.jobs.size() == raw.hot_server1.jobs.size()));
+          raw.hot_server0.jobs.size() == raw.hot_server1.jobs.size())) &&
+        (!raw.has_range ||
+         (range_ok(raw.full_server0, raw.full_row_begin, raw.full_row_end) &&
+          range_ok(raw.full_server1, raw.full_row_begin, raw.full_row_end) &&
+          (!raw.has_hot ||
+           (range_ok(raw.hot_server0, raw.hot_row_begin, raw.hot_row_end) &&
+            range_ok(raw.hot_server1, raw.hot_row_begin,
+                     raw.hot_row_end)))));
     if (!shape_ok) {
         MutexLock lock(mu_);
         ++counters_.rejected_invalid;
@@ -576,7 +601,7 @@ void ServingFrontEnd::ProcessBatch(
             const PbrSession::BinJobs& j0 = jobs0(*req, hot);
             const PbrSession::BinJobs& j1 = jobs1(*req, hot);
             const PirTable* table = hot ? service_->hot_table_.get()
-                                        : &service_->full_table_;
+                                        : service_->full_table_.get();
             // The tag routes completions back to the group; the context
             // (withheld when skip_abandoned_work is off) lets the engine
             // skip shard tasks of cancelled/expired requests. The request
@@ -590,13 +615,32 @@ void ServingFrontEnd::ProcessBatch(
             Group& g = groups.back();
             g.req = req;
             g.hot = hot;
+            // Sharded-fleet range scoping: clip every bin job of a ranged
+            // raw request to its table's eval window, so the engine scans
+            // only this node's assigned row slice of each bin and the
+            // streamed shares are per-shard partials.
+            const bool clip = req->raw && req->raw_prep.has_range;
+            const std::uint64_t win_begin =
+                hot ? req->raw_prep.hot_row_begin
+                    : req->raw_prep.full_row_begin;
+            const std::uint64_t win_end = hot ? req->raw_prep.hot_row_end
+                                              : req->raw_prep.full_row_end;
+            auto clip_jobs = [&](std::vector<AnswerEngine::TableJob>& bound) {
+                if (!clip) return;
+                for (AnswerEngine::TableJob& tj : bound) {
+                    tj.job.eval_begin = win_begin;
+                    tj.job.eval_end = win_end;
+                }
+            };
             g.s0_begin = jobs.size();
             g.s0_count = j0.jobs.size();
-            const auto bound0 = PbrSession::BindJobs(j0, table, binding);
+            auto bound0 = PbrSession::BindJobs(j0, table, binding);
+            clip_jobs(bound0);
             jobs.insert(jobs.end(), bound0.begin(), bound0.end());
             g.s1_begin = jobs.size();
             g.s1_count = j1.jobs.size();
-            const auto bound1 = PbrSession::BindJobs(j1, table, binding);
+            auto bound1 = PbrSession::BindJobs(j1, table, binding);
+            clip_jobs(bound1);
             jobs.insert(jobs.end(), bound1.begin(), bound1.end());
             g.remaining.store(g.s0_count + g.s1_count,
                               std::memory_order_relaxed);

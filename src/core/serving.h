@@ -88,6 +88,19 @@ struct RawLookup {
     PbrSession::BinJobs hot_server0;
     PbrSession::BinJobs hot_server1;
     bool has_hot = false;
+    // Sharded-fleet range scoping: with has_range set, every bin job of
+    // each table is clipped to the bin-relative eval window
+    // [*_row_begin, *_row_end) — the node evaluates the same keys over
+    // only its assigned slice of every bin, and the resulting shares are
+    // PARTIAL: they only sum to the full answer share across all shards
+    // (src/pir/shard_merge.h). Windows must satisfy begin <= end <= the
+    // table's bin size; SubmitRaw rejects violations as kInvalidRequest
+    // so a bad remote request cannot poison a pooled batch.
+    bool has_range = false;
+    std::uint64_t full_row_begin = 0;
+    std::uint64_t full_row_end = 0;
+    std::uint64_t hot_row_begin = 0;
+    std::uint64_t hot_row_end = 0;
 };
 
 // One table's raw answer shares of a RawLookup, streamed as soon as that

@@ -89,14 +89,7 @@ NodeConnection::~NodeConnection() { ::close(fd_); }
 NodeConnection::LookupReply NodeConnection::Lookup(
     const LookupRequestFrame& request, int timeout_ms) {
     LookupReply reply;
-    if (!usable_) return reply;
-    Frame frame;
-    frame.type = FrameType::kLookupRequest;
-    frame.payload = EncodeLookupRequest(request);
-    if (WriteFrame(fd_, frame) != IoStatus::kOk) {
-        usable_ = false;
-        return reply;
-    }
+    if (!SendLookup(request)) return reply;
     // Collect this request's streamed frames until its terminal frame.
     for (;;) {
         Frame in;
@@ -155,14 +148,107 @@ NodeConnection::LookupReply NodeConnection::Lookup(
     return reply;
 }
 
+bool NodeConnection::ShardHello(const ShardHelloFrame& assign,
+                                int timeout_ms) {
+    if (!usable_) return false;
+    out_frame_.type = FrameType::kShardHello;
+    out_frame_.payload = EncodeShardHello(assign);
+    if (WriteFrame(fd_, out_frame_, frame_scratch_) != IoStatus::kOk) {
+        usable_ = false;
+        return false;
+    }
+    Frame reply;
+    ShardHelloFrame echoed;
+    if (ReadFrame(fd_, &reply, timeout_ms) != IoStatus::kOk ||
+        reply.type != FrameType::kShardHello ||
+        !DecodeShardHello(reply.payload.data(), reply.payload.size(),
+                          &echoed) ||
+        echoed != assign) {
+        // A node that disagrees with the shard plan closes the connection
+        // instead of echoing; either way this connection must not serve
+        // ranged requests.
+        usable_ = false;
+        return false;
+    }
+    return true;
+}
+
+bool NodeConnection::SendLookup(const LookupRequestFrame& request) {
+    if (!usable_) return false;
+    out_frame_.type = FrameType::kLookupRequest;
+    EncodeLookupRequestInto(request, out_frame_.payload);
+    if (WriteFrame(fd_, out_frame_, frame_scratch_) != IoStatus::kOk) {
+        usable_ = false;
+        return false;
+    }
+    return true;
+}
+
+NodeConnection::ShardReply NodeConnection::CollectShard(
+    std::uint64_t request_id, bool expect_hot, int timeout_ms) {
+    ShardReply reply;
+    if (!usable_) return reply;
+    for (;;) {
+        Frame in;
+        if (ReadFrame(fd_, &in, timeout_ms) != IoStatus::kOk) break;
+        if (in.type == FrameType::kRejected) {
+            RejectedFrame rej;
+            if (!DecodeRejected(in.payload.data(), in.payload.size(), &rej) ||
+                rej.request_id != request_id) {
+                break;
+            }
+            reply.status = LookupStatus::kRejected;
+            reply.rejection = rej.status;
+            return reply;
+        }
+        if (in.type == FrameType::kShardPartial) {
+            ShardPartialFrame part;
+            if (!DecodeShardPartial(in.payload.data(), in.payload.size(),
+                                    &part) ||
+                part.request_id != request_id) {
+                break;
+            }
+            if (part.hot) {
+                reply.hot = std::move(part);
+                reply.has_hot = true;
+            } else {
+                reply.full = std::move(part);
+            }
+            continue;
+        }
+        if (in.type == FrameType::kLookupComplete) {
+            LookupCompleteFrame done;
+            if (!DecodeLookupComplete(in.payload.data(), in.payload.size(),
+                                      &done) ||
+                done.request_id != request_id) {
+                break;
+            }
+            if (done.status == RequestStatus::kComplete) {
+                if (reply.full.server0.empty() ||
+                    (expect_hot && !reply.has_hot)) {
+                    break;  // kComplete without the promised partials
+                }
+                reply.status = LookupStatus::kComplete;
+            } else {
+                reply.status = LookupStatus::kFailed;
+                reply.final_status = done.status;
+            }
+            return reply;
+        }
+        break;  // unexpected frame type mid-lookup
+    }
+    usable_ = false;
+    reply.status = LookupStatus::kTransport;
+    return reply;
+}
+
 bool NodeConnection::Ping(std::uint64_t nonce, int timeout_ms) {
     if (!usable_) return false;
     PingFrame ping;
     ping.nonce = nonce;
-    Frame frame;
-    frame.type = FrameType::kPing;
-    frame.payload = EncodePing(ping);
-    if (WriteFrame(fd_, frame) != IoStatus::kOk) {
+    out_frame_.type = FrameType::kPing;
+    out_frame_.payload = EncodePing(ping);
+    if (WriteFrame(fd_, out_frame_, frame_scratch_) != IoStatus::kOk) {
         usable_ = false;
         return false;
     }

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/request_types.h"
 #include "src/net/wire.h"
@@ -54,6 +55,31 @@ class NodeConnection {
     // lookup at a time).
     LookupReply Lookup(const LookupRequestFrame& request, int timeout_ms);
 
+    // Shard-assignment handshake: sends kShardHello and requires the node
+    // to echo the identical assignment. False on rejection or transport
+    // failure (either way the connection is unusable for sharded serving).
+    bool ShardHello(const ShardHelloFrame& assign, int timeout_ms);
+
+    // Scatter half of a sharded lookup: uploads one ranged kLookupRequest
+    // and returns without reading any reply frames, so one thread can fan
+    // a request out to all K shard connections before blocking. False on
+    // write failure (connection unusable).
+    bool SendLookup(const LookupRequestFrame& request);
+
+    struct ShardReply {
+        LookupStatus status = LookupStatus::kTransport;
+        AdmissionStatus rejection = AdmissionStatus::kQueueFull;
+        RequestStatus final_status = RequestStatus::kFailed;
+        ShardPartialFrame full;
+        ShardPartialFrame hot;
+        bool has_hot = false;
+    };
+
+    // Gather half: reads frames until the terminal frame of `request_id`,
+    // collecting the kShardPartial frames a ranged request streams back.
+    ShardReply CollectShard(std::uint64_t request_id, bool expect_hot,
+                            int timeout_ms);
+
     // One kPing/kPong round trip; false leaves the connection unusable.
     bool Ping(std::uint64_t nonce, int timeout_ms);
 
@@ -65,6 +91,11 @@ class NodeConnection {
 
     int fd_;
     bool usable_ = true;
+    // Per-connection encode scratch: request payloads and framed bytes are
+    // built in place (capacity kept across lookups) instead of allocating
+    // per call — the sharded scatter path sends K frames per request.
+    Frame out_frame_;
+    std::vector<std::uint8_t> frame_scratch_;
 };
 
 }  // namespace net

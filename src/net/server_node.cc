@@ -15,6 +15,7 @@
 #include "src/batchpir/pbr_session.h"
 #include "src/common/env.h"
 #include "src/core/serving.h"
+#include "src/pir/shard_merge.h"
 
 namespace gpudpf {
 namespace net {
@@ -58,6 +59,14 @@ struct ConnShared {
     // Cleared on the first failed write; later frames are dropped instead
     // of interleaving with a broken stream.
     bool write_ok GPUDPF_GUARDED_BY(write_mu) = true;
+    // Per-connection encode scratch, reused across frames under write_mu:
+    // the sharded scatter path answers K partials per request, so per-call
+    // allocation would multiply with fleet size. payload_scratch holds the
+    // encoded payload, frame_scratch the framed bytes, and frame_ keeps
+    // the payload vector whose capacity payload_scratch swaps through.
+    std::vector<std::uint8_t> payload_scratch GPUDPF_GUARDED_BY(write_mu);
+    std::vector<std::uint8_t> frame_scratch GPUDPF_GUARDED_BY(write_mu);
+    Frame frame_ GPUDPF_GUARDED_BY(write_mu);
     // In-flight lookups of this connection, for drain-on-shutdown: the
     // connection thread only closes the socket once every submitted
     // request has sent its terminal frame.
@@ -71,7 +80,25 @@ struct ConnShared {
         Frame frame;
         frame.type = type;
         frame.payload = std::move(payload);
-        if (WriteFrame(fd, frame) != IoStatus::kOk) write_ok = false;
+        if (WriteFrame(fd, frame, frame_scratch) != IoStatus::kOk) {
+            write_ok = false;
+        }
+    }
+
+    // Allocation-free send for the hot response paths: `encode` serializes
+    // the payload into the connection's scratch (cleared, capacity kept).
+    template <typename Encode>
+    void SendEncoded(FrameType type, Encode&& encode) {
+        MutexLock lock(write_mu);
+        if (!write_ok) return;
+        encode(payload_scratch);
+        frame_.type = type;
+        frame_.payload.swap(payload_scratch);
+        if (WriteFrame(fd, frame_, frame_scratch) != IoStatus::kOk) {
+            write_ok = false;
+        }
+        // Swap back so the next SendEncoded reuses the grown capacity.
+        frame_.payload.swap(payload_scratch);
     }
 };
 
@@ -206,6 +233,13 @@ void PirServerNode::ServeConnection(int fd) {
             service_->server_sharding());
     }
 
+    // Shard assignment, negotiated by an optional kShardHello after the
+    // geometry handshake. Only a connection that completed the shard
+    // handshake may submit ranged (scatter-gather) requests; its partials
+    // then go back as kShardPartial tagged with the assigned shard index.
+    bool sharded = false;
+    ShardHelloFrame shard_assign{};
+
     while (handshake_ok) {
         {
             MutexLock lock(mu_);
@@ -240,6 +274,39 @@ void PirServerNode::ServeConnection(int fd) {
             shared->Send(FrameType::kPong, EncodePing(ping));
             continue;
         }
+        if (frame.type == FrameType::kShardHello) {
+            // Validate the assignment against this node's geometry: the
+            // announced windows must be exactly the canonical partition of
+            // the bin-relative row space. A mismatched fleet plan fails
+            // loud here instead of silently mis-merging shares client-side.
+            ShardHelloFrame sh;
+            bool ok = DecodeShardHello(frame.payload.data(),
+                                       frame.payload.size(), &sh);
+            if (ok) {
+                const ShardRange full = ShardRangeOf(
+                    hello_.full_bin_size, sh.shard_count, sh.shard_index);
+                ok = sh.full_row_begin == full.begin &&
+                     sh.full_row_end == full.end;
+                if (ok && service_->hot_pbr() != nullptr) {
+                    const ShardRange hot = ShardRangeOf(
+                        hello_.hot_bin_size, sh.shard_count, sh.shard_index);
+                    ok = sh.hot_row_begin == hot.begin &&
+                         sh.hot_row_end == hot.end;
+                } else if (ok) {
+                    ok = sh.hot_row_begin == 0 && sh.hot_row_end == 0;
+                }
+            }
+            if (!ok) {
+                MutexLock lock(mu_);
+                ++stats_.hello_rejected;
+                break;
+            }
+            sharded = true;
+            shard_assign = sh;
+            // Echo the accepted assignment so the client can confirm.
+            shared->Send(FrameType::kShardHello, EncodeShardHello(sh));
+            continue;
+        }
         if (frame.type != FrameType::kLookupRequest) {
             MutexLock lock(mu_);
             ++stats_.bad_frames;
@@ -256,6 +323,23 @@ void PirServerNode::ServeConnection(int fd) {
         {
             MutexLock lock(mu_);
             ++stats_.requests;
+            if (req.has_range) ++stats_.shard_requests;
+        }
+
+        // A ranged request only makes sense on a connection that completed
+        // the shard handshake (the reply is tagged with its shard index).
+        if (req.has_range && !sharded) {
+            RejectedFrame rej;
+            rej.request_id = req.request_id;
+            rej.status = AdmissionStatus::kInvalidRequest;
+            // Count before sending: a client that has seen the frame must
+            // never read a stale counter.
+            {
+                MutexLock lock(mu_);
+                ++stats_.rejected;
+            }
+            shared->Send(FrameType::kRejected, EncodeRejected(rej));
+            continue;
         }
 
         // Parse/validate the uploaded keys. Anything wrong — a corrupt
@@ -279,13 +363,22 @@ void PirServerNode::ServeConnection(int fd) {
         } catch (const std::exception&) {
             parse_ok = false;
         }
+        if (parse_ok && req.has_range) {
+            raw.has_range = true;
+            raw.full_row_begin = req.full_row_begin;
+            raw.full_row_end = req.full_row_end;
+            raw.hot_row_begin = req.hot_row_begin;
+            raw.hot_row_end = req.hot_row_end;
+        }
         if (!parse_ok) {
             RejectedFrame rej;
             rej.request_id = req.request_id;
             rej.status = AdmissionStatus::kInvalidRequest;
+            {
+                MutexLock lock(mu_);
+                ++stats_.rejected;
+            }
             shared->Send(FrameType::kRejected, EncodeRejected(rej));
-            MutexLock lock(mu_);
-            ++stats_.rejected;
             continue;
         }
 
@@ -299,24 +392,46 @@ void PirServerNode::ServeConnection(int fd) {
         ServingFrontEnd::RawSubmitOptions opts;
         opts.priority = req.priority;
         opts.deadline_us = req.deadline_us;
-        opts.on_raw_partial = [shared, id](RawTablePartial&& part) {
-            TablePartialFrame out;
-            out.request_id = id;
-            out.hot = part.hot;
-            out.server0 = std::move(part.server0);
-            out.server1 = std::move(part.server1);
-            shared->Send(FrameType::kTablePartial, EncodeTablePartial(out));
-        };
+        if (req.has_range) {
+            const std::uint32_t shard_index = shard_assign.shard_index;
+            opts.on_raw_partial = [shared, id,
+                                   shard_index](RawTablePartial&& part) {
+                ShardPartialFrame out;
+                out.request_id = id;
+                out.shard_index = shard_index;
+                out.hot = part.hot;
+                out.server0 = std::move(part.server0);
+                out.server1 = std::move(part.server1);
+                shared->SendEncoded(FrameType::kShardPartial,
+                                    [&out](std::vector<std::uint8_t>& buf) {
+                                        EncodeShardPartialInto(out, buf);
+                                    });
+            };
+        } else {
+            opts.on_raw_partial = [shared, id](RawTablePartial&& part) {
+                TablePartialFrame out;
+                out.request_id = id;
+                out.hot = part.hot;
+                out.server0 = std::move(part.server0);
+                out.server1 = std::move(part.server1);
+                shared->SendEncoded(FrameType::kTablePartial,
+                                    [&out](std::vector<std::uint8_t>& buf) {
+                                        EncodeTablePartialInto(out, buf);
+                                    });
+            };
+        }
         opts.on_complete = [this, shared, id](RequestStatus status) {
             LookupCompleteFrame done;
             done.request_id = id;
             done.status = status;
-            shared->Send(FrameType::kLookupComplete,
-                         EncodeLookupComplete(done));
+            // Count before sending the terminal frame: a client that has
+            // collected the reply must never read a stale counter.
             {
                 MutexLock lock(mu_);
                 ++stats_.completed;
             }
+            shared->Send(FrameType::kLookupComplete,
+                         EncodeLookupComplete(done));
             {
                 MutexLock lock(shared->pending_mu);
                 --shared->pending;
@@ -336,9 +451,29 @@ void PirServerNode::ServeConnection(int fd) {
             RejectedFrame rej;
             rej.request_id = id;
             rej.status = handle.admission();
+            {
+                MutexLock lock(mu_);
+                ++stats_.rejected;
+            }
             shared->Send(FrameType::kRejected, EncodeRejected(rej));
+        } else {
+            // Account the rows this request scans on this node (per key,
+            // over the request's eval window). The sharded bench divides
+            // this by completed requests to verify per-node work ∝ 1/K.
+            const std::uint64_t full_w =
+                req.has_range ? req.full_row_end - req.full_row_begin
+                              : hello_.full_bin_size;
+            std::uint64_t rows =
+                full_w * (req.full_keys0.size() + req.full_keys1.size());
+            if (req.has_hot) {
+                const std::uint64_t hot_w =
+                    req.has_range ? req.hot_row_end - req.hot_row_begin
+                                  : hello_.hot_bin_size;
+                rows +=
+                    hot_w * (req.hot_keys0.size() + req.hot_keys1.size());
+            }
             MutexLock lock(mu_);
-            ++stats_.rejected;
+            stats_.rows_scanned += rows;
         }
     }
 

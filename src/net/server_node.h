@@ -20,6 +20,13 @@
 //                      completes (raw shares; the client reconstructs),
 //                      then kLookupComplete with the terminal status.
 //   kPing           -> kPong (router health checks).
+//   kShardHello     -> shard-assignment handshake: the announced windows
+//                      must be exactly the canonical ShardRangeOf partition
+//                      of this node's bin-relative row space, else the
+//                      connection is closed (hello_rejected). Ranged
+//                      lookups on a shard-handshaken connection are scoped
+//                      to their row windows and answered with kShardPartial
+//                      frames tagged with the shard index.
 //
 // Response frames are written by answer-pool workers and the batcher
 // thread concurrently, serialized by a per-connection write mutex.
@@ -76,11 +83,16 @@ class PirServerNode {
 
     struct Stats {
         std::uint64_t connections = 0;      // accepted (incl. later closed)
-        std::uint64_t hello_rejected = 0;   // geometry-mismatch handshakes
+        std::uint64_t hello_rejected = 0;   // geometry/shard-plan rejections
         std::uint64_t requests = 0;         // lookup requests received
+        std::uint64_t shard_requests = 0;   // ... of which ranged (sharded)
         std::uint64_t completed = 0;        // kLookupComplete sent
         std::uint64_t rejected = 0;         // kRejected sent
         std::uint64_t bad_frames = 0;       // protocol violations (closed)
+        // Rows covered by admitted requests' eval windows, summed over
+        // every submitted key. rows_scanned / completed is the per-request
+        // work this node does — the sharded bench checks it scales ~1/K.
+        std::uint64_t rows_scanned = 0;
     };
     Stats stats() const GPUDPF_EXCLUDES(mu_);
 

@@ -158,6 +158,10 @@ const char* FrameTypeName(FrameType type) {
             return "ping";
         case FrameType::kPong:
             return "pong";
+        case FrameType::kShardHello:
+            return "shard-hello";
+        case FrameType::kShardPartial:
+            return "shard-partial";
     }
     return "unknown";
 }
@@ -206,7 +210,7 @@ DecodeStatus DecodeFrameHeader(const std::uint8_t* data, std::size_t len,
     if (magic != kMagic) return DecodeStatus::kBadMagic;
     if (version != kProtocolVersion) return DecodeStatus::kBadVersion;
     if (type < static_cast<std::uint16_t>(FrameType::kClientHello) ||
-        type > static_cast<std::uint16_t>(FrameType::kPong)) {
+        type > static_cast<std::uint16_t>(FrameType::kShardPartial)) {
         return DecodeStatus::kBadType;
     }
     if (payload_len > max_payload) return DecodeStatus::kOversized;
@@ -218,13 +222,18 @@ DecodeStatus DecodeFrameHeader(const std::uint8_t* data, std::size_t len,
 
 std::vector<std::uint8_t> EncodeFrame(const Frame& frame) {
     std::vector<std::uint8_t> out;
+    EncodeFrameInto(frame, out);
+    return out;
+}
+
+void EncodeFrameInto(const Frame& frame, std::vector<std::uint8_t>& out) {
+    out.clear();
     out.reserve(kHeaderBytes + frame.payload.size());
     PutU32(out, kMagic);
     PutU16(out, kProtocolVersion);
     PutU16(out, static_cast<std::uint16_t>(frame.type));
     PutU32(out, static_cast<std::uint32_t>(frame.payload.size()));
     out.insert(out.end(), frame.payload.begin(), frame.payload.end());
-    return out;
 }
 
 DecodeStatus DecodeFrame(const std::uint8_t* data, std::size_t len,
@@ -268,10 +277,26 @@ bool DecodeHello(const std::uint8_t* data, std::size_t len, Hello* out) {
 
 std::vector<std::uint8_t> EncodeLookupRequest(const LookupRequestFrame& req) {
     std::vector<std::uint8_t> out;
+    EncodeLookupRequestInto(req, out);
+    return out;
+}
+
+void EncodeLookupRequestInto(const LookupRequestFrame& req,
+                             std::vector<std::uint8_t>& out) {
+    out.clear();
     PutU64(out, req.request_id);
     PutU8(out, EncodeRequestPriority(req.priority));
     PutU64(out, req.deadline_us);
     PutU8(out, req.has_hot ? 1 : 0);
+    PutU8(out, req.has_range ? 1 : 0);
+    if (req.has_range) {
+        PutU64(out, req.full_row_begin);
+        PutU64(out, req.full_row_end);
+        if (req.has_hot) {
+            PutU64(out, req.hot_row_begin);
+            PutU64(out, req.hot_row_end);
+        }
+    }
     PutU32(out, static_cast<std::uint32_t>(req.full_keys0.size()));
     PutKeyList(out, req.full_keys0);
     PutKeyList(out, req.full_keys1);
@@ -280,7 +305,6 @@ std::vector<std::uint8_t> EncodeLookupRequest(const LookupRequestFrame& req) {
         PutKeyList(out, req.hot_keys0);
         PutKeyList(out, req.hot_keys1);
     }
-    return out;
 }
 
 bool DecodeLookupRequest(const std::uint8_t* data, std::size_t len,
@@ -295,6 +319,22 @@ bool DecodeLookupRequest(const std::uint8_t* data, std::size_t len,
     if (!r.ReadU8(&has_hot)) return false;
     if (has_hot > 1) return false;
     out->has_hot = has_hot == 1;
+    std::uint8_t has_range = 0;
+    if (!r.ReadU8(&has_range)) return false;
+    if (has_range > 1) return false;
+    out->has_range = has_range == 1;
+    out->full_row_begin = out->full_row_end = 0;
+    out->hot_row_begin = out->hot_row_end = 0;
+    if (out->has_range) {
+        if (!r.ReadU64(&out->full_row_begin)) return false;
+        if (!r.ReadU64(&out->full_row_end)) return false;
+        if (out->full_row_begin > out->full_row_end) return false;
+        if (out->has_hot) {
+            if (!r.ReadU64(&out->hot_row_begin)) return false;
+            if (!r.ReadU64(&out->hot_row_end)) return false;
+            if (out->hot_row_begin > out->hot_row_end) return false;
+        }
+    }
 
     // One bin count per table covers BOTH servers' key lists, so unequal
     // counts are structurally unrepresentable. Count sanity: every key
@@ -337,12 +377,18 @@ bool DecodeRejected(const std::uint8_t* data, std::size_t len,
 
 std::vector<std::uint8_t> EncodeTablePartial(const TablePartialFrame& part) {
     std::vector<std::uint8_t> out;
+    EncodeTablePartialInto(part, out);
+    return out;
+}
+
+void EncodeTablePartialInto(const TablePartialFrame& part,
+                            std::vector<std::uint8_t>& out) {
+    out.clear();
     PutU64(out, part.request_id);
     PutU8(out, part.hot ? 1 : 0);
     PutU32(out, static_cast<std::uint32_t>(part.server0.size()));
     PutResponseList(out, part.server0);
     PutResponseList(out, part.server1);
-    return out;
 }
 
 bool DecodeTablePartial(const std::uint8_t* data, std::size_t len,
@@ -351,6 +397,72 @@ bool DecodeTablePartial(const std::uint8_t* data, std::size_t len,
     std::uint8_t hot = 0;
     std::uint32_t nbins = 0;
     if (!r.ReadU64(&out->request_id)) return false;
+    if (!r.ReadU8(&hot)) return false;
+    if (hot > 1) return false;
+    out->hot = hot == 1;
+    if (!r.ReadU32(&nbins)) return false;
+    // Each response needs at least its 4-byte word count, per server.
+    if (nbins > r.remaining() / 8) return false;
+    if (!ReadResponseList(r, nbins, &out->server0)) return false;
+    if (!ReadResponseList(r, nbins, &out->server1)) return false;
+    return r.done();
+}
+
+std::vector<std::uint8_t> EncodeShardHello(const ShardHelloFrame& hello) {
+    std::vector<std::uint8_t> out;
+    out.reserve(40);
+    PutU32(out, hello.shard_index);
+    PutU32(out, hello.shard_count);
+    PutU64(out, hello.full_row_begin);
+    PutU64(out, hello.full_row_end);
+    PutU64(out, hello.hot_row_begin);
+    PutU64(out, hello.hot_row_end);
+    return out;
+}
+
+bool DecodeShardHello(const std::uint8_t* data, std::size_t len,
+                      ShardHelloFrame* out) {
+    Reader r{data, len};
+    if (!r.ReadU32(&out->shard_index)) return false;
+    if (!r.ReadU32(&out->shard_count)) return false;
+    if (!r.ReadU64(&out->full_row_begin)) return false;
+    if (!r.ReadU64(&out->full_row_end)) return false;
+    if (!r.ReadU64(&out->hot_row_begin)) return false;
+    if (!r.ReadU64(&out->hot_row_end)) return false;
+    // Structural sanity the decoder can check without geometry: a real
+    // assignment has at least one shard, indexes inside the fleet, and
+    // non-inverted windows.
+    if (out->shard_count == 0) return false;
+    if (out->shard_index >= out->shard_count) return false;
+    if (out->full_row_begin > out->full_row_end) return false;
+    if (out->hot_row_begin > out->hot_row_end) return false;
+    return r.done();
+}
+
+std::vector<std::uint8_t> EncodeShardPartial(const ShardPartialFrame& part) {
+    std::vector<std::uint8_t> out;
+    EncodeShardPartialInto(part, out);
+    return out;
+}
+
+void EncodeShardPartialInto(const ShardPartialFrame& part,
+                            std::vector<std::uint8_t>& out) {
+    out.clear();
+    PutU64(out, part.request_id);
+    PutU32(out, part.shard_index);
+    PutU8(out, part.hot ? 1 : 0);
+    PutU32(out, static_cast<std::uint32_t>(part.server0.size()));
+    PutResponseList(out, part.server0);
+    PutResponseList(out, part.server1);
+}
+
+bool DecodeShardPartial(const std::uint8_t* data, std::size_t len,
+                        ShardPartialFrame* out) {
+    Reader r{data, len};
+    std::uint8_t hot = 0;
+    std::uint32_t nbins = 0;
+    if (!r.ReadU64(&out->request_id)) return false;
+    if (!r.ReadU32(&out->shard_index)) return false;
     if (!r.ReadU8(&hot)) return false;
     if (hot > 1) return false;
     out->hot = hot == 1;
@@ -442,11 +554,17 @@ IoStatus ReadFully(int fd, std::uint8_t* buf, std::size_t n, int timeout_ms) {
 }  // namespace
 
 IoStatus WriteFrame(int fd, const Frame& frame) {
-    const std::vector<std::uint8_t> bytes = EncodeFrame(frame);
+    std::vector<std::uint8_t> scratch;
+    return WriteFrame(fd, frame, scratch);
+}
+
+IoStatus WriteFrame(int fd, const Frame& frame,
+                    std::vector<std::uint8_t>& scratch) {
+    EncodeFrameInto(frame, scratch);
     std::size_t off = 0;
-    while (off < bytes.size()) {
-        const ssize_t sent = ::send(fd, bytes.data() + off, bytes.size() - off,
-                                    MSG_NOSIGNAL);
+    while (off < scratch.size()) {
+        const ssize_t sent = ::send(fd, scratch.data() + off,
+                                    scratch.size() - off, MSG_NOSIGNAL);
         if (sent < 0) {
             if (errno == EINTR) continue;
             return (errno == EPIPE || errno == ECONNRESET) ? IoStatus::kClosed

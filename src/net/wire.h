@@ -19,7 +19,20 @@
 //     guaranteed against an identically-configured node.
 //   kLookupRequest — one lookup's client-side output: request id, priority,
 //     deadline, and both logical servers' serialized per-bin DPF keys for
-//     the full (and optionally hot) table.
+//     the full (and optionally hot) table. A sharded client additionally
+//     sets has_range and per-table [row_begin, row_end) eval windows: the
+//     node then evaluates the same keys over only that row slice and
+//     answers with kShardPartial frames instead of kTablePartial.
+//   kShardHello — connection-scoped shard assignment (client -> server,
+//     echoed back): shard index/count plus the per-table row ranges this
+//     connection's ranged requests will ask for. The server validates the
+//     assignment against its own geometry (and ShardRowBoundary partition)
+//     and closes on mismatch, so a misconfigured fleet fails at connect
+//     time, not with silently-wrong shares.
+//   kShardPartial — kTablePartial plus the shard index that produced it:
+//     one table's RANGE-RESTRICTED raw answer shares. Partial shares from
+//     all K shards sum (mod 2^128, shard-index order) to exactly the
+//     full-scan share — see src/pir/shard_merge.h.
 //   kRejected — admission rejection (AdmissionStatus) for a request id;
 //     carries the front-end's max_inflight_requests backpressure
 //     (kQueueFull) and drain-time kShutdown to the remote client.
@@ -54,7 +67,9 @@ namespace gpudpf {
 namespace net {
 
 inline constexpr std::uint32_t kMagic = 0x47445046u;
-inline constexpr std::uint16_t kProtocolVersion = 1;
+// v2: sharded fleet — kShardHello/kShardPartial frames and the optional
+// per-request row-range block on kLookupRequest.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 12;
 
 enum class FrameType : std::uint16_t {
@@ -66,6 +81,8 @@ enum class FrameType : std::uint16_t {
     kLookupComplete = 6,
     kPing = 7,
     kPong = 8,
+    kShardHello = 9,
+    kShardPartial = 10,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -107,6 +124,11 @@ DecodeStatus DecodeFrameHeader(const std::uint8_t* data, std::size_t len,
 // One contiguous buffer: header + payload.
 std::vector<std::uint8_t> EncodeFrame(const Frame& frame);
 
+// Encodes into `out` (cleared first), reusing its capacity — the
+// per-connection scratch variant for hot send paths that would otherwise
+// allocate a fresh buffer per frame.
+void EncodeFrameInto(const Frame& frame, std::vector<std::uint8_t>& out);
+
 // Decodes a complete frame from a contiguous buffer (header validation,
 // exact length match — trailing bytes are kMalformed).
 DecodeStatus DecodeFrame(const std::uint8_t* data, std::size_t len,
@@ -142,11 +164,22 @@ bool DecodeHello(const std::uint8_t* data, std::size_t len, Hello* out);
 // One lookup's upload: both logical servers' serialized per-bin DPF keys.
 // Key lists are index-aligned (keys0[b] and keys1[b] are bin b's pair) and
 // the decoder enforces equal counts per table.
+//
+// has_range marks a SHARDED request: the node evaluates the keys over only
+// the bin-relative row window [full_row_begin, full_row_end) (and, when
+// has_hot, [hot_row_begin, hot_row_end)) and answers with kShardPartial.
+// The decoder rejects inverted windows; window-vs-geometry validation is
+// the server node's job (it knows the bin sizes).
 struct LookupRequestFrame {
     std::uint64_t request_id = 0;
     RequestPriority priority = RequestPriority::kInteractive;
     std::uint64_t deadline_us = 0;  // 0 = node default
     bool has_hot = false;
+    bool has_range = false;
+    std::uint64_t full_row_begin = 0;
+    std::uint64_t full_row_end = 0;
+    std::uint64_t hot_row_begin = 0;
+    std::uint64_t hot_row_end = 0;
     std::vector<std::vector<std::uint8_t>> full_keys0;
     std::vector<std::vector<std::uint8_t>> full_keys1;
     std::vector<std::vector<std::uint8_t>> hot_keys0;
@@ -154,6 +187,8 @@ struct LookupRequestFrame {
 };
 
 std::vector<std::uint8_t> EncodeLookupRequest(const LookupRequestFrame& req);
+void EncodeLookupRequestInto(const LookupRequestFrame& req,
+                             std::vector<std::uint8_t>& out);
 bool DecodeLookupRequest(const std::uint8_t* data, std::size_t len,
                          LookupRequestFrame* out);
 
@@ -178,8 +213,57 @@ struct TablePartialFrame {
 };
 
 std::vector<std::uint8_t> EncodeTablePartial(const TablePartialFrame& part);
+void EncodeTablePartialInto(const TablePartialFrame& part,
+                            std::vector<std::uint8_t>& out);
 bool DecodeTablePartial(const std::uint8_t* data, std::size_t len,
                         TablePartialFrame* out);
+
+/// Connection-scoped shard assignment: which slice of the fleet's row space
+// this connection's ranged requests will cover. Sent by a sharded client
+// right after the geometry hello; the server validates it against its own
+// tables (and the canonical ShardRangeOf partition) and echoes it, or
+// closes the connection on mismatch.
+struct ShardHelloFrame {
+    std::uint32_t shard_index = 0;
+    std::uint32_t shard_count = 0;
+    std::uint64_t full_row_begin = 0;
+    std::uint64_t full_row_end = 0;
+    std::uint64_t hot_row_begin = 0;  // 0/0 when the service has no hot table
+    std::uint64_t hot_row_end = 0;
+
+    friend bool operator==(const ShardHelloFrame& a, const ShardHelloFrame& b) {
+        return a.shard_index == b.shard_index &&
+               a.shard_count == b.shard_count &&
+               a.full_row_begin == b.full_row_begin &&
+               a.full_row_end == b.full_row_end &&
+               a.hot_row_begin == b.hot_row_begin &&
+               a.hot_row_end == b.hot_row_end;
+    }
+    friend bool operator!=(const ShardHelloFrame& a, const ShardHelloFrame& b) {
+        return !(a == b);
+    }
+};
+
+std::vector<std::uint8_t> EncodeShardHello(const ShardHelloFrame& hello);
+bool DecodeShardHello(const std::uint8_t* data, std::size_t len,
+                      ShardHelloFrame* out);
+
+// A TablePartial restricted to one shard's row window, tagged with the
+// shard index that produced it. The shares of all K shards sum (mod 2^128,
+// shard-index order — MergeShardShares) to the full-table shares.
+struct ShardPartialFrame {
+    std::uint64_t request_id = 0;
+    std::uint32_t shard_index = 0;
+    bool hot = false;
+    std::vector<PirResponse> server0;
+    std::vector<PirResponse> server1;
+};
+
+std::vector<std::uint8_t> EncodeShardPartial(const ShardPartialFrame& part);
+void EncodeShardPartialInto(const ShardPartialFrame& part,
+                            std::vector<std::uint8_t>& out);
+bool DecodeShardPartial(const std::uint8_t* data, std::size_t len,
+                        ShardPartialFrame* out);
 
 struct LookupCompleteFrame {
     std::uint64_t request_id = 0;
@@ -212,6 +296,12 @@ const char* IoStatusName(IoStatus status);
 // Writes header + payload, handling partial writes and EINTR; never raises
 // SIGPIPE. Returns kOk, kClosed (EPIPE/ECONNRESET), or kError.
 IoStatus WriteFrame(int fd, const Frame& frame);
+
+// WriteFrame encoding into caller-owned scratch (cleared, capacity kept):
+// the per-connection-buffer variant for hot send paths. The caller owns
+// serialization of concurrent writers on one fd (and of the scratch).
+IoStatus WriteFrame(int fd, const Frame& frame,
+                    std::vector<std::uint8_t>& scratch);
 
 // Reads exactly one frame. `timeout_ms` bounds the wait for EACH burst of
 // bytes (poll()-based; < 0 blocks indefinitely); a peer that stalls

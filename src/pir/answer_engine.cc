@@ -46,6 +46,13 @@ void ValidateJob(const PirTable& table, const AnswerEngine::Job& job) {
         throw std::invalid_argument(
             "AnswerEngine: key domain smaller than job rows");
     }
+    // The eval window is job-relative; eval_end saturates at num_rows (the
+    // all-ones default means "unclipped"), so only an inverted window is a
+    // caller bug.
+    if (job.eval_begin > std::min(job.eval_end, job.num_rows)) {
+        throw std::invalid_argument(
+            "AnswerEngine: job eval window inverted");
+    }
 }
 
 // Per-worker kernel call state, allocated once per pool task (or per
@@ -154,14 +161,20 @@ AnswerEngine::BatchStats AnswerEngine::AnswerBatchNotify(
     std::vector<Group> groups;
     groups.reserve(jobs.size());
     if (kernel_->multi_query()) {
-        using GroupKey = std::tuple<const PirTable*, std::uint64_t,
-                                    std::uint64_t, int, int, int>;
+        // The eval window joins the signature via its saturated end, so an
+        // unclipped job (eval_end = all-ones) and one explicitly clipped to
+        // num_rows land in the same group.
+        using GroupKey =
+            std::tuple<const PirTable*, std::uint64_t, std::uint64_t,
+                       std::uint64_t, std::uint64_t, int, int, int>;
         std::map<GroupKey, std::size_t> index;
         for (std::size_t q = 0; q < jobs.size(); ++q) {
             const TableJob& tj = jobs[q];
             const GroupKey key{tj.table,
                                tj.job.row_begin,
                                tj.job.num_rows,
+                               tj.job.eval_begin,
+                               std::min(tj.job.eval_end, tj.job.num_rows),
                                static_cast<int>(job_class(q)),
                                tj.job.key->params.log_domain,
                                static_cast<int>(tj.job.key->params.prf)};
@@ -210,9 +223,17 @@ AnswerEngine::BatchStats AnswerEngine::AnswerBatchNotify(
         const Group& grp = groups[g];
         const TableJob& tj0 = jobs[grp.members.front()];
         const std::uint64_t tile_rows = tj0.table->rows_per_tile();
-        const std::uint64_t lo = ShardBoundary(tj0.job, tile_rows, shards, s);
-        const std::uint64_t hi =
-            ShardBoundary(tj0.job, tile_rows, shards, s + 1);
+        // Shard boundaries are computed over the FULL job range (so the
+        // tile-snapped partition — and the NUMA first-touch pass that
+        // mirrors it — is independent of any clip), then intersected with
+        // the job's eval window. Clipped-away shards still count down.
+        const std::uint64_t win_lo = tj0.job.eval_begin;
+        const std::uint64_t win_hi =
+            std::min(tj0.job.eval_end, tj0.job.num_rows);
+        const std::uint64_t lo = std::max(
+            ShardBoundary(tj0.job, tile_rows, shards, s), win_lo);
+        const std::uint64_t hi = std::min(
+            ShardBoundary(tj0.job, tile_rows, shards, s + 1), win_hi);
         ws.tasks.clear();
         ws.task_jobs.clear();
         for (const std::size_t q : grp.members) {

@@ -105,10 +105,24 @@ class AnswerEngine {
     // One answer job: evaluate `key` against the table rows
     // [row_begin, row_begin + num_rows), DPF leaf j selecting row
     // row_begin + j. The key's domain must cover num_rows.
+    //
+    // eval_begin/eval_end clip the job to the job-relative window
+    // [eval_begin, min(eval_end, num_rows)): the DPF leaf anchor stays at
+    // row_begin (leaf j still selects row row_begin + j), but only leaves
+    // inside the window are evaluated and accumulated. A sharded fleet
+    // node uses this to answer its assigned row slice of a client's
+    // full-range key; because addition in Z_2^128 commutes, partial shares
+    // over disjoint windows sum to exactly the full-scan share. A job
+    // whose window is empty completes with an all-ZERO share (the additive
+    // identity, words_per_entry words) — never the empty response, which
+    // is reserved for skipped (dead-request) jobs. The defaults leave the
+    // job unclipped.
     struct Job {
         const DpfKey* key = nullptr;
         std::uint64_t row_begin = 0;
         std::uint64_t num_rows = 0;
+        std::uint64_t eval_begin = 0;
+        std::uint64_t eval_end = ~std::uint64_t{0};
     };
 
     // Answers one job, sharded across the pool (sequential when

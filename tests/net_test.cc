@@ -30,7 +30,9 @@
 #include "src/net/remote_client.h"
 #include "src/net/replica_router.h"
 #include "src/net/server_node.h"
+#include "src/net/sharded_router.h"
 #include "src/net/wire.h"
+#include "src/pir/shard_merge.h"
 #include "src/workloads/dataset.h"
 
 namespace gpudpf {
@@ -60,6 +62,37 @@ net::TablePartialFrame SampleTablePartial() {
     net::TablePartialFrame part;
     part.request_id = 42;
     part.hot = false;
+    part.server0 = {{MakeU128(1, 2), MakeU128(3, 4)}, {MakeU128(5, 6)}};
+    part.server1 = {{MakeU128(7, 8), MakeU128(9, 10)}, {}};
+    return part;
+}
+
+net::LookupRequestFrame SampleRangedLookupRequest() {
+    net::LookupRequestFrame req = SampleLookupRequest();
+    req.has_range = true;
+    req.full_row_begin = 16;
+    req.full_row_end = 32;
+    req.hot_row_begin = 4;
+    req.hot_row_end = 8;
+    return req;
+}
+
+net::ShardHelloFrame SampleShardHello() {
+    net::ShardHelloFrame sh;
+    sh.shard_index = 1;
+    sh.shard_count = 4;
+    sh.full_row_begin = 16;
+    sh.full_row_end = 32;
+    sh.hot_row_begin = 4;
+    sh.hot_row_end = 8;
+    return sh;
+}
+
+net::ShardPartialFrame SampleShardPartial() {
+    net::ShardPartialFrame part;
+    part.request_id = 42;
+    part.shard_index = 2;
+    part.hot = true;
     part.server0 = {{MakeU128(1, 2), MakeU128(3, 4)}, {MakeU128(5, 6)}};
     part.server1 = {{MakeU128(7, 8), MakeU128(9, 10)}, {}};
     return part;
@@ -168,6 +201,105 @@ TEST(WireTest, PayloadRoundtrips) {
     EXPECT_EQ(done2.status, RequestStatus::kDeadlineExpired);
 }
 
+TEST(WireTest, ShardPayloadRoundtrips) {
+    // Ranged lookup request: the row windows survive the wire.
+    const auto ranged = SampleRangedLookupRequest();
+    auto bytes = net::EncodeLookupRequest(ranged);
+    net::LookupRequestFrame ranged2;
+    ASSERT_TRUE(
+        net::DecodeLookupRequest(bytes.data(), bytes.size(), &ranged2));
+    EXPECT_TRUE(ranged2.has_range);
+    EXPECT_EQ(ranged2.full_row_begin, ranged.full_row_begin);
+    EXPECT_EQ(ranged2.full_row_end, ranged.full_row_end);
+    EXPECT_EQ(ranged2.hot_row_begin, ranged.hot_row_begin);
+    EXPECT_EQ(ranged2.hot_row_end, ranged.hot_row_end);
+    EXPECT_EQ(ranged2.full_keys0, ranged.full_keys0);
+    EXPECT_EQ(ranged2.hot_keys1, ranged.hot_keys1);
+    // An unranged request decodes with zeroed windows.
+    bytes = net::EncodeLookupRequest(SampleLookupRequest());
+    ASSERT_TRUE(
+        net::DecodeLookupRequest(bytes.data(), bytes.size(), &ranged2));
+    EXPECT_FALSE(ranged2.has_range);
+    EXPECT_EQ(ranged2.full_row_end, 0u);
+
+    const auto sh = SampleShardHello();
+    bytes = net::EncodeShardHello(sh);
+    net::ShardHelloFrame sh2;
+    ASSERT_TRUE(net::DecodeShardHello(bytes.data(), bytes.size(), &sh2));
+    EXPECT_EQ(sh2, sh);
+    EXPECT_EQ(net::EncodeShardHello(sh2), bytes);
+
+    const auto part = SampleShardPartial();
+    bytes = net::EncodeShardPartial(part);
+    net::ShardPartialFrame part2;
+    ASSERT_TRUE(net::DecodeShardPartial(bytes.data(), bytes.size(), &part2));
+    EXPECT_EQ(part2.request_id, part.request_id);
+    EXPECT_EQ(part2.shard_index, part.shard_index);
+    EXPECT_EQ(part2.hot, part.hot);
+    EXPECT_EQ(part2.server0, part.server0);
+    EXPECT_EQ(part2.server1, part.server1);
+    // Re-encoding reproduces the exact bytes (the bit-identity contract at
+    // the frame level), and the Into-encoder writes the same bytes into a
+    // reused buffer.
+    EXPECT_EQ(net::EncodeShardPartial(part2), bytes);
+    std::vector<std::uint8_t> scratch(3, 0xab);  // stale content is cleared
+    net::EncodeShardPartialInto(part2, scratch);
+    EXPECT_EQ(scratch, bytes);
+    net::EncodeShardPartialInto(part2, scratch);
+    EXPECT_EQ(scratch, bytes);
+}
+
+TEST(WireTest, ShardStructuralRejections) {
+    // Shard hello: zero count, index out of range, inverted windows.
+    net::ShardHelloFrame sh = SampleShardHello();
+    net::ShardHelloFrame out;
+    sh.shard_count = 0;
+    auto bytes = net::EncodeShardHello(sh);
+    EXPECT_FALSE(net::DecodeShardHello(bytes.data(), bytes.size(), &out));
+    sh = SampleShardHello();
+    sh.shard_index = sh.shard_count;
+    bytes = net::EncodeShardHello(sh);
+    EXPECT_FALSE(net::DecodeShardHello(bytes.data(), bytes.size(), &out));
+    sh = SampleShardHello();
+    sh.full_row_begin = sh.full_row_end + 1;
+    bytes = net::EncodeShardHello(sh);
+    EXPECT_FALSE(net::DecodeShardHello(bytes.data(), bytes.size(), &out));
+    sh = SampleShardHello();
+    sh.hot_row_begin = sh.hot_row_end + 1;
+    bytes = net::EncodeShardHello(sh);
+    EXPECT_FALSE(net::DecodeShardHello(bytes.data(), bytes.size(), &out));
+
+    // Ranged lookup request with inverted windows.
+    net::LookupRequestFrame req = SampleRangedLookupRequest();
+    net::LookupRequestFrame req_out;
+    req.full_row_begin = req.full_row_end + 1;
+    bytes = net::EncodeLookupRequest(req);
+    EXPECT_FALSE(
+        net::DecodeLookupRequest(bytes.data(), bytes.size(), &req_out));
+    req = SampleRangedLookupRequest();
+    req.hot_row_begin = req.hot_row_end + 1;
+    bytes = net::EncodeLookupRequest(req);
+    EXPECT_FALSE(
+        net::DecodeLookupRequest(bytes.data(), bytes.size(), &req_out));
+
+    // has_range must be a strict boolean byte (offset: id 8 + priority 1 +
+    // deadline 8 + has_hot 1).
+    bytes = net::EncodeLookupRequest(SampleRangedLookupRequest());
+    bytes[18] = 2;
+    EXPECT_FALSE(
+        net::DecodeLookupRequest(bytes.data(), bytes.size(), &req_out));
+
+    // ShardPartial whose response word count exceeds the actual bytes —
+    // rejected before any allocation sized from it (the count lives after
+    // id 8 + shard_index 4 + hot 1 + nbins 4).
+    bytes = net::EncodeShardPartial(SampleShardPartial());
+    const std::uint32_t lying_words = 1u << 30;
+    std::memcpy(bytes.data() + 17, &lying_words, 4);
+    net::ShardPartialFrame part_out;
+    EXPECT_FALSE(
+        net::DecodeShardPartial(bytes.data(), bytes.size(), &part_out));
+}
+
 // Decoding any truncation of a valid frame must fail cleanly.
 TEST(WireTest, TruncationCorpusNeverCrashes) {
     Frame frame;
@@ -196,50 +328,101 @@ TEST(WireTest, TruncationCorpusNeverCrashes) {
         net::TablePartialFrame part;
         EXPECT_FALSE(net::DecodeTablePartial(part_bytes.data(), len, &part));
     }
+    // ... the ranged lookup-request decoder ...
+    const auto ranged_bytes =
+        net::EncodeLookupRequest(SampleRangedLookupRequest());
+    for (std::size_t len = 0; len < ranged_bytes.size(); ++len) {
+        net::LookupRequestFrame req;
+        EXPECT_FALSE(
+            net::DecodeLookupRequest(ranged_bytes.data(), len, &req));
+    }
+    // ... the shard-hello decoder ...
+    const auto sh_bytes = net::EncodeShardHello(SampleShardHello());
+    for (std::size_t len = 0; len < sh_bytes.size(); ++len) {
+        net::ShardHelloFrame sh;
+        EXPECT_FALSE(net::DecodeShardHello(sh_bytes.data(), len, &sh));
+    }
+    // ... and the shard-partial decoder.
+    const auto sp_bytes = net::EncodeShardPartial(SampleShardPartial());
+    for (std::size_t len = 0; len < sp_bytes.size(); ++len) {
+        net::ShardPartialFrame part;
+        EXPECT_FALSE(net::DecodeShardPartial(sp_bytes.data(), len, &part));
+    }
 }
 
 // Flipping any single bit must produce either a clean error or a benign
 // alternative decode — never a crash or out-of-bounds access (asan/ubsan
 // enforce the latter in CI).
 TEST(WireTest, BitFlipCorpusNeverCrashes) {
-    Frame frame;
-    frame.type = FrameType::kLookupRequest;
-    frame.payload = net::EncodeLookupRequest(SampleLookupRequest());
-    const auto bytes = net::EncodeFrame(frame);
-    for (std::size_t i = 0; i < bytes.size(); ++i) {
-        for (int bit = 0; bit < 8; ++bit) {
-            auto mutated = bytes;
-            mutated[i] ^= static_cast<std::uint8_t>(1u << bit);
-            Frame out;
-            const DecodeStatus status =
-                net::DecodeFrame(mutated.data(), mutated.size(),
-                                 net::MaxFramePayload(), &out);
-            if (status != DecodeStatus::kOk) continue;
-            net::LookupRequestFrame req;
-            net::TablePartialFrame part;
-            net::PingFrame ping;
-            net::Hello hello;
-            switch (out.type) {
-                case FrameType::kLookupRequest:
-                    net::DecodeLookupRequest(out.payload.data(),
-                                             out.payload.size(), &req);
-                    break;
-                case FrameType::kTablePartial:
-                    net::DecodeTablePartial(out.payload.data(),
-                                            out.payload.size(), &part);
-                    break;
-                case FrameType::kClientHello:
-                case FrameType::kServerHello:
-                    net::DecodeHello(out.payload.data(), out.payload.size(),
-                                     &hello);
-                    break;
-                default:
-                    net::DecodePing(out.payload.data(), out.payload.size(),
-                                    &ping);
-                    break;
+    auto run_corpus = [](FrameType type, std::vector<std::uint8_t> payload) {
+        Frame frame;
+        frame.type = type;
+        frame.payload = std::move(payload);
+        const auto bytes = net::EncodeFrame(frame);
+        for (std::size_t i = 0; i < bytes.size(); ++i) {
+            for (int bit = 0; bit < 8; ++bit) {
+                auto mutated = bytes;
+                mutated[i] ^= static_cast<std::uint8_t>(1u << bit);
+                Frame out;
+                const DecodeStatus status =
+                    net::DecodeFrame(mutated.data(), mutated.size(),
+                                     net::MaxFramePayload(), &out);
+                if (status != DecodeStatus::kOk) continue;
+                net::LookupRequestFrame req;
+                net::TablePartialFrame part;
+                net::ShardHelloFrame sh;
+                net::ShardPartialFrame shard_part;
+                net::RejectedFrame rej;
+                net::LookupCompleteFrame done;
+                net::PingFrame ping;
+                net::Hello hello;
+                switch (out.type) {
+                    case FrameType::kLookupRequest:
+                        net::DecodeLookupRequest(out.payload.data(),
+                                                 out.payload.size(), &req);
+                        break;
+                    case FrameType::kTablePartial:
+                        net::DecodeTablePartial(out.payload.data(),
+                                                out.payload.size(), &part);
+                        break;
+                    case FrameType::kShardHello:
+                        net::DecodeShardHello(out.payload.data(),
+                                              out.payload.size(), &sh);
+                        break;
+                    case FrameType::kShardPartial:
+                        net::DecodeShardPartial(out.payload.data(),
+                                                out.payload.size(),
+                                                &shard_part);
+                        break;
+                    case FrameType::kRejected:
+                        net::DecodeRejected(out.payload.data(),
+                                            out.payload.size(), &rej);
+                        break;
+                    case FrameType::kLookupComplete:
+                        net::DecodeLookupComplete(out.payload.data(),
+                                                  out.payload.size(), &done);
+                        break;
+                    case FrameType::kClientHello:
+                    case FrameType::kServerHello:
+                        net::DecodeHello(out.payload.data(),
+                                         out.payload.size(), &hello);
+                        break;
+                    default:
+                        net::DecodePing(out.payload.data(),
+                                        out.payload.size(), &ping);
+                        break;
+                }
             }
         }
-    }
+    };
+    run_corpus(FrameType::kLookupRequest,
+               net::EncodeLookupRequest(SampleLookupRequest()));
+    run_corpus(FrameType::kLookupRequest,
+               net::EncodeLookupRequest(SampleRangedLookupRequest()));
+    run_corpus(FrameType::kShardHello,
+               net::EncodeShardHello(SampleShardHello()));
+    run_corpus(FrameType::kShardPartial,
+               net::EncodeShardPartial(SampleShardPartial()));
 }
 
 // Element counts that lie about the payload must be rejected before any
@@ -342,7 +525,12 @@ struct NetWorld {
         Rng rng(7);
         emb->InitRandom(rng, 0.2f);
         expected = Make(config);
-        planning = Make(config);
+        // The router-side twin is planning-only: no physical tables, so
+        // every routed test doubles as proof the client/router path never
+        // touches table storage.
+        ServiceConfig planning_config = config;
+        planning_config.planning_only = true;
+        planning = Make(planning_config);
         for (std::size_t i = 0; i < num_replicas; ++i) {
             replicas.push_back(Make(config));
             nodes.push_back(std::make_unique<net::PirServerNode>(
@@ -361,6 +549,20 @@ struct NetWorld {
             endpoints.push_back({"127.0.0.1", node->port()});
         }
         return endpoints;
+    }
+
+    // Groups the nodes into shard_count shards of equal replica count
+    // (consecutive nodes become replicas of the same shard).
+    std::vector<std::vector<net::ShardedRouter::Endpoint>> ShardEndpoints(
+        std::size_t shard_count) const {
+        const std::size_t per_shard = nodes.size() / shard_count;
+        std::vector<std::vector<net::ShardedRouter::Endpoint>> shards(
+            shard_count);
+        for (std::size_t i = 0; i < shard_count * per_shard; ++i) {
+            shards[i / per_shard].push_back(
+                {"127.0.0.1", nodes[i]->port()});
+        }
+        return shards;
     }
 
     std::unique_ptr<EmbeddingTable> emb;
@@ -535,6 +737,219 @@ TEST(NetServingTest, MismatchedGeometryRefused) {
                                           mine, /*timeout_ms=*/2'000);
     EXPECT_EQ(conn, nullptr);
     EXPECT_EQ(world.nodes[0]->stats().hello_rejected, 1u);
+}
+
+// --- sharded fleet ---------------------------------------------------------
+
+// ShardRangeOf partitions [0, num_rows) exactly: contiguous, ordered,
+// covering, with empty trailing ranges when K > num_rows.
+TEST(ShardMergeTest, RangePartitionCovers) {
+    for (const std::uint64_t num_rows : {1ull, 4ull, 64ull, 257ull}) {
+        for (const std::size_t shard_count : {1u, 2u, 3u, 8u, 300u}) {
+            std::uint64_t cursor = 0;
+            for (std::size_t k = 0; k < shard_count; ++k) {
+                const ShardRange range =
+                    ShardRangeOf(num_rows, shard_count, k);
+                EXPECT_EQ(range.begin, cursor);
+                EXPECT_LE(range.begin, range.end);
+                EXPECT_LE(range.end, num_rows);
+                cursor = range.end;
+            }
+            EXPECT_EQ(cursor, num_rows)
+                << num_rows << " rows over " << shard_count << " shards";
+        }
+    }
+    EXPECT_THROW(ShardRangeOf(8, 0, 0), std::invalid_argument);
+}
+
+// Summing per-shard shares reproduces the full share; empty partials are
+// zero shares; length mismatches fail loud.
+TEST(ShardMergeTest, MergeShardShares) {
+    const PirResponse a = {MakeU128(1, 2), MakeU128(3, 4)};
+    const PirResponse b = {MakeU128(5, 6), MakeU128(7, 8)};
+    const PirResponse c = {MakeU128(~0ull, ~0ull), MakeU128(9, 10)};
+    PirResponse want(2, 0);
+    for (const PirResponse* part : {&a, &b, &c}) {
+        for (std::size_t w = 0; w < want.size(); ++w) {
+            want[w] += (*part)[w];  // wrapping u128 add
+        }
+    }
+    EXPECT_EQ(MergeShardShares({a, b, c}), want);
+    EXPECT_EQ(MergeShardShares({a, {}, b, c, {}}), want);
+
+    PirResponse acc;
+    AccumulateShare(acc, a);
+    EXPECT_EQ(acc, a);
+    AccumulateShare(acc, {});
+    EXPECT_EQ(acc, a);
+    PirResponse short_share = {MakeU128(1, 1)};
+    EXPECT_THROW(AccumulateShare(acc, short_share), std::invalid_argument);
+    EXPECT_THROW(MergeShardShares({a, short_share}), std::invalid_argument);
+    EXPECT_THROW(MergeShardShares({{}, {}}), std::invalid_argument);
+}
+
+// Sharded scatter-gather must be bit-identical to in-process serving for
+// every shard count and batch size — including K=8, where the hot table's
+// 4-row bins leave shards 4..7 with EMPTY eval windows (their zero shares
+// must merge away cleanly).
+TEST(NetServingTest, ShardedBitIdentityMatrix) {
+    const std::vector<std::vector<std::uint64_t>> batches = {
+        {3},
+        {1, 65, 200, 511},
+        {0, 7, 64, 65, 128, 300, 400, 500},
+    };
+    for (const std::size_t shard_count : {1u, 2u, 4u, 8u}) {
+        NetWorld world(NetBaseConfig(), shard_count);
+        net::ShardedRouter::Options opts;
+        opts.health_thread = false;  // deterministic replica choice
+        net::ShardedRouter router(world.planning.get(),
+                                  world.ShardEndpoints(shard_count), opts);
+        auto expected_client = world.expected->MakeClient();
+        auto remote_client = world.planning->MakeClient();
+        std::size_t lookups = 0;
+        for (int round = 0; round < 2; ++round) {
+            for (const auto& wanted : batches) {
+                const LookupResult want = expected_client->Lookup(wanted);
+                const auto got = router.Lookup(remote_client.get(), wanted);
+                ExpectBitIdentical(want, got.result);
+                EXPECT_EQ(got.shards_failed_over, 0u);
+                ++lookups;
+            }
+        }
+        const auto stats = router.stats();
+        EXPECT_EQ(stats.requests, lookups);
+        EXPECT_EQ(stats.failovers, 0u);
+        // Every node answered every lookup (its shard of it). Counters
+        // are incremented before the terminal frame is sent, so a client
+        // that has collected every reply reads exact stats.
+        for (std::size_t k = 0; k < shard_count; ++k) {
+            const auto node_stats = world.nodes[k]->stats();
+            EXPECT_EQ(node_stats.completed, lookups) << "shard " << k;
+            EXPECT_EQ(node_stats.shard_requests, lookups) << "shard " << k;
+        }
+    }
+}
+
+// Sharding composed with replication: K=2 shards x 2 replicas, still
+// bit-identical, with each shard's lookups spread over its replicas.
+TEST(NetServingTest, ShardedWithReplicationBitIdentical) {
+    NetWorld world(NetBaseConfig(), /*num_replicas=*/4);
+    net::ShardedRouter::Options opts;
+    opts.health_thread = false;
+    net::ShardedRouter router(world.planning.get(), world.ShardEndpoints(2),
+                              opts);
+    auto expected_client = world.expected->MakeClient();
+    auto remote_client = world.planning->MakeClient();
+    const std::vector<std::uint64_t> wanted = {1, 65, 200, 511};
+    for (int i = 0; i < 4; ++i) {
+        ExpectBitIdentical(expected_client->Lookup(wanted),
+                           router.Lookup(remote_client.get(), wanted).result);
+    }
+    // Round-robin within each shard spreads the work over both replicas.
+    for (const auto& node : world.nodes) {
+        EXPECT_GT(node->stats().completed, 0u);
+    }
+}
+
+// Kill one shard OWNER mid-run: requests fail over to that shard's
+// sibling replica (counted per shard), every request completes, results
+// stay bit-identical. A shard with NO replica left fails loud.
+TEST(NetServingTest, ShardOwnerFailoverAndLoudFailure) {
+    NetWorld world(NetBaseConfig(), /*num_replicas=*/4);
+    net::ShardedRouter::Options opts;
+    opts.health_thread = false;
+    opts.request_timeout_ms = 2'000;
+    net::ShardedRouter router(world.planning.get(), world.ShardEndpoints(2),
+                              opts);
+    auto expected_client = world.expected->MakeClient();
+    auto remote_client = world.planning->MakeClient();
+    const std::vector<std::uint64_t> wanted = {1, 65, 200, 511};
+    for (int i = 0; i < 2; ++i) {
+        ExpectBitIdentical(expected_client->Lookup(wanted),
+                           router.Lookup(remote_client.get(), wanted).result);
+    }
+
+    // Kill shard 1's first replica hard (nodes are grouped [0,1 | 2,3]).
+    world.nodes[2]->Abort();
+    for (int i = 0; i < 6; ++i) {
+        const LookupResult want = expected_client->Lookup(wanted);
+        const auto got = router.Lookup(remote_client.get(), wanted);
+        ExpectBitIdentical(want, got.result);
+    }
+    const auto failovers = router.per_shard_failovers();
+    ASSERT_EQ(failovers.size(), 2u);
+    EXPECT_EQ(failovers[0], 0u);
+    EXPECT_GE(failovers[1], 1u);
+    router.CheckNow();
+    EXPECT_EQ(router.healthy_count(0), 2u);
+    EXPECT_EQ(router.healthy_count(1), 1u);
+
+    // Kill shard 1's sibling too: the shard has no replica left, and the
+    // router must fail the lookup loudly rather than return a partial
+    // merge.
+    world.nodes[3]->Abort();
+    EXPECT_THROW(router.Lookup(remote_client.get(), wanted),
+                 std::runtime_error);
+}
+
+// A planning-only service rejects local submissions at admission — it has
+// no tables to scan; only the client/router machinery is live.
+TEST(NetServingTest, PlanningOnlyRejectsLocalSubmission) {
+    NetWorld world(NetBaseConfig(), /*num_replicas=*/1);
+    auto client = world.planning->MakeClient();
+    auto handle =
+        world.planning->front_end().SubmitRequest({client.get(), {1, 2}});
+    EXPECT_FALSE(handle.ok());
+    EXPECT_EQ(handle.admission(), AdmissionStatus::kInvalidRequest);
+}
+
+// A ranged request on a connection that never did the shard handshake is
+// an explicit per-request rejection, not a dropped connection.
+TEST(NetServingTest, RangedRequestWithoutShardHelloRejected) {
+    NetWorld world(NetBaseConfig(), /*num_replicas=*/1);
+    const net::Hello hello = net::ServiceHello(*world.planning);
+    auto conn = net::NodeConnection::Dial("127.0.0.1", world.nodes[0]->port(),
+                                          hello, /*timeout_ms=*/2'000);
+    ASSERT_NE(conn, nullptr);
+    // A well-formed ranged request (the fixture decodes cleanly); the
+    // rejection must come from the missing handshake, not a decode error.
+    const net::LookupRequestFrame req = SampleRangedLookupRequest();
+    const auto reply = conn->Lookup(req, /*timeout_ms=*/2'000);
+    EXPECT_EQ(reply.status, net::NodeConnection::LookupStatus::kRejected);
+    EXPECT_EQ(reply.rejection, AdmissionStatus::kInvalidRequest);
+}
+
+// A shard hello whose windows disagree with the node's canonical
+// partition is refused (the connection closes) — a mismatched fleet plan
+// cannot silently mis-merge shares.
+TEST(NetServingTest, ShardHelloMismatchedPlanRefused) {
+    NetWorld world(NetBaseConfig(), /*num_replicas=*/1);
+    const net::Hello hello = net::ServiceHello(*world.planning);
+    auto conn = net::NodeConnection::Dial("127.0.0.1", world.nodes[0]->port(),
+                                          hello, /*timeout_ms=*/2'000);
+    ASSERT_NE(conn, nullptr);
+    net::ShardHelloFrame bad;
+    bad.shard_index = 0;
+    bad.shard_count = 2;
+    bad.full_row_begin = 1;  // canonical partition starts shard 0 at row 0
+    bad.full_row_end = 2;
+    EXPECT_FALSE(conn->ShardHello(bad, /*timeout_ms=*/2'000));
+    EXPECT_EQ(world.nodes[0]->stats().hello_rejected, 1u);
+
+    // The canonical assignment on a fresh connection is accepted.
+    auto good_conn = net::NodeConnection::Dial(
+        "127.0.0.1", world.nodes[0]->port(), hello, /*timeout_ms=*/2'000);
+    ASSERT_NE(good_conn, nullptr);
+    net::ShardHelloFrame good;
+    good.shard_index = 0;
+    good.shard_count = 2;
+    const ShardRange full = ShardRangeOf(hello.full_bin_size, 2, 0);
+    good.full_row_begin = full.begin;
+    good.full_row_end = full.end;
+    const ShardRange hot = ShardRangeOf(hello.hot_bin_size, 2, 0);
+    good.hot_row_begin = hot.begin;
+    good.hot_row_end = hot.end;
+    EXPECT_TRUE(good_conn->ShardHello(good, /*timeout_ms=*/2'000));
 }
 
 // Graceful Stop(): in-flight requests drain with terminal frames before
